@@ -1,0 +1,201 @@
+//! Adaptive attack objectives (Section V of the paper).
+//!
+//! Following Athalye et al. and Tramèr et al., every defense is evaluated
+//! against an attacker that *knows the defense*:
+//!
+//! * the depthwise-filter defenses are attacked with perturbations
+//!   restricted to low DCT frequencies (Eq. 8, Figure 3), and
+//! * the regularized defenses (TV, `Tik_hf`, `Tik_pseudo`) are attacked by
+//!   adding the defender's own feature-map penalty to the attacker's loss
+//!   (Eq. 9–11).
+//!
+//! Both are expressed as an [`AdaptiveObjective`] plugged into the shared
+//! [`crate::Rp2Attack`] optimizer loop.
+
+use blurnet_signal::OperatorPenalty;
+use serde::{Deserialize, Serialize};
+
+use crate::rp2::{Rp2Attack, Rp2Config};
+use crate::Result;
+
+/// The feature-map penalty an adaptive attacker adds to its loss.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FeaturePenaltyKind {
+    /// Anisotropic total variation of the feature maps (Eq. 9).
+    TotalVariation,
+    /// A quadratic operator penalty `‖L·F‖²` — `Tik_hf` or `Tik_pseudo`
+    /// depending on the wrapped operator (Eq. 10–11).
+    Operator(OperatorPenalty),
+}
+
+/// Modification of the RP2 objective used by adaptive attacks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AdaptiveObjective {
+    /// The plain RP2 objective of Eq. 1 (white-box and black-box tables).
+    Standard,
+    /// Restrict the perturbation to the lowest `dim × dim` DCT
+    /// coefficients, `IDCT(M_dim · DCT(M_x · δ))` (Eq. 8).
+    LowFrequencyDct {
+        /// Side length of the retained low-frequency block.
+        dim: usize,
+    },
+    /// Add a feature-map penalty on a chosen activation to the attacker's
+    /// loss (Eq. 9–11).
+    FeaturePenalty {
+        /// Index of the activation (layer output) the penalty applies to.
+        layer_index: usize,
+        /// Which penalty to add.
+        kind: FeaturePenaltyKind,
+        /// Weight of the penalty in the attacker's loss. The paper found an
+        /// unweighted term (1.0) to be the strongest attacker.
+        weight: f32,
+    },
+}
+
+impl Default for AdaptiveObjective {
+    fn default() -> Self {
+        AdaptiveObjective::Standard
+    }
+}
+
+/// Builds the low-frequency DCT adaptive attack of Eq. 8 from a base RP2
+/// configuration.
+///
+/// # Errors
+///
+/// Propagates [`Rp2Attack::new`] validation errors.
+pub fn low_frequency_attack(base: Rp2Config, dim: usize) -> Result<Rp2Attack> {
+    Rp2Attack::new(Rp2Config {
+        objective: AdaptiveObjective::LowFrequencyDct { dim },
+        ..base
+    })
+}
+
+/// Builds the TV-aware adaptive attack of Eq. 9.
+///
+/// `feature_layer` is the index of the first-convolution output in the
+/// victim network.
+///
+/// # Errors
+///
+/// Propagates [`Rp2Attack::new`] validation errors.
+pub fn tv_aware_attack(base: Rp2Config, feature_layer: usize) -> Result<Rp2Attack> {
+    Rp2Attack::new(Rp2Config {
+        objective: AdaptiveObjective::FeaturePenalty {
+            layer_index: feature_layer,
+            kind: FeaturePenaltyKind::TotalVariation,
+            weight: 1.0,
+        },
+        ..base
+    })
+}
+
+/// Builds the Tikhonov-aware adaptive attack of Eq. 10 or 11, depending on
+/// the operator wrapped by `penalty`.
+///
+/// # Errors
+///
+/// Propagates [`Rp2Attack::new`] validation errors.
+pub fn tikhonov_aware_attack(
+    base: Rp2Config,
+    feature_layer: usize,
+    penalty: OperatorPenalty,
+) -> Result<Rp2Attack> {
+    Rp2Attack::new(Rp2Config {
+        objective: AdaptiveObjective::FeaturePenalty {
+            layer_index: feature_layer,
+            kind: FeaturePenaltyKind::Operator(penalty),
+            weight: 1.0,
+        },
+        ..base
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blurnet_data::{DatasetConfig, SignDataset};
+    use blurnet_nn::{LisaCnn, Sequential};
+    use blurnet_signal::low_frequency_project;
+    use blurnet_tensor::Tensor;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_net() -> (Sequential, usize) {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let builder = LisaCnn::new(18).input_size(16).conv1_filters(4);
+        let net = builder.build(&mut rng).unwrap();
+        (net, builder.config().feature_layer_index())
+    }
+
+    fn tiny_image() -> Tensor {
+        let mut cfg = DatasetConfig::tiny();
+        cfg.image_size = 16;
+        SignDataset::generate(&cfg, 2).unwrap().stop_eval_images()[0].clone()
+    }
+
+    fn fast_config() -> Rp2Config {
+        Rp2Config {
+            iterations: 6,
+            num_transforms: 1,
+            ..Rp2Config::default()
+        }
+    }
+
+    #[test]
+    fn low_frequency_attack_produces_low_frequency_perturbations() {
+        let (mut net, _) = tiny_net();
+        let image = tiny_image();
+        let attack = low_frequency_attack(fast_config(), 4).unwrap();
+        let result = attack.generate(&mut net, &image, 2).unwrap();
+        // Every channel of the perturbation must be (numerically) invariant
+        // under the same low-frequency projection.
+        for ch in 0..3 {
+            let map = result.perturbation.channel(ch).unwrap();
+            if map.l2_norm() < 1e-6 {
+                continue;
+            }
+            let projected = low_frequency_project(&map, 4).unwrap();
+            let residual = map.sub(&projected).unwrap().l2_norm() / map.l2_norm();
+            // The clamp to [0,1] can slightly break exact invariance.
+            assert!(residual < 0.2, "channel {ch} residual {residual}");
+        }
+    }
+
+    #[test]
+    fn tv_aware_attack_runs_and_stays_masked() {
+        let (mut net, feature_layer) = tiny_net();
+        let image = tiny_image();
+        let attack = tv_aware_attack(fast_config(), feature_layer).unwrap();
+        let result = attack.generate(&mut net, &image, 5).unwrap();
+        assert_eq!(result.adversarial.dims(), image.dims());
+        assert!(result.loss_trace.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn tikhonov_aware_attack_runs() {
+        let (mut net, feature_layer) = tiny_net();
+        let image = tiny_image();
+        // Feature maps are 8x8 for a 16x16 input with stride-2 conv1.
+        let penalty = OperatorPenalty::high_frequency(8, 3).unwrap();
+        let attack = tikhonov_aware_attack(fast_config(), feature_layer, penalty).unwrap();
+        let result = attack.generate(&mut net, &image, 7).unwrap();
+        assert!(result.loss_trace.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn bad_feature_layer_index_is_reported() {
+        let (mut net, _) = tiny_net();
+        let image = tiny_image();
+        let attack = tv_aware_attack(fast_config(), 99).unwrap();
+        assert!(attack.generate(&mut net, &image, 1).is_err());
+    }
+
+    #[test]
+    fn default_objective_is_standard() {
+        assert!(matches!(
+            AdaptiveObjective::default(),
+            AdaptiveObjective::Standard
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+use blurnet_data::DataError;
+use blurnet_nn::NnError;
+use blurnet_signal::SignalError;
+use blurnet_tensor::TensorError;
+
+/// Errors produced while configuring or running attacks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// An attack hyper-parameter was invalid.
+    BadConfig(String),
+    /// The victim model or input had an unexpected shape.
+    BadInput(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying network operation failed.
+    Network(NnError),
+    /// An underlying signal-processing operation failed.
+    Signal(SignalError),
+    /// An underlying dataset operation failed.
+    Data(DataError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::BadConfig(msg) => write!(f, "bad attack configuration: {msg}"),
+            AttackError::BadInput(msg) => write!(f, "bad attack input: {msg}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::Network(e) => write!(f, "network error: {e}"),
+            AttackError::Signal(e) => write!(f, "signal error: {e}"),
+            AttackError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Tensor(e) => Some(e),
+            AttackError::Network(e) => Some(e),
+            AttackError::Signal(e) => Some(e),
+            AttackError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Network(e)
+    }
+}
+
+impl From<SignalError> for AttackError {
+    fn from(e: SignalError) -> Self {
+        AttackError::Signal(e)
+    }
+}
+
+impl From<DataError> for AttackError {
+    fn from(e: DataError) -> Self {
+        AttackError::Data(e)
+    }
+}

@@ -1,0 +1,183 @@
+//! Attack evaluation metrics: success rates and dissimilarity distances.
+
+use blurnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{AttackError, Result};
+
+/// Summary of one attack evaluation over a set of images.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackEvaluation {
+    /// Fraction of images for which the attack achieved its goal.
+    pub success_rate: f32,
+    /// Mean relative L2 dissimilarity `‖x − x_adv‖₂ / ‖x‖₂`.
+    pub l2_dissimilarity: f32,
+    /// Number of images evaluated.
+    pub count: usize,
+}
+
+impl AttackEvaluation {
+    /// Combines per-image success flags and dissimilarities into a summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadInput`] if the slices are empty or of
+    /// different lengths.
+    pub fn from_parts(successes: &[bool], dissimilarities: &[f32]) -> Result<Self> {
+        if successes.is_empty() || successes.len() != dissimilarities.len() {
+            return Err(AttackError::BadInput(format!(
+                "inconsistent evaluation sizes: {} successes, {} dissimilarities",
+                successes.len(),
+                dissimilarities.len()
+            )));
+        }
+        let success_rate =
+            successes.iter().filter(|&&s| s).count() as f32 / successes.len() as f32;
+        let l2 = dissimilarities.iter().sum::<f32>() / dissimilarities.len() as f32;
+        Ok(AttackEvaluation {
+            success_rate,
+            l2_dissimilarity: l2,
+            count: successes.len(),
+        })
+    }
+}
+
+/// Relative L2 dissimilarity `‖x − x_adv‖₂ / ‖x‖₂` between one clean image
+/// and its adversarial counterpart (Section II-A of the paper).
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadInput`] if the shapes differ or the clean image
+/// has zero norm.
+pub fn l2_dissimilarity(clean: &Tensor, adversarial: &Tensor) -> Result<f32> {
+    let diff = clean
+        .sub(adversarial)
+        .map_err(|e| AttackError::BadInput(format!("shape mismatch: {e}")))?;
+    let denom = clean.l2_norm();
+    if denom == 0.0 {
+        return Err(AttackError::BadInput(
+            "clean image has zero norm; dissimilarity undefined".into(),
+        ));
+    }
+    Ok(diff.l2_norm() / denom)
+}
+
+/// Mean [`l2_dissimilarity`] over paired sets of images.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadInput`] for empty or mismatched sets.
+pub fn mean_l2_dissimilarity(clean: &[Tensor], adversarial: &[Tensor]) -> Result<f32> {
+    if clean.is_empty() || clean.len() != adversarial.len() {
+        return Err(AttackError::BadInput(format!(
+            "mismatched sets: {} clean vs {} adversarial",
+            clean.len(),
+            adversarial.len()
+        )));
+    }
+    let mut acc = 0.0;
+    for (c, a) in clean.iter().zip(adversarial.iter()) {
+        acc += l2_dissimilarity(c, a)?;
+    }
+    Ok(acc / clean.len() as f32)
+}
+
+/// Untargeted attack success rate: the fraction of predictions that the
+/// attack changed, `1/N Σ 1[F(x) ≠ F(x_adv)]`.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadInput`] for empty or mismatched sets.
+pub fn untargeted_success_rate(clean_preds: &[usize], adv_preds: &[usize]) -> Result<f32> {
+    if clean_preds.is_empty() || clean_preds.len() != adv_preds.len() {
+        return Err(AttackError::BadInput(format!(
+            "mismatched prediction sets: {} vs {}",
+            clean_preds.len(),
+            adv_preds.len()
+        )));
+    }
+    let changed = clean_preds
+        .iter()
+        .zip(adv_preds.iter())
+        .filter(|(c, a)| c != a)
+        .count();
+    Ok(changed as f32 / clean_preds.len() as f32)
+}
+
+/// Targeted attack success rate: the fraction of adversarial predictions
+/// equal to the attacker's target class.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadInput`] for an empty prediction set.
+pub fn targeted_success_rate(adv_preds: &[usize], target: usize) -> Result<f32> {
+    if adv_preds.is_empty() {
+        return Err(AttackError::BadInput("no predictions to evaluate".into()));
+    }
+    let hits = adv_preds.iter().filter(|&&p| p == target).count();
+    Ok(hits as f32 / adv_preds.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dissimilarity_of_identical_images_is_zero() {
+        let x = Tensor::full(&[3, 4, 4], 0.5);
+        assert_eq!(l2_dissimilarity(&x, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dissimilarity_scales_with_perturbation() {
+        let x = Tensor::full(&[3, 4, 4], 0.5);
+        let small = x.map(|v| v + 0.01);
+        let large = x.map(|v| v + 0.1);
+        let d_small = l2_dissimilarity(&x, &small).unwrap();
+        let d_large = l2_dissimilarity(&x, &large).unwrap();
+        assert!(d_large > 5.0 * d_small);
+        assert!((d_large - 0.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dissimilarity_error_cases() {
+        let x = Tensor::zeros(&[3, 4, 4]);
+        let y = Tensor::zeros(&[3, 4, 5]);
+        assert!(l2_dissimilarity(&x, &y).is_err());
+        assert!(l2_dissimilarity(&x, &x).is_err()); // zero-norm clean image
+    }
+
+    #[test]
+    fn mean_dissimilarity_averages() {
+        let a = Tensor::full(&[4], 1.0);
+        let b1 = a.map(|v| v + 0.1);
+        let b2 = a.map(|v| v + 0.3);
+        let mean = mean_l2_dissimilarity(&[a.clone(), a.clone()], &[b1, b2]).unwrap();
+        assert!((mean - 0.2).abs() < 1e-5);
+        assert!(mean_l2_dissimilarity(&[], &[]).is_err());
+        assert!(mean_l2_dissimilarity(&[a.clone()], &[]).is_err());
+    }
+
+    #[test]
+    fn success_rates() {
+        assert_eq!(
+            untargeted_success_rate(&[1, 2, 3, 4], &[1, 0, 3, 0]).unwrap(),
+            0.5
+        );
+        assert_eq!(targeted_success_rate(&[5, 5, 2, 5], 5).unwrap(), 0.75);
+        assert!(untargeted_success_rate(&[], &[]).is_err());
+        assert!(untargeted_success_rate(&[1], &[1, 2]).is_err());
+        assert!(targeted_success_rate(&[], 0).is_err());
+    }
+
+    #[test]
+    fn evaluation_from_parts() {
+        let eval =
+            AttackEvaluation::from_parts(&[true, false, true, true], &[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert!((eval.success_rate - 0.75).abs() < 1e-6);
+        assert!((eval.l2_dissimilarity - 0.25).abs() < 1e-6);
+        assert_eq!(eval.count, 4);
+        assert!(AttackEvaluation::from_parts(&[], &[]).is_err());
+        assert!(AttackEvaluation::from_parts(&[true], &[0.1, 0.2]).is_err());
+    }
+}

@@ -1,0 +1,645 @@
+//! The Robust Physical Perturbations (RP2) attack.
+//!
+//! RP2 (Eykholt et al.) finds a sticker-like perturbation `δ` constrained to
+//! the sign by a binary mask `M_x`, optimized so that the perturbed sign is
+//! classified as an attacker-chosen target `y*` across a transform ensemble
+//! `T_i` (Eq. 1 of the BlurNet paper):
+//!
+//! ```text
+//! argmin_δ  λ‖M_x · δ‖₂ + NPS + J(f_θ(x + T_i(M_x · δ)), y*)
+//! ```
+//!
+//! The same optimizer loop also powers the adaptive variants of
+//! [`crate::adaptive`] through [`AdaptiveObjective`].
+
+use blurnet_data::{sample_transforms, StickerLayout, Transform};
+use blurnet_nn::{softmax_cross_entropy, Adam, Optimizer, Sequential};
+use blurnet_signal::low_frequency_project;
+use blurnet_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::adaptive::{AdaptiveObjective, FeaturePenaltyKind};
+use crate::metrics::{l2_dissimilarity, targeted_success_rate, AttackEvaluation};
+use crate::{AttackError, Result};
+
+/// A small palette of printable colours used by the non-printability score
+/// (NPS) term; stickers whose colours drift far from every printable colour
+/// are penalized.
+const PRINTABLE_PALETTE: [[f32; 3]; 6] = [
+    [0.05, 0.05, 0.05], // black
+    [0.95, 0.95, 0.95], // white
+    [0.50, 0.50, 0.50], // grey
+    [0.80, 0.10, 0.10], // red
+    [0.95, 0.80, 0.15], // yellow
+    [0.10, 0.10, 0.70], // blue
+];
+
+/// Configuration of an RP2 attack run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rp2Config {
+    /// Weight λ of the mask-norm term (the paper sweeps this; 0.002 is the
+    /// value used for the black-box evaluation).
+    pub lambda: f32,
+    /// Weight of the non-printability score term.
+    pub nps_weight: f32,
+    /// Number of optimization iterations ("epochs" in the paper; 300 there).
+    pub iterations: usize,
+    /// Adam learning rate on the perturbation.
+    pub learning_rate: f32,
+    /// Number of alignment transforms sampled for the ensemble.
+    pub num_transforms: usize,
+    /// Maximum absolute shift (pixels) of the transform ensemble.
+    pub max_shift: i32,
+    /// Brightness jitter of the transform ensemble.
+    pub brightness_jitter: f32,
+    /// Sticker mask layout.
+    pub layout: StickerLayout,
+    /// RNG seed for transform sampling.
+    pub seed: u64,
+    /// Objective modification for adaptive attacks.
+    pub objective: AdaptiveObjective,
+}
+
+impl Default for Rp2Config {
+    fn default() -> Self {
+        Rp2Config {
+            lambda: 0.002,
+            nps_weight: 0.05,
+            iterations: 150,
+            learning_rate: 0.05,
+            num_transforms: 4,
+            max_shift: 2,
+            brightness_jitter: 0.15,
+            layout: StickerLayout::TwoBars,
+            seed: 0,
+            objective: AdaptiveObjective::Standard,
+        }
+    }
+}
+
+/// Output of a single-image RP2 run.
+#[derive(Debug, Clone)]
+pub struct Rp2Result {
+    /// The adversarial image, clamped to `[0, 1]`.
+    pub adversarial: Tensor,
+    /// The effective masked perturbation added to the clean image.
+    pub perturbation: Tensor,
+    /// Classifier loss after every iteration (for convergence diagnostics).
+    pub loss_trace: Vec<f32>,
+}
+
+/// The RP2 attack engine.
+#[derive(Debug, Clone)]
+pub struct Rp2Attack {
+    config: Rp2Config,
+}
+
+impl Rp2Attack {
+    /// Creates an attack from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] for non-positive iteration counts,
+    /// learning rates or transform counts.
+    pub fn new(config: Rp2Config) -> Result<Self> {
+        if config.iterations == 0 {
+            return Err(AttackError::BadConfig("iterations must be non-zero".into()));
+        }
+        if config.learning_rate <= 0.0 {
+            return Err(AttackError::BadConfig(
+                "learning rate must be positive".into(),
+            ));
+        }
+        if config.num_transforms == 0 {
+            return Err(AttackError::BadConfig(
+                "transform ensemble must be non-empty".into(),
+            ));
+        }
+        if config.lambda < 0.0 || config.nps_weight < 0.0 {
+            return Err(AttackError::BadConfig(
+                "regularization weights must be non-negative".into(),
+            ));
+        }
+        Ok(Rp2Attack { config })
+    }
+
+    /// The attack configuration.
+    pub fn config(&self) -> &Rp2Config {
+        &self.config
+    }
+
+    /// Generates an adversarial example for one `[3, H, W]` image targeting
+    /// class `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed inputs or if the victim network
+    /// rejects the image shape.
+    pub fn generate(
+        &self,
+        net: &mut Sequential,
+        image: &Tensor,
+        target: usize,
+    ) -> Result<Rp2Result> {
+        let (c, h, w) = image_dims(image)?;
+        let mask = blurnet_data::sticker_mask(h, w, self.config.layout)?;
+        let mask3 = broadcast_mask(&mask, c)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let transforms = sample_transforms(
+            self.config.num_transforms,
+            self.config.max_shift,
+            self.config.brightness_jitter,
+            &mut rng,
+        );
+
+        let mut delta = Tensor::zeros(image.dims());
+        let mut adam = Adam::new(self.config.learning_rate)?;
+        let mut loss_trace = Vec::with_capacity(self.config.iterations);
+
+        for iter in 0..self.config.iterations {
+            let transform = transforms[iter % transforms.len()];
+            let masked = delta.mul(&mask3)?;
+            let effective = self.project_perturbation(&masked)?;
+            let transformed = transform_perturbation(&effective, transform)?;
+            let raw = image.add(&transformed)?;
+            let x_adv = raw.clamp(0.0, 1.0);
+            let batch = Tensor::stack(&[x_adv.clone()])?;
+
+            // Forward pass; adaptive feature penalties need the activations.
+            let (logits, injections, penalty_value) = self.forward_with_objective(net, &batch)?;
+            let (ce_loss, d_logits) = softmax_cross_entropy(&logits, &[target])?;
+            loss_trace.push(ce_loss + penalty_value);
+
+            let grad_batch = net.backward_with_injection(&d_logits, &injections)?;
+            let mut grad = grad_batch.batch_item(0)?;
+            // Gradient does not flow through the [0, 1] clamp.
+            grad = grad.zip_map(&raw, |g, v| if (0.0..=1.0).contains(&v) { g } else { 0.0 })?;
+            // Adjoint of the alignment transform.
+            grad = transform_perturbation_adjoint(&grad, transform)?;
+            // Adjoint of the DCT projection (it is an orthogonal projector,
+            // hence self-adjoint).
+            grad = self.project_perturbation(&grad)?;
+            // Restrict to the mask.
+            let mut total_grad = grad.mul(&mask3)?;
+
+            // λ‖M·δ‖₂ term.
+            if self.config.lambda > 0.0 {
+                let norm = masked.l2_norm().max(1e-6);
+                total_grad.add_scaled(&masked, self.config.lambda / norm)?;
+            }
+            // Non-printability score on the sticker colours.
+            if self.config.nps_weight > 0.0 {
+                let nps_grad = nps_gradient(&x_adv, &mask)?;
+                total_grad.add_scaled(&nps_grad.mul(&mask3)?, self.config.nps_weight)?;
+            }
+
+            let mut pairs = vec![(&mut delta, &total_grad)];
+            adam.step(&mut pairs)?;
+        }
+
+        let masked = delta.mul(&mask3)?;
+        let effective = self.project_perturbation(&masked)?;
+        let adversarial = image.add(&effective)?.clamp(0.0, 1.0);
+        let perturbation = adversarial.sub(image)?;
+        Ok(Rp2Result {
+            adversarial,
+            perturbation,
+            loss_trace,
+        })
+    }
+
+    /// Generates adversarial examples for a set of images against one target
+    /// class and summarizes the targeted success rate and dissimilarity on
+    /// the victim network itself (white-box evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `images` is empty or generation fails.
+    pub fn evaluate(
+        &self,
+        net: &mut Sequential,
+        images: &[Tensor],
+        target: usize,
+    ) -> Result<AttackEvaluation> {
+        if images.is_empty() {
+            return Err(AttackError::BadInput("no images to attack".into()));
+        }
+        let mut adv_preds = Vec::with_capacity(images.len());
+        let mut dissims = Vec::with_capacity(images.len());
+        for image in images {
+            let result = self.generate(net, image, target)?;
+            let pred = net.predict(&Tensor::stack(&[result.adversarial.clone()])?)?[0];
+            adv_preds.push(pred);
+            dissims.push(l2_dissimilarity(image, &result.adversarial)?);
+        }
+        let success_rate = targeted_success_rate(&adv_preds, target)?;
+        Ok(AttackEvaluation {
+            success_rate,
+            l2_dissimilarity: dissims.iter().sum::<f32>() / dissims.len() as f32,
+            count: images.len(),
+        })
+    }
+
+    /// Generates adversarial examples without evaluating them (used by the
+    /// black-box transfer harness).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `images` is empty or generation fails.
+    pub fn generate_set(
+        &self,
+        net: &mut Sequential,
+        images: &[Tensor],
+        target: usize,
+    ) -> Result<Vec<Tensor>> {
+        if images.is_empty() {
+            return Err(AttackError::BadInput("no images to attack".into()));
+        }
+        images
+            .iter()
+            .map(|img| self.generate(net, img, target).map(|r| r.adversarial))
+            .collect()
+    }
+
+    /// Runs [`Rp2Attack::evaluate`] for every target class in `targets` and
+    /// returns the per-target evaluations (Table II reports the average and
+    /// the worst case over targets).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `targets` is empty or any evaluation fails.
+    pub fn sweep_targets(
+        &self,
+        net: &mut Sequential,
+        images: &[Tensor],
+        targets: &[usize],
+    ) -> Result<TargetSweep> {
+        if targets.is_empty() {
+            return Err(AttackError::BadInput("no attack targets supplied".into()));
+        }
+        let mut per_target = Vec::with_capacity(targets.len());
+        for &target in targets {
+            per_target.push((target, self.evaluate(net, images, target)?));
+        }
+        Ok(TargetSweep { per_target })
+    }
+
+    /// Applies the adaptive low-frequency projection to a perturbation (a
+    /// no-op for the other objectives).
+    fn project_perturbation(&self, perturbation: &Tensor) -> Result<Tensor> {
+        match &self.config.objective {
+            AdaptiveObjective::LowFrequencyDct { dim } => {
+                let (c, h, w) = image_dims(perturbation)?;
+                let mut out = Vec::with_capacity(perturbation.len());
+                for ch in 0..c {
+                    let map = perturbation.channel(ch)?;
+                    let projected = low_frequency_project(&map, *dim)?;
+                    out.extend_from_slice(projected.data());
+                }
+                Ok(Tensor::from_vec(out, &[c, h, w])?)
+            }
+            _ => Ok(perturbation.clone()),
+        }
+    }
+
+    /// Forward pass plus, for feature-penalty objectives, the activation
+    /// gradient injection and penalty value that implement Eq. 9–11.
+    fn forward_with_objective(
+        &self,
+        net: &mut Sequential,
+        batch: &Tensor,
+    ) -> Result<(Tensor, Vec<(usize, Tensor)>, f32)> {
+        match &self.config.objective {
+            AdaptiveObjective::FeaturePenalty {
+                layer_index,
+                kind,
+                weight,
+            } => {
+                let (logits, activations) = net.forward_collect(batch, false)?;
+                let feature = activations.get(*layer_index).ok_or_else(|| {
+                    AttackError::BadConfig(format!(
+                        "feature layer index {layer_index} out of range"
+                    ))
+                })?;
+                let (value, grad) = feature_penalty(kind, feature)?;
+                Ok((
+                    logits,
+                    vec![(*layer_index, grad.scale(*weight))],
+                    value * weight,
+                ))
+            }
+            _ => Ok((net.forward(batch, false)?, Vec::new(), 0.0)),
+        }
+    }
+}
+
+/// Per-target evaluations from [`Rp2Attack::sweep_targets`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetSweep {
+    /// `(target class, evaluation)` pairs.
+    pub per_target: Vec<(usize, AttackEvaluation)>,
+}
+
+impl TargetSweep {
+    /// Average targeted success rate across all swept targets.
+    pub fn average_success_rate(&self) -> f32 {
+        if self.per_target.is_empty() {
+            return 0.0;
+        }
+        self.per_target.iter().map(|(_, e)| e.success_rate).sum::<f32>()
+            / self.per_target.len() as f32
+    }
+
+    /// Worst-case (maximum) targeted success rate across targets.
+    pub fn worst_success_rate(&self) -> f32 {
+        self.per_target
+            .iter()
+            .map(|(_, e)| e.success_rate)
+            .fold(0.0, f32::max)
+    }
+
+    /// Mean L2 dissimilarity across targets.
+    pub fn mean_l2_dissimilarity(&self) -> f32 {
+        if self.per_target.is_empty() {
+            return 0.0;
+        }
+        self.per_target
+            .iter()
+            .map(|(_, e)| e.l2_dissimilarity)
+            .sum::<f32>()
+            / self.per_target.len() as f32
+    }
+}
+
+/// Computes the value and activation-gradient of an adaptive feature
+/// penalty.
+pub(crate) fn feature_penalty(
+    kind: &FeaturePenaltyKind,
+    feature: &Tensor,
+) -> Result<(f32, Tensor)> {
+    match kind {
+        FeaturePenaltyKind::TotalVariation => Ok((
+            blurnet_signal::total_variation_batch(feature)?,
+            blurnet_signal::tv_gradient_batch(feature)?,
+        )),
+        FeaturePenaltyKind::Operator(penalty) => Ok((
+            penalty.value_batch(feature)?,
+            penalty.grad_batch(feature)?,
+        )),
+    }
+}
+
+fn image_dims(image: &Tensor) -> Result<(usize, usize, usize)> {
+    if image.shape().rank() != 3 {
+        return Err(AttackError::BadInput(format!(
+            "expected a [C, H, W] image, got {}",
+            image.shape()
+        )));
+    }
+    Ok((image.dims()[0], image.dims()[1], image.dims()[2]))
+}
+
+fn broadcast_mask(mask: &Tensor, channels: usize) -> Result<Tensor> {
+    let (h, w) = (mask.dims()[0], mask.dims()[1]);
+    let mut data = Vec::with_capacity(channels * h * w);
+    for _ in 0..channels {
+        data.extend_from_slice(mask.data());
+    }
+    Ok(Tensor::from_vec(data, &[channels, h, w])?)
+}
+
+/// Applies an alignment transform to a perturbation: integer shift with
+/// zero fill plus brightness scaling (no clamping — the perturbation is a
+/// signed quantity).
+pub(crate) fn transform_perturbation(perturbation: &Tensor, t: Transform) -> Result<Tensor> {
+    let (c, h, w) = image_dims(perturbation)?;
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let src = perturbation.data();
+    let dst = out.data_mut();
+    for ch in 0..c {
+        for y in 0..h {
+            let sy = y as i32 - t.dy;
+            if sy < 0 || sy >= h as i32 {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as i32 - t.dx;
+                if sx < 0 || sx >= w as i32 {
+                    continue;
+                }
+                dst[ch * h * w + y * w + x] =
+                    src[ch * h * w + sy as usize * w + sx as usize] * t.brightness;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adjoint of [`transform_perturbation`]: the reverse shift with the same
+/// brightness factor. Needed to map input-space gradients back onto the
+/// untransformed perturbation.
+pub(crate) fn transform_perturbation_adjoint(grad: &Tensor, t: Transform) -> Result<Tensor> {
+    transform_perturbation(
+        grad,
+        Transform {
+            dx: -t.dx,
+            dy: -t.dy,
+            brightness: t.brightness,
+        },
+    )
+}
+
+/// Gradient of the non-printability score with respect to the image pixels
+/// inside the mask.
+fn nps_gradient(image: &Tensor, mask: &Tensor) -> Result<Tensor> {
+    let (c, h, w) = image_dims(image)?;
+    if c != 3 {
+        // NPS is defined over RGB triples; for other channel counts skip it.
+        return Ok(Tensor::zeros(image.dims()));
+    }
+    let mut grad = Tensor::zeros(image.dims());
+    let data = image.data();
+    let g = grad.data_mut();
+    for y in 0..h {
+        for x in 0..w {
+            if mask.get(&[y, x])? < 0.5 {
+                continue;
+            }
+            let pixel = [
+                data[y * w + x],
+                data[h * w + y * w + x],
+                data[2 * h * w + y * w + x],
+            ];
+            // distances to every printable colour
+            let dists: Vec<f32> = PRINTABLE_PALETTE
+                .iter()
+                .map(|p| {
+                    ((pixel[0] - p[0]).powi(2)
+                        + (pixel[1] - p[1]).powi(2)
+                        + (pixel[2] - p[2]).powi(2))
+                    .sqrt()
+                    .max(1e-4)
+                })
+                .collect();
+            let product: f32 = dists.iter().product();
+            for (j, p) in PRINTABLE_PALETTE.iter().enumerate() {
+                let coeff = product / dists[j] / dists[j];
+                for ch in 0..3 {
+                    g[ch * h * w + y * w + x] += coeff * (pixel[ch] - p[ch]);
+                }
+            }
+        }
+    }
+    Ok(grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blurnet_data::{DatasetConfig, SignDataset, STOP_CLASS_ID};
+    use blurnet_nn::LisaCnn;
+
+    fn tiny_net_and_data() -> (Sequential, SignDataset) {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = LisaCnn::new(18)
+            .input_size(16)
+            .conv1_filters(4)
+            .build(&mut rng)
+            .unwrap();
+        let mut cfg = DatasetConfig::tiny();
+        cfg.image_size = 16;
+        let data = SignDataset::generate(&cfg, 1).unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Rp2Attack::new(Rp2Config {
+            iterations: 0,
+            ..Rp2Config::default()
+        })
+        .is_err());
+        assert!(Rp2Attack::new(Rp2Config {
+            learning_rate: 0.0,
+            ..Rp2Config::default()
+        })
+        .is_err());
+        assert!(Rp2Attack::new(Rp2Config {
+            num_transforms: 0,
+            ..Rp2Config::default()
+        })
+        .is_err());
+        assert!(Rp2Attack::new(Rp2Config {
+            lambda: -1.0,
+            ..Rp2Config::default()
+        })
+        .is_err());
+        assert!(Rp2Attack::new(Rp2Config::default()).is_ok());
+    }
+
+    #[test]
+    fn perturbation_stays_inside_the_mask() {
+        let (mut net, data) = tiny_net_and_data();
+        let attack = Rp2Attack::new(Rp2Config {
+            iterations: 5,
+            ..Rp2Config::default()
+        })
+        .unwrap();
+        let image = &data.stop_eval_images()[0];
+        let result = attack.generate(&mut net, image, 0).unwrap();
+        assert_eq!(result.adversarial.dims(), image.dims());
+        assert_eq!(result.loss_trace.len(), 5);
+        // All perturbed pixels must lie within the sticker mask.
+        let mask = blurnet_data::sticker_mask(16, 16, StickerLayout::TwoBars).unwrap();
+        for ch in 0..3 {
+            for y in 0..16 {
+                for x in 0..16 {
+                    let p = result.perturbation.get(&[ch, y, x]).unwrap();
+                    if mask.get(&[y, x]).unwrap() < 0.5 {
+                        assert_eq!(p, 0.0, "perturbation escaped the mask at {ch},{y},{x}");
+                    }
+                }
+            }
+        }
+        // Adversarial image is a valid image.
+        assert!(result.adversarial.min().unwrap() >= 0.0);
+        assert!(result.adversarial.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn attack_reduces_target_loss() {
+        let (mut net, data) = tiny_net_and_data();
+        let attack = Rp2Attack::new(Rp2Config {
+            iterations: 40,
+            nps_weight: 0.0,
+            lambda: 0.0,
+            num_transforms: 1,
+            ..Rp2Config::default()
+        })
+        .unwrap();
+        let image = &data.stop_eval_images()[0];
+        let target = 3usize;
+        let result = attack.generate(&mut net, image, target).unwrap();
+        let first = result.loss_trace.first().copied().unwrap();
+        let last = result.loss_trace.last().copied().unwrap();
+        assert!(
+            last < first,
+            "target loss should decrease: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn evaluate_and_sweep_produce_bounded_rates() {
+        let (mut net, data) = tiny_net_and_data();
+        let attack = Rp2Attack::new(Rp2Config {
+            iterations: 3,
+            ..Rp2Config::default()
+        })
+        .unwrap();
+        let images: Vec<Tensor> = data.stop_eval_images()[..2].to_vec();
+        let eval = attack.evaluate(&mut net, &images, 1).unwrap();
+        assert!((0.0..=1.0).contains(&eval.success_rate));
+        assert!(eval.l2_dissimilarity >= 0.0);
+        assert_eq!(eval.count, 2);
+
+        let sweep = attack.sweep_targets(&mut net, &images, &[0, 1]).unwrap();
+        assert_eq!(sweep.per_target.len(), 2);
+        assert!(sweep.worst_success_rate() >= sweep.average_success_rate());
+        assert!(sweep.mean_l2_dissimilarity() >= 0.0);
+        assert!(attack.sweep_targets(&mut net, &images, &[]).is_err());
+        assert!(attack.evaluate(&mut net, &[], STOP_CLASS_ID).is_err());
+    }
+
+    #[test]
+    fn transform_adjoint_is_consistent() {
+        // <T(x), y> == <x, T^T(y)> for random-ish tensors.
+        let x = Tensor::from_vec((0..27).map(|v| v as f32 * 0.1).collect(), &[3, 3, 3]).unwrap();
+        let y = Tensor::from_vec((0..27).map(|v| (v as f32 * 0.07).sin()).collect(), &[3, 3, 3])
+            .unwrap();
+        let t = Transform {
+            dx: 1,
+            dy: -1,
+            brightness: 1.2,
+        };
+        let lhs = transform_perturbation(&x, t).unwrap().dot(&y).unwrap();
+        let rhs = x
+            .dot(&transform_perturbation_adjoint(&y, t).unwrap())
+            .unwrap();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn rejects_bad_image_rank() {
+        let (mut net, _) = tiny_net_and_data();
+        let attack = Rp2Attack::new(Rp2Config {
+            iterations: 1,
+            ..Rp2Config::default()
+        })
+        .unwrap();
+        assert!(attack
+            .generate(&mut net, &Tensor::zeros(&[16, 16]), 0)
+            .is_err());
+    }
+}

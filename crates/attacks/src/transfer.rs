@@ -1,0 +1,174 @@
+//! Black-box transfer evaluation (Table I of the paper).
+//!
+//! Adversarial examples are generated on a surrogate (the undefended
+//! baseline network) and then evaluated on a defended victim that the
+//! attacker cannot introspect. Victims are anything that can classify a
+//! single image — a plain network, a network behind input filtering, or a
+//! randomized-smoothing wrapper — expressed through the [`Classifier`]
+//! trait.
+
+use blurnet_nn::Sequential;
+use blurnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{l2_dissimilarity, untargeted_success_rate};
+use crate::{AttackError, Result};
+
+/// Anything that can classify a single `[C, H, W]` image.
+///
+/// The mutable receiver allows implementations that run a network forward
+/// pass (which caches activations) or sample randomness.
+pub trait Classifier {
+    /// Predicts the class of one image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image shape is incompatible with the model.
+    fn classify(&mut self, image: &Tensor) -> Result<usize>;
+}
+
+impl Classifier for Sequential {
+    fn classify(&mut self, image: &Tensor) -> Result<usize> {
+        let batch = Tensor::stack(&[image.clone()])?;
+        Ok(self.predict(&batch)?[0])
+    }
+}
+
+/// Result of a black-box transfer evaluation against one victim.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Victim accuracy on the clean evaluation images.
+    pub clean_accuracy: f32,
+    /// Fraction of images whose victim prediction the transferred
+    /// adversarial examples changed.
+    pub attack_success_rate: f32,
+    /// Mean relative L2 dissimilarity of the transferred examples.
+    pub l2_dissimilarity: f32,
+    /// Number of evaluated images.
+    pub count: usize,
+}
+
+/// Evaluates transferred adversarial examples against a victim classifier.
+///
+/// `clean` and `adversarial` must be index-aligned; `labels` are the true
+/// classes of the clean images (used for the victim's clean accuracy).
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadInput`] for empty or mismatched sets.
+pub fn evaluate_transfer<C: Classifier + ?Sized>(
+    victim: &mut C,
+    clean: &[Tensor],
+    adversarial: &[Tensor],
+    labels: &[usize],
+) -> Result<TransferReport> {
+    if clean.is_empty() || clean.len() != adversarial.len() || clean.len() != labels.len() {
+        return Err(AttackError::BadInput(format!(
+            "mismatched transfer sets: {} clean, {} adversarial, {} labels",
+            clean.len(),
+            adversarial.len(),
+            labels.len()
+        )));
+    }
+    let mut clean_preds = Vec::with_capacity(clean.len());
+    let mut adv_preds = Vec::with_capacity(clean.len());
+    let mut dissims = Vec::with_capacity(clean.len());
+    let mut correct = 0usize;
+    for ((c, a), &label) in clean.iter().zip(adversarial.iter()).zip(labels.iter()) {
+        let cp = victim.classify(c)?;
+        let ap = victim.classify(a)?;
+        if cp == label {
+            correct += 1;
+        }
+        clean_preds.push(cp);
+        adv_preds.push(ap);
+        dissims.push(l2_dissimilarity(c, a)?);
+    }
+    Ok(TransferReport {
+        clean_accuracy: correct as f32 / clean.len() as f32,
+        attack_success_rate: untargeted_success_rate(&clean_preds, &adv_preds)?,
+        l2_dissimilarity: dissims.iter().sum::<f32>() / dissims.len() as f32,
+        count: clean.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A classifier stub with scripted outputs.
+    struct Scripted {
+        outputs: Vec<usize>,
+        cursor: usize,
+    }
+
+    impl Classifier for Scripted {
+        fn classify(&mut self, _image: &Tensor) -> Result<usize> {
+            let out = self.outputs[self.cursor % self.outputs.len()];
+            self.cursor += 1;
+            Ok(out)
+        }
+    }
+
+    fn images(n: usize, value: f32) -> Vec<Tensor> {
+        (0..n).map(|_| Tensor::full(&[3, 4, 4], value)).collect()
+    }
+
+    #[test]
+    fn report_reflects_scripted_predictions() {
+        // Victim alternates clean/adv predictions: clean=0 (correct),
+        // adv=1 (changed) for both images.
+        let mut victim = Scripted {
+            outputs: vec![0, 1, 0, 1],
+            cursor: 0,
+        };
+        let clean = images(2, 0.5);
+        let adv = images(2, 0.6);
+        let report = evaluate_transfer(&mut victim, &clean, &adv, &[0, 0]).unwrap();
+        assert_eq!(report.clean_accuracy, 1.0);
+        assert_eq!(report.attack_success_rate, 1.0);
+        assert!(report.l2_dissimilarity > 0.0);
+        assert_eq!(report.count, 2);
+    }
+
+    #[test]
+    fn unchanged_predictions_mean_no_success() {
+        let mut victim = Scripted {
+            outputs: vec![3],
+            cursor: 0,
+        };
+        let clean = images(3, 0.5);
+        let adv = images(3, 0.55);
+        let report = evaluate_transfer(&mut victim, &clean, &adv, &[3, 3, 0]).unwrap();
+        assert_eq!(report.attack_success_rate, 0.0);
+        assert!((report.clean_accuracy - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut victim = Scripted {
+            outputs: vec![0],
+            cursor: 0,
+        };
+        let clean = images(2, 0.5);
+        let adv = images(1, 0.6);
+        assert!(evaluate_transfer(&mut victim, &clean, &adv, &[0, 0]).is_err());
+        assert!(evaluate_transfer(&mut victim, &[], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn sequential_implements_classifier() {
+        use blurnet_nn::LisaCnn;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = LisaCnn::new(18)
+            .input_size(16)
+            .conv1_filters(4)
+            .build(&mut rng)
+            .unwrap();
+        let image = Tensor::full(&[3, 16, 16], 0.5);
+        let pred = net.classify(&image).unwrap();
+        assert!(pred < 18);
+    }
+}

@@ -1,0 +1,41 @@
+//! Benchmarks the Figure 1 kernel: log-magnitude spectra and band-energy
+//! summaries of clean and perturbed stop signs.
+
+use blurnet_data::{DatasetConfig, SignDataset, StickerLayout};
+use blurnet_signal::{high_frequency_ratio, log_magnitude_spectrum};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig1(c: &mut Criterion) {
+    let data = SignDataset::generate(&DatasetConfig::tiny(), 6).unwrap();
+    let image = data.stop_eval_images()[0].clone();
+    // Mean over channels, plus a sticker-shaped perturbation.
+    let gray = image
+        .channel(0)
+        .unwrap()
+        .add(&image.channel(1).unwrap())
+        .unwrap()
+        .add(&image.channel(2).unwrap())
+        .unwrap()
+        .scale(1.0 / 3.0);
+    let mask = blurnet_data::sticker_mask(32, 32, StickerLayout::TwoBars).unwrap();
+    let perturbed = gray
+        .add(&mask.scale(0.6))
+        .unwrap()
+        .clamp(0.0, 1.0);
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20);
+    group.bench_function("log_spectrum_clean", |b| {
+        b.iter(|| log_magnitude_spectrum(&gray).unwrap());
+    });
+    group.bench_function("log_spectrum_perturbed", |b| {
+        b.iter(|| log_magnitude_spectrum(&perturbed).unwrap());
+    });
+    group.bench_function("band_energy_ratio", |b| {
+        b.iter(|| high_frequency_ratio(&perturbed, 0.5).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

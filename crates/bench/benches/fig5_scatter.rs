@@ -1,0 +1,47 @@
+//! Benchmarks the Figures 5–6 kernel: a per-target white-box RP2
+//! evaluation point (generate + classify + dissimilarity) on a reduced
+//! model.
+
+use blurnet_attacks::{l2_dissimilarity, Rp2Attack, Rp2Config};
+use blurnet_data::{DatasetConfig, SignDataset};
+use blurnet_nn::LisaCnn;
+use blurnet_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let mut net = LisaCnn::new(18)
+        .input_size(16)
+        .conv1_filters(4)
+        .build(&mut rng)
+        .unwrap();
+    let mut cfg = DatasetConfig::tiny();
+    cfg.image_size = 16;
+    let data = SignDataset::generate(&cfg, 10).unwrap();
+    let image = data.stop_eval_images()[0].clone();
+    let attack = Rp2Attack::new(Rp2Config {
+        iterations: 5,
+        num_transforms: 2,
+        ..Rp2Config::default()
+    })
+    .unwrap();
+
+    let mut group = c.benchmark_group("fig5_6");
+    group.sample_size(10);
+    group.bench_function("per_target_scatter_point", |b| {
+        b.iter(|| {
+            let result = attack.generate(&mut net, &image, 4).unwrap();
+            let pred = net
+                .predict(&Tensor::stack(&[result.adversarial.clone()]).unwrap())
+                .unwrap()[0];
+            let dissim = l2_dissimilarity(&image, &result.adversarial).unwrap();
+            (pred, dissim)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

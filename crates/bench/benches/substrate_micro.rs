@@ -1,0 +1,67 @@
+//! Micro-benchmarks for the numeric substrates every experiment rests on:
+//! convolution, matrix multiply, FFT/DCT, blurring and the regularizer
+//! kernels.
+
+use blurnet_nn::LisaCnn;
+use blurnet_signal::{box_kernel, dct2d, fft2d_magnitude, total_variation_batch, OperatorPenalty};
+use blurnet_signal::blur_batch;
+use blurnet_tensor::{conv2d, matmul, ConvSpec, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+
+    let a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    group.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| matmul(&a, &b).unwrap());
+    });
+
+    let input = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform(&[8, 3, 5, 5], -0.5, 0.5, &mut rng);
+    group.bench_function("conv2d_32x32_8f", |bench| {
+        bench.iter(|| conv2d(&input, &weight, None, ConvSpec::new(2, 2).unwrap()).unwrap());
+    });
+
+    let image = Tensor::rand_uniform(&[32, 32], 0.0, 1.0, &mut rng);
+    group.bench_function("fft2d_32x32", |bench| {
+        bench.iter(|| fft2d_magnitude(&image).unwrap());
+    });
+    group.bench_function("dct2d_32x32", |bench| {
+        bench.iter(|| dct2d(&image).unwrap());
+    });
+
+    let feature_maps = Tensor::rand_uniform(&[1, 8, 16, 16], 0.0, 1.0, &mut rng);
+    group.bench_function("tv_batch_8x16x16", |bench| {
+        bench.iter(|| total_variation_batch(&feature_maps).unwrap());
+    });
+    let penalty = OperatorPenalty::high_frequency(16, 3).unwrap();
+    group.bench_function("tikhonov_hf_batch_8x16x16", |bench| {
+        bench.iter(|| penalty.value_batch(&feature_maps).unwrap());
+    });
+    let kernel = box_kernel(5);
+    group.bench_function("blur5x5_batch_8x16x16", |bench| {
+        bench.iter(|| blur_batch(&feature_maps, &kernel).unwrap());
+    });
+
+    let mut net = LisaCnn::new(18).build(&mut rng).unwrap();
+    let batch = Tensor::rand_uniform(&[4, 3, 32, 32], 0.0, 1.0, &mut rng);
+    group.bench_function("lisacnn_forward_batch4", |bench| {
+        bench.iter(|| net.forward(&batch, false).unwrap());
+    });
+    group.bench_function("lisacnn_forward_backward_batch4", |bench| {
+        bench.iter(|| {
+            let out = net.forward(&batch, true).unwrap();
+            net.zero_grads();
+            net.backward(&Tensor::ones(out.dims())).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks the Table I kernel: RP2 generation on the surrogate plus
+//! transfer evaluation against an input-filtered and a feature-filtered
+//! victim, at a reduced (16×16, few-iteration) size.
+
+use blurnet_attacks::{evaluate_transfer, Rp2Attack, Rp2Config};
+use blurnet_data::{DatasetConfig, SignDataset, STOP_CLASS_ID};
+use blurnet_defenses::{DefendedModel, DefenseKind, TrainingReport};
+use blurnet_nn::LisaCnn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let builder = LisaCnn::new(18).input_size(16).conv1_filters(4);
+    let net = builder.build(&mut rng).unwrap();
+    let mut surrogate = net.clone();
+    let mut cfg = DatasetConfig::tiny();
+    cfg.image_size = 16;
+    let data = SignDataset::generate(&cfg, 1).unwrap();
+    let images: Vec<_> = data.stop_eval_images()[..2].to_vec();
+    let labels = vec![STOP_CLASS_ID; images.len()];
+    let attack = Rp2Attack::new(Rp2Config {
+        iterations: 5,
+        num_transforms: 2,
+        ..Rp2Config::default()
+    })
+    .unwrap();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("rp2_generate_surrogate", |b| {
+        b.iter(|| attack.generate_set(&mut surrogate, &images, 12).unwrap());
+    });
+
+    let adversarial = attack.generate_set(&mut surrogate, &images, 12).unwrap();
+    let report = TrainingReport {
+        epoch_losses: vec![],
+        test_accuracy: 0.0,
+    };
+    let mut victim = DefendedModel::new(
+        net,
+        DefenseKind::InputFilter { kernel: 3 },
+        builder.config().clone(),
+        report,
+    );
+    group.bench_function("transfer_eval_input_filter", |b| {
+        b.iter(|| evaluate_transfer(&mut victim, &images, &adversarial, &labels).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

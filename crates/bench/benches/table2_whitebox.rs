@@ -1,0 +1,58 @@
+//! Benchmarks the Table II kernel: one white-box RP2 evaluation against a
+//! TV-regularized model, plus one regularized training step.
+
+use blurnet_attacks::{Rp2Attack, Rp2Config};
+use blurnet_data::{DatasetConfig, SignDataset};
+use blurnet_defenses::{DefenseKind, FeatureRegularizer};
+use blurnet_nn::{softmax_cross_entropy, Adam, LisaCnn, Optimizer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let builder = LisaCnn::new(18).input_size(16).conv1_filters(4);
+    let mut net = builder.build(&mut rng).unwrap();
+    let mut cfg = DatasetConfig::tiny();
+    cfg.image_size = 16;
+    let data = SignDataset::generate(&cfg, 2).unwrap();
+    let image = data.stop_eval_images()[0].clone();
+    let attack = Rp2Attack::new(Rp2Config {
+        iterations: 5,
+        num_transforms: 2,
+        ..Rp2Config::default()
+    })
+    .unwrap();
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("whitebox_rp2_single_image", |b| {
+        b.iter(|| attack.generate(&mut net, &image, 3).unwrap());
+    });
+
+    // One TV-regularized training step (the extra cost every Table II row
+    // with a feature regularizer pays per batch).
+    let regularizer = FeatureRegularizer::from_defense(
+        &DefenseKind::TotalVariation { alpha: 1e-4 },
+        builder.config(),
+    )
+    .unwrap();
+    let mut adam = Adam::new(1e-3).unwrap();
+    let mut rng2 = ChaCha8Rng::seed_from_u64(3);
+    let batch = data.train_batches(8, &mut rng2).unwrap().remove(0);
+    group.bench_function("tv_regularized_training_step", |b| {
+        b.iter(|| {
+            net.zero_grads();
+            let (logits, acts) = net.forward_collect(&batch.images, true).unwrap();
+            let (_, d_logits) = softmax_cross_entropy(&logits, &batch.labels).unwrap();
+            let (_, injections) = regularizer.apply(&mut net, &acts).unwrap();
+            net.backward_with_injection(&d_logits, &injections).unwrap();
+            let mut pairs = net.param_grad_pairs();
+            adam.step(&mut pairs).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

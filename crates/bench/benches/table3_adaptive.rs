@@ -1,0 +1,40 @@
+//! Benchmarks the Table III kernel: adaptive RP2 attacks (TV-aware and
+//! low-frequency DCT) on a reduced model.
+
+use blurnet_attacks::adaptive::{low_frequency_attack, tv_aware_attack};
+use blurnet_attacks::Rp2Config;
+use blurnet_data::{DatasetConfig, SignDataset};
+use blurnet_nn::LisaCnn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let builder = LisaCnn::new(18).input_size(16).conv1_filters(4);
+    let mut net = builder.build(&mut rng).unwrap();
+    let mut cfg = DatasetConfig::tiny();
+    cfg.image_size = 16;
+    let data = SignDataset::generate(&cfg, 3).unwrap();
+    let image = data.stop_eval_images()[0].clone();
+    let base = Rp2Config {
+        iterations: 5,
+        num_transforms: 2,
+        ..Rp2Config::default()
+    };
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let tv_attack = tv_aware_attack(base.clone(), builder.config().feature_layer_index()).unwrap();
+    group.bench_function("tv_aware_rp2", |b| {
+        b.iter(|| tv_attack.generate(&mut net, &image, 2).unwrap());
+    });
+    let lf_attack = low_frequency_attack(base, 8).unwrap();
+    group.bench_function("low_frequency_rp2", |b| {
+        b.iter(|| lf_attack.generate(&mut net, &image, 2).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmarks the Table IV kernel: the PGD adversary (ε = 8/255, 10 steps)
+//! against a reduced model.
+
+use blurnet_attacks::{PgdAttack, PgdConfig};
+use blurnet_data::{DatasetConfig, SignDataset, STOP_CLASS_ID};
+use blurnet_nn::LisaCnn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut net = LisaCnn::new(18)
+        .input_size(16)
+        .conv1_filters(4)
+        .build(&mut rng)
+        .unwrap();
+    let mut cfg = DatasetConfig::tiny();
+    cfg.image_size = 16;
+    let data = SignDataset::generate(&cfg, 4).unwrap();
+    let image = data.stop_eval_images()[0].clone();
+    let attack = PgdAttack::new(PgdConfig::default()).unwrap();
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("pgd_10_steps_single_image", |b| {
+        b.iter(|| attack.generate(&mut net, &image, STOP_CLASS_ID).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

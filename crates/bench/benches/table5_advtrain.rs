@@ -1,0 +1,33 @@
+//! Benchmarks the Table V kernel: one adversarial-training batch (PGD
+//! example generation plus the parameter update).
+
+use blurnet_data::{DatasetConfig, SignDataset};
+use blurnet_defenses::{train_defended_model, DefenseKind, TrainConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table5(c: &mut Criterion) {
+    let mut cfg = DatasetConfig::tiny();
+    cfg.image_size = 16;
+    let data = SignDataset::generate(&cfg, 5).unwrap();
+    let defense = DefenseKind::AdversarialTraining {
+        epsilon: 8.0 / 255.0,
+        step_size: 0.05,
+        steps: 2,
+    };
+    let train = TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        learning_rate: 2e-3,
+        seed: 5,
+    };
+
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("adversarial_training_epoch", |b| {
+        b.iter(|| train_defended_model(&defense, &data, &train).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

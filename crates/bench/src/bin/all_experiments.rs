@@ -1,0 +1,42 @@
+//! Runs every table and figure reproduction in one process, sharing the
+//! trained model cache across experiments. This is the binary used to fill
+//! in `EXPERIMENTS.md`.
+
+use blurnet::experiments::{figures, table1, table2, table3, table4, table5};
+
+fn main() {
+    let (scale, mut zoo) = blurnet_bench::zoo_from_env();
+    println!("## BlurNet reproduction — all experiments (scale: {scale})\n");
+
+    let t1 = table1::run(&mut zoo).expect("table I failed");
+    blurnet_bench::print_result(&t1.table(), Some(&table1::Table1::paper_reference()));
+
+    let t2 = table2::run(&mut zoo).expect("table II failed");
+    blurnet_bench::print_result(&t2.table(), Some(&table2::Table2::paper_reference()));
+
+    let t3 = table3::run(&mut zoo).expect("table III failed");
+    blurnet_bench::print_result(&t3.table(), Some(&table3::Table3::paper_reference()));
+
+    let t4 = table4::run(&mut zoo).expect("table IV failed");
+    blurnet_bench::print_result(&t4.table(), Some(&table4::Table4::paper_reference()));
+
+    let t5 = table5::run(&mut zoo).expect("table V failed");
+    blurnet_bench::print_result(&t5.table(), Some(&table5::Table5::paper_reference()));
+
+    let f1 = figures::figure1(&mut zoo).expect("figure 1 failed");
+    blurnet_bench::print_result(&f1.table(), None);
+
+    let f2 = figures::figure2(&mut zoo, 4).expect("figure 2 failed");
+    blurnet_bench::print_result(&f2.table(), None);
+
+    let f3 = figures::figure3(&mut zoo, &[4, 8, 16, 32]).expect("figure 3 failed");
+    blurnet_bench::print_result(&f3.table(), None);
+
+    let f4 = figures::figure4(&mut zoo).expect("figure 4 failed");
+    blurnet_bench::print_result(&f4.table(), None);
+
+    let f56 = figures::figure5_and_6(&mut zoo).expect("figures 5-6 failed");
+    blurnet_bench::print_result(&f56.table(), None);
+
+    eprintln!("# trained models cached: {}", zoo.cached_models());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 3 — adaptive attack success rate vs DCT mask
+//! dimension for the 7×7 depthwise defense.
+
+use blurnet::experiments::figures;
+
+fn main() {
+    let (_, mut zoo) = blurnet_bench::zoo_from_env();
+    let fig = figures::figure3(&mut zoo, &[4, 8, 16, 32]).expect("figure 3 experiment failed");
+    blurnet_bench::print_result(&fig.table(), None);
+}

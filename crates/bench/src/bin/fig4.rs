@@ -1,0 +1,10 @@
+//! Regenerates Figure 4 — second-layer feature maps carry more
+//! high-frequency content than first-layer maps.
+
+use blurnet::experiments::figures;
+
+fn main() {
+    let (_, mut zoo) = blurnet_bench::zoo_from_env();
+    let fig = figures::figure4(&mut zoo).expect("figure 4 experiment failed");
+    blurnet_bench::print_result(&fig.table(), None);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figures 5–6 — per-target ASR vs L2 dissimilarity scatters.
+
+use blurnet::experiments::figures;
+
+fn main() {
+    let (_, mut zoo) = blurnet_bench::zoo_from_env();
+    let fig = figures::figure5_and_6(&mut zoo).expect("figures 5-6 experiment failed");
+    blurnet_bench::print_result(&fig.table(), None);
+}

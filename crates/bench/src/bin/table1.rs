@@ -1,0 +1,10 @@
+//! Regenerates Table I — black-box transfer: input vs feature-map
+//! filtering.
+
+use blurnet::experiments::table1;
+
+fn main() {
+    let (_, mut zoo) = blurnet_bench::zoo_from_env();
+    let result = table1::run(&mut zoo).expect("table I experiment failed");
+    blurnet_bench::print_result(&result.table(), Some(&table1::Table1::paper_reference()));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table II — white-box evaluation of every defense.
+
+use blurnet::experiments::table2;
+
+fn main() {
+    let (_, mut zoo) = blurnet_bench::zoo_from_env();
+    let result = table2::run(&mut zoo).expect("table II experiment failed");
+    blurnet_bench::print_result(&result.table(), Some(&table2::Table2::paper_reference()));
+}

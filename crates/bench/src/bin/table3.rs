@@ -1,0 +1,9 @@
+//! Regenerates Table III — adaptive attack evaluation.
+
+use blurnet::experiments::table3;
+
+fn main() {
+    let (_, mut zoo) = blurnet_bench::zoo_from_env();
+    let result = table3::run(&mut zoo).expect("table III experiment failed");
+    blurnet_bench::print_result(&result.table(), Some(&table3::Table3::paper_reference()));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table IV — PGD (ε = 8/255) breaks every defense.
+
+use blurnet::experiments::table4;
+
+fn main() {
+    let (_, mut zoo) = blurnet_bench::zoo_from_env();
+    let result = table4::run(&mut zoo).expect("table IV experiment failed");
+    blurnet_bench::print_result(&result.table(), Some(&table4::Table4::paper_reference()));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table V — adversarial training vs adaptive adversaries.
+
+use blurnet::experiments::table5;
+
+fn main() {
+    let (_, mut zoo) = blurnet_bench::zoo_from_env();
+    let result = table5::run(&mut zoo).expect("table V experiment failed");
+    blurnet_bench::print_result(&result.table(), Some(&table5::Table5::paper_reference()));
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+use blurnet_attacks::AttackError;
+use blurnet_data::DataError;
+use blurnet_defenses::DefenseError;
+use blurnet_nn::NnError;
+use blurnet_signal::SignalError;
+use blurnet_tensor::TensorError;
+
+/// Top-level error type of the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlurNetError {
+    /// An experiment configuration was invalid.
+    BadConfig(String),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A signal-processing operation failed.
+    Signal(SignalError),
+    /// A network operation failed.
+    Network(NnError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// An attack failed.
+    Attack(AttackError),
+    /// A defense failed to build or train.
+    Defense(DefenseError),
+}
+
+impl fmt::Display for BlurNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlurNetError::BadConfig(msg) => write!(f, "bad experiment configuration: {msg}"),
+            BlurNetError::Tensor(e) => write!(f, "tensor error: {e}"),
+            BlurNetError::Signal(e) => write!(f, "signal error: {e}"),
+            BlurNetError::Network(e) => write!(f, "network error: {e}"),
+            BlurNetError::Data(e) => write!(f, "data error: {e}"),
+            BlurNetError::Attack(e) => write!(f, "attack error: {e}"),
+            BlurNetError::Defense(e) => write!(f, "defense error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlurNetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlurNetError::Tensor(e) => Some(e),
+            BlurNetError::Signal(e) => Some(e),
+            BlurNetError::Network(e) => Some(e),
+            BlurNetError::Data(e) => Some(e),
+            BlurNetError::Attack(e) => Some(e),
+            BlurNetError::Defense(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for BlurNetError {
+            fn from(e: $ty) -> Self {
+                BlurNetError::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Tensor, TensorError);
+from_err!(Signal, SignalError);
+from_err!(Network, NnError);
+from_err!(Data, DataError);
+from_err!(Attack, AttackError);
+from_err!(Defense, DefenseError);

@@ -1,0 +1,160 @@
+//! Reproductions of every table and figure in the paper's evaluation.
+//!
+//! Each submodule exposes a `run(zoo)` function returning a typed result
+//! struct with a [`crate::Table`] rendering. The bench binaries in
+//! `blurnet-bench` print these tables; `EXPERIMENTS.md` records
+//! paper-vs-measured values.
+
+pub mod figures;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use blurnet_attacks::{
+    l2_dissimilarity, targeted_success_rate, AdaptiveObjective, AttackEvaluation,
+    FeaturePenaltyKind, Rp2Attack, Rp2Config,
+};
+use blurnet_attacks::rp2::TargetSweep;
+use blurnet_defenses::{DefendedModel, DefenseKind};
+use blurnet_signal::OperatorPenalty;
+use blurnet_tensor::Tensor;
+
+use crate::{BlurNetError, ModelZoo, Result, Scale};
+
+/// The stop-sign images attacked by an experiment at the given scale.
+pub(crate) fn attack_images(zoo: &ModelZoo) -> Vec<Tensor> {
+    let count = zoo.scale().attack_image_count();
+    zoo.dataset()
+        .stop_eval_images()
+        .iter()
+        .take(count)
+        .cloned()
+        .collect()
+}
+
+/// Runs a targeted RP2 sweep against a defended model, generating the
+/// adversarial examples white-box on the underlying network but judging
+/// success through the model's *defended* prediction path (input filters
+/// and randomized smoothing included).
+pub(crate) fn sweep_defended(
+    model: &mut DefendedModel,
+    attack: &Rp2Attack,
+    images: &[Tensor],
+    targets: &[usize],
+) -> Result<TargetSweep> {
+    if images.is_empty() || targets.is_empty() {
+        return Err(BlurNetError::BadConfig(
+            "sweep needs at least one image and one target".into(),
+        ));
+    }
+    let mut per_target = Vec::with_capacity(targets.len());
+    for &target in targets {
+        let adversarial = attack.generate_set(model.network_mut(), images, target)?;
+        let mut preds = Vec::with_capacity(images.len());
+        let mut dissims = Vec::with_capacity(images.len());
+        for (clean, adv) in images.iter().zip(adversarial.iter()) {
+            preds.push(model.classify_one(adv)?);
+            dissims.push(l2_dissimilarity(clean, adv)?);
+        }
+        per_target.push((
+            target,
+            AttackEvaluation {
+                success_rate: targeted_success_rate(&preds, target)?,
+                l2_dissimilarity: dissims.iter().sum::<f32>() / dissims.len() as f32,
+                count: images.len(),
+            },
+        ));
+    }
+    Ok(TargetSweep { per_target })
+}
+
+/// Builds the adaptive RP2 objective matching a defense (Section V).
+///
+/// Depthwise-filter defenses get the low-frequency DCT attack; the
+/// regularized defenses get their own penalty added to the attacker's
+/// loss. Defenses without a dedicated adaptive attack fall back to the
+/// standard objective.
+pub(crate) fn adaptive_objective_for(
+    defense: &DefenseKind,
+    model: &DefendedModel,
+    dct_dim: usize,
+) -> Result<AdaptiveObjective> {
+    let feature_layer = model.feature_layer_index();
+    let extent = model.feature_map_extent();
+    Ok(match defense {
+        DefenseKind::DepthwiseLinf { .. } | DefenseKind::FeatureFilter { .. } => {
+            AdaptiveObjective::LowFrequencyDct { dim: dct_dim }
+        }
+        DefenseKind::TotalVariation { .. } => AdaptiveObjective::FeaturePenalty {
+            layer_index: feature_layer,
+            kind: FeaturePenaltyKind::TotalVariation,
+            weight: 1.0,
+        },
+        DefenseKind::TikhonovHf { window, .. } => AdaptiveObjective::FeaturePenalty {
+            layer_index: feature_layer,
+            kind: FeaturePenaltyKind::Operator(OperatorPenalty::high_frequency(extent, *window)?),
+            weight: 1.0,
+        },
+        DefenseKind::TikhonovPseudo { .. } => AdaptiveObjective::FeaturePenalty {
+            layer_index: feature_layer,
+            kind: FeaturePenaltyKind::Operator(OperatorPenalty::pseudo_difference(extent, 1e-3)?),
+            weight: 1.0,
+        },
+        _ => AdaptiveObjective::Standard,
+    })
+}
+
+/// Builds the RP2 attack for a scale with the given objective.
+pub(crate) fn rp2_with_objective(scale: Scale, objective: AdaptiveObjective) -> Result<Rp2Attack> {
+    Ok(Rp2Attack::new(Rp2Config {
+        objective,
+        ..scale.rp2_config()
+    })?)
+}
+
+/// The Table II defense roster (in the paper's row order).
+pub(crate) fn table2_defenses(scale: Scale) -> Vec<DefenseKind> {
+    let samples = scale.smoothing_samples();
+    let adv_steps = scale.adv_train_steps();
+    vec![
+        DefenseKind::Baseline,
+        DefenseKind::GaussianAugmentation { sigma: 0.1 },
+        DefenseKind::GaussianAugmentation { sigma: 0.2 },
+        DefenseKind::GaussianAugmentation { sigma: 0.3 },
+        DefenseKind::RandomizedSmoothing { sigma: 0.1, samples },
+        DefenseKind::RandomizedSmoothing { sigma: 0.2, samples },
+        DefenseKind::RandomizedSmoothing { sigma: 0.3, samples },
+        DefenseKind::AdversarialTraining {
+            epsilon: 8.0 / 255.0,
+            step_size: 0.1,
+            steps: adv_steps,
+        },
+        DefenseKind::DepthwiseLinf { kernel: 3, alpha: 1e-5 },
+        DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
+        DefenseKind::DepthwiseLinf { kernel: 7, alpha: 0.1 },
+        DefenseKind::TotalVariation { alpha: 1e-4 },
+        DefenseKind::TotalVariation { alpha: 1e-5 },
+        DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+        DefenseKind::TikhonovPseudo { alpha: 1e-6 },
+    ]
+}
+
+/// The defenses evaluated by the adaptive and PGD tables (Tables III and
+/// IV): the BlurNet defenses proper.
+pub(crate) fn blurnet_defenses(_scale: Scale) -> Vec<DefenseKind> {
+    vec![
+        DefenseKind::DepthwiseLinf { kernel: 3, alpha: 1e-5 },
+        DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
+        DefenseKind::DepthwiseLinf { kernel: 7, alpha: 0.1 },
+        DefenseKind::TotalVariation { alpha: 1e-4 },
+        DefenseKind::TotalVariation { alpha: 1e-5 },
+        DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+        DefenseKind::TikhonovPseudo { alpha: 1e-6 },
+    ]
+}
+
+/// Default DCT mask dimension of the low-frequency adaptive attack
+/// (16 in the paper).
+pub(crate) const DEFAULT_DCT_DIM: usize = 16;

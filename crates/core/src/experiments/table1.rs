@@ -1,0 +1,191 @@
+//! Table I — black-box transfer: filtering the input vs filtering the
+//! first-layer feature maps.
+//!
+//! Adversarial stop signs are generated with RP2 on the undefended
+//! baseline (λ = 0.002) and transferred to victims that share the
+//! baseline's weights but add a blur filter either at the input or on the
+//! first-layer feature maps. The paper's finding: feature-map filtering
+//! (especially 5×5) cuts the transfer success rate far more than input
+//! filtering at the same kernel size, at a modest accuracy cost.
+
+use blurnet_attacks::{evaluate_transfer, Rp2Attack};
+use blurnet_data::STOP_CLASS_ID;
+use blurnet_defenses::{DefendedModel, DefenseKind};
+use blurnet_nn::model::FilterLayer;
+use blurnet_nn::DepthwiseConv2d;
+use blurnet_signal::box_kernel;
+use serde::{Deserialize, Serialize};
+
+use crate::report::pct;
+use crate::{ModelZoo, Result, Table};
+
+/// Target class used when generating the transferred examples
+/// (speedLimit25 — an arbitrary non-stop class, as in the RP2 setup).
+pub const TRANSFER_TARGET: usize = 12;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Victim label (baseline / input filter / feature-map filter).
+    pub defense: String,
+    /// Victim accuracy on the clean stop-sign evaluation images.
+    pub accuracy: f32,
+    /// Fraction of victim predictions the transferred examples changed.
+    pub attack_success_rate: f32,
+}
+
+/// The reproduced Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Renders the result as a printable table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "Table I — black-box transfer (RP2 generated on the baseline)",
+            &["Defense", "Accuracy", "Attack Success Rate"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.defense.clone(),
+                pct(row.accuracy),
+                pct(row.attack_success_rate),
+            ]);
+        }
+        table
+    }
+
+    /// The values reported in the paper, for side-by-side comparison.
+    pub fn paper_reference() -> Table {
+        let mut table = Table::new(
+            "Table I (paper)",
+            &["Defense", "Accuracy", "Attack Success Rate"],
+        );
+        for (d, a, s) in [
+            ("Baseline", "100%", "90%"),
+            ("Input filter 3x3", "100%", "87.5%"),
+            ("Input filter 5x5", "100%", "67.5%"),
+            ("3x3 filter on L1 maps", "100%", "65%"),
+            ("5x5 filter on L1 maps", "87.5%", "17.5%"),
+        ] {
+            table.push_row(vec![d.to_string(), a.to_string(), s.to_string()]);
+        }
+        table
+    }
+}
+
+/// Builds a feature-map-filter victim sharing the baseline's weights: the
+/// trained network with a frozen blur layer inserted after conv1, without
+/// retraining (exactly the Table I setting).
+pub fn feature_filter_victim(baseline: &DefendedModel, kernel: usize) -> Result<DefendedModel> {
+    let mut net = baseline.network().clone();
+    let blur = box_kernel(kernel);
+    let channels = baseline.arch().conv1_filters;
+    net.insert(1, DepthwiseConv2d::fixed_kernel(channels, &blur)?);
+    let mut arch = baseline.arch().clone();
+    arch.filter_layer = FilterLayer::FixedBlur { kernel: blur };
+    Ok(DefendedModel::new(
+        net,
+        DefenseKind::FeatureFilter { kernel },
+        arch,
+        baseline.training_report().clone(),
+    ))
+}
+
+/// Builds an input-filter victim sharing the baseline's weights.
+pub fn input_filter_victim(baseline: &DefendedModel, kernel: usize) -> DefendedModel {
+    DefendedModel::new(
+        baseline.network().clone(),
+        DefenseKind::InputFilter { kernel },
+        baseline.arch().clone(),
+        baseline.training_report().clone(),
+    )
+}
+
+/// Runs the Table I experiment.
+///
+/// # Errors
+///
+/// Propagates training, attack and evaluation errors.
+pub fn run(zoo: &mut ModelZoo) -> Result<Table1> {
+    let scale = zoo.scale();
+    let mut baseline = zoo.get_or_train(&DefenseKind::Baseline)?;
+    let images = super::attack_images(zoo);
+    let labels = vec![STOP_CLASS_ID; images.len()];
+
+    // Surrogate generation on the undefended network.
+    let attack = Rp2Attack::new(scale.rp2_config())?;
+    let adversarial = attack.generate_set(baseline.network_mut(), &images, TRANSFER_TARGET)?;
+
+    let mut victims: Vec<(String, DefendedModel)> = vec![
+        ("Baseline".to_string(), baseline.clone()),
+        (
+            "Input filter 3x3".to_string(),
+            input_filter_victim(&baseline, 3),
+        ),
+        (
+            "Input filter 5x5".to_string(),
+            input_filter_victim(&baseline, 5),
+        ),
+        (
+            "3x3 filter on L1 maps".to_string(),
+            feature_filter_victim(&baseline, 3)?,
+        ),
+        (
+            "5x5 filter on L1 maps".to_string(),
+            feature_filter_victim(&baseline, 5)?,
+        ),
+    ];
+
+    let mut rows = Vec::with_capacity(victims.len());
+    for (label, victim) in victims.iter_mut() {
+        let report = evaluate_transfer(victim, &images, &adversarial, &labels)?;
+        rows.push(Table1Row {
+            defense: label.clone(),
+            accuracy: report.clean_accuracy,
+            attack_success_rate: report.attack_success_rate,
+        });
+    }
+    Ok(Table1 { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn paper_reference_has_five_rows() {
+        assert_eq!(Table1::paper_reference().len(), 5);
+    }
+
+    #[test]
+    fn victims_share_weights_with_the_baseline() {
+        let mut zoo = ModelZoo::new(Scale::Smoke, 9).unwrap();
+        let baseline = zoo.get_or_train(&DefenseKind::Baseline).unwrap();
+        let input = input_filter_victim(&baseline, 3);
+        assert_eq!(
+            input.network().to_bytes().unwrap(),
+            baseline.network().to_bytes().unwrap()
+        );
+        let feature = feature_filter_victim(&baseline, 5).unwrap();
+        assert_eq!(feature.network().len(), baseline.network().len() + 1);
+        assert_eq!(feature.arch().filter_layer_index(), Some(1));
+    }
+
+    #[test]
+    fn smoke_run_produces_all_rows() {
+        let mut zoo = ModelZoo::new(Scale::Smoke, 9).unwrap();
+        let result = run(&mut zoo).unwrap();
+        assert_eq!(result.rows.len(), 5);
+        for row in &result.rows {
+            assert!((0.0..=1.0).contains(&row.accuracy));
+            assert!((0.0..=1.0).contains(&row.attack_success_rate));
+        }
+        let rendered = result.table().to_string();
+        assert!(rendered.contains("5x5 filter on L1 maps"));
+    }
+}

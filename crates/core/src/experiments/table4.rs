@@ -1,0 +1,122 @@
+//! Table IV (supplementary) — PGD breaks every defense.
+//!
+//! Under the standard ε-bounded pixel adversary (ε = 8/255, α = 0.01, 10
+//! steps) all BlurNet defenses fail: the perturbation is no longer a
+//! localized sticker, so smoothing the feature maps cannot remove it. The
+//! paper uses this to argue that defenses must be tailored to a threat
+//! model.
+
+use blurnet_data::STOP_CLASS_ID;
+use blurnet_defenses::DefenseKind;
+use blurnet_attacks::PgdAttack;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{num3, pct};
+use crate::{ModelZoo, Result, Table};
+
+/// One row of Table IV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Defense label.
+    pub defense: String,
+    /// PGD (untargeted) attack success rate.
+    pub attack_success_rate: f32,
+    /// Mean relative L2 dissimilarity of the PGD examples.
+    pub l2_dissimilarity: f32,
+}
+
+/// The reproduced Table IV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table4Row>,
+}
+
+impl Table4 {
+    /// Renders the result as a printable table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "Table IV — PGD evaluation (epsilon = 8/255)",
+            &["Defense", "Attack Success Rate", "L2 Dissimilarity"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.defense.clone(),
+                pct(row.attack_success_rate),
+                num3(row.l2_dissimilarity),
+            ]);
+        }
+        table
+    }
+
+    /// The paper's values for side-by-side comparison.
+    pub fn paper_reference() -> Table {
+        let mut table = Table::new("Table IV (paper)", &["Defense", "ASR", "L2"]);
+        for (d, s, l2) in [
+            ("Baseline", "100%", "0.53"),
+            ("3x3 conv", "100%", "0.512"),
+            ("5x5 conv", "100%", "0.502"),
+            ("7x7 conv", "100%", "0.511"),
+            ("TV (1e-4)", "100%", "0.455"),
+            ("TV (1e-5)", "100%", "0.437"),
+            ("Tik_hf", "100%", "0.464"),
+            ("Tik_pseudo", "100%", "0.443"),
+        ] {
+            table.push_row(vec![d.to_string(), s.to_string(), l2.to_string()]);
+        }
+        table
+    }
+}
+
+/// Runs the PGD evaluation for one defense.
+///
+/// # Errors
+///
+/// Propagates training and attack errors.
+pub fn run_defense(zoo: &mut ModelZoo, defense: &DefenseKind) -> Result<Table4Row> {
+    let scale = zoo.scale();
+    let mut model = zoo.get_or_train(defense)?;
+    let images = super::attack_images(zoo);
+    let labels = vec![STOP_CLASS_ID; images.len()];
+    let attack = PgdAttack::new(scale.pgd_config())?;
+    let eval = attack.evaluate(model.network_mut(), &images, &labels)?;
+    Ok(Table4Row {
+        defense: defense.label(),
+        attack_success_rate: eval.success_rate,
+        l2_dissimilarity: eval.l2_dissimilarity,
+    })
+}
+
+/// Runs the full Table IV experiment (baseline plus the BlurNet defenses).
+///
+/// # Errors
+///
+/// Propagates training and attack errors.
+pub fn run(zoo: &mut ModelZoo) -> Result<Table4> {
+    let mut rows = vec![run_defense(zoo, &DefenseKind::Baseline)?];
+    for defense in super::blurnet_defenses(zoo.scale()) {
+        rows.push(run_defense(zoo, &defense)?);
+    }
+    Ok(Table4 { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn paper_reference_reports_total_break() {
+        let reference = Table4::paper_reference();
+        assert_eq!(reference.len(), 8);
+        assert!(reference.to_string().matches("100%").count() >= 8);
+    }
+
+    #[test]
+    fn pgd_row_runs_at_smoke_scale() {
+        let mut zoo = ModelZoo::new(Scale::Smoke, 17).unwrap();
+        let row = run_defense(&mut zoo, &DefenseKind::Baseline).unwrap();
+        assert!((0.0..=1.0).contains(&row.attack_success_rate));
+        assert!(row.l2_dissimilarity >= 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # BlurNet: defense by filtering the feature maps
+//!
+//! A from-scratch Rust reproduction of *BlurNet: Defense by Filtering the
+//! Feature Maps* (Raju & Lipasti, DSN Workshops 2020).
+//!
+//! The crate is the public facade of the workspace: it re-exports the
+//! substrates (tensor math, signal processing, the CNN framework, the
+//! synthetic LISA dataset, the attacks and the defenses) and adds the
+//! experiment harness that regenerates every table and figure of the
+//! paper's evaluation:
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`experiments::table1`] | Table I — black-box transfer: input vs feature-map filtering |
+//! | [`experiments::table2`] | Table II — white-box evaluation of all defenses |
+//! | [`experiments::table3`] | Table III — adaptive attacks per defense |
+//! | [`experiments::table4`] | Table IV — PGD breaks every defense |
+//! | [`experiments::table5`] | Table V — adversarial training vs adaptive attacks |
+//! | [`experiments::figures`] | Figures 1–6 — spectra, DCT sweep, ASR/L2 scatters |
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use blurnet::{ModelZoo, Scale};
+//! use blurnet_defenses::DefenseKind;
+//!
+//! let mut zoo = ModelZoo::new(Scale::Smoke, 7)?;
+//! let mut model = zoo.get_or_train(&DefenseKind::TotalVariation { alpha: 1e-4 })?;
+//! let accuracy = model.accuracy(&zoo.dataset().test_batch()?)?;
+//! println!("legitimate accuracy: {accuracy:.3}");
+//! # Ok::<(), blurnet::BlurNetError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod experiments;
+pub mod report;
+pub mod scale;
+pub mod zoo;
+
+pub use error::BlurNetError;
+pub use report::Table;
+pub use scale::Scale;
+pub use zoo::ModelZoo;
+
+pub use blurnet_attacks as attacks;
+pub use blurnet_data as data;
+pub use blurnet_defenses as defenses;
+pub use blurnet_nn as nn;
+pub use blurnet_signal as signal;
+pub use blurnet_tensor as tensor;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, BlurNetError>;

@@ -1,0 +1,132 @@
+//! Plain-text table rendering for the reproduced experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered experiment table: a title, column headers and string rows.
+///
+/// Experiment modules produce typed row structs; this is the common
+/// presentation form printed by the bench binaries and written into
+/// `EXPERIMENTS.md`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption (e.g. "Table II — white-box evaluation").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, one `Vec<String>` per row.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table from a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; extra or missing cells are allowed but will render
+    /// ragged.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes the table to JSON (used by the bench binaries' `--json`
+    /// flag).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let columns = self.headers.len().max(
+            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:width$}", width = widths[i]))
+            .collect();
+        writeln!(f, "| {} |", header_line.join(" | "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", rule.join("-|-"))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:width$}", width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            writeln!(f, "| {} |", line.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal place (the paper
+/// reports success rates and accuracies as percentages).
+pub fn pct(value: f32) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+/// Formats a dissimilarity / loss value with three decimal places.
+pub fn num3(value: f32) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_aligns_columns() {
+        let mut table = Table::new("Demo", &["Defense", "ASR"]);
+        table.push_row(vec!["Baseline".into(), pct(0.9)]);
+        table.push_row(vec!["TV (1e-4)".into(), pct(0.175)]);
+        let rendered = table.to_string();
+        assert!(rendered.contains("Demo"));
+        assert!(rendered.contains("| Baseline "));
+        assert!(rendered.contains("90.0%"));
+        assert!(rendered.contains("17.5%"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut table = Table::new("T", &["a"]);
+        table.push_row(vec!["1".into()]);
+        let json = table.to_json();
+        let parsed: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.905), "90.5%");
+        assert_eq!(num3(0.20749), "0.207");
+    }
+}

@@ -1,0 +1,121 @@
+//! The model zoo: a dataset plus a cache of trained defended models.
+//!
+//! Table II alone requires fifteen trained variants, and the adaptive and
+//! PGD evaluations reuse most of them. The zoo trains each
+//! [`DefenseKind`] at most once per process and hands out clones.
+
+use std::collections::HashMap;
+
+use blurnet_data::SignDataset;
+use blurnet_defenses::{train_defended_model, DefendedModel, DefenseKind};
+
+use crate::{Result, Scale};
+
+/// Dataset plus trained-model cache shared by the experiment modules.
+#[derive(Debug)]
+pub struct ModelZoo {
+    scale: Scale,
+    dataset: SignDataset,
+    cache: HashMap<String, DefendedModel>,
+}
+
+impl ModelZoo {
+    /// Generates the dataset for `scale` and an empty model cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-generation errors.
+    pub fn new(scale: Scale, seed: u64) -> Result<Self> {
+        let dataset = SignDataset::generate(&scale.dataset_config(), seed)?;
+        Ok(ModelZoo {
+            scale,
+            dataset,
+            cache: HashMap::new(),
+        })
+    }
+
+    /// The scale profile this zoo was built for.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The shared dataset.
+    pub fn dataset(&self) -> &SignDataset {
+        &self.dataset
+    }
+
+    /// Number of trained models currently cached.
+    pub fn cached_models(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns a trained model for the defense, training it on first use.
+    ///
+    /// The returned model is a clone; callers may freely mutate it (attacks
+    /// need mutable access to the network) without invalidating the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn get_or_train(&mut self, defense: &DefenseKind) -> Result<DefendedModel> {
+        let key = defense.label();
+        if !self.cache.contains_key(&key) {
+            let model = train_defended_model(defense, &self.dataset, &self.scale.train_config())?;
+            self.cache.insert(key.clone(), model);
+        }
+        Ok(self
+            .cache
+            .get(&key)
+            .expect("model inserted above")
+            .clone())
+    }
+
+    /// Inserts an externally-built model (used by Table I, whose filtered
+    /// victims share the baseline's weights rather than being retrained).
+    pub fn insert(&mut self, model: DefendedModel) {
+        self.cache.insert(model.defense().label(), model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_is_cached_per_defense() {
+        let mut zoo = ModelZoo::new(Scale::Smoke, 3).unwrap();
+        assert_eq!(zoo.cached_models(), 0);
+        let a = zoo.get_or_train(&DefenseKind::Baseline).unwrap();
+        assert_eq!(zoo.cached_models(), 1);
+        let b = zoo.get_or_train(&DefenseKind::Baseline).unwrap();
+        assert_eq!(zoo.cached_models(), 1);
+        // Cached copies share the same weights.
+        assert_eq!(
+            a.network().to_bytes().unwrap(),
+            b.network().to_bytes().unwrap()
+        );
+        assert_eq!(zoo.scale(), Scale::Smoke);
+        assert!(zoo.dataset().train_len() > 0);
+    }
+
+    #[test]
+    fn insert_registers_external_models() {
+        let mut zoo = ModelZoo::new(Scale::Smoke, 3).unwrap();
+        let baseline = zoo.get_or_train(&DefenseKind::Baseline).unwrap();
+        let reused = DefendedModel::new(
+            baseline.network().clone(),
+            DefenseKind::InputFilter { kernel: 3 },
+            baseline.arch().clone(),
+            baseline.training_report().clone(),
+        );
+        zoo.insert(reused);
+        assert_eq!(zoo.cached_models(), 2);
+        let fetched = zoo
+            .get_or_train(&DefenseKind::InputFilter { kernel: 3 })
+            .unwrap();
+        assert_eq!(
+            fetched.network().to_bytes().unwrap(),
+            baseline.network().to_bytes().unwrap()
+        );
+    }
+}

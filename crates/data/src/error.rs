@@ -1,0 +1,39 @@
+use std::fmt;
+
+use blurnet_tensor::TensorError;
+
+/// Errors produced by dataset generation and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A configuration value was invalid.
+    BadConfig(String),
+    /// A class identifier was out of range.
+    UnknownClass(usize),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::BadConfig(msg) => write!(f, "bad dataset configuration: {msg}"),
+            DataError::UnknownClass(id) => write!(f, "unknown sign class id {id}"),
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}

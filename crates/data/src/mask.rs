@@ -1,0 +1,132 @@
+//! RP2 sticker masks.
+//!
+//! The RP2 threat model constrains the perturbation to lie on the sign
+//! itself, applied through a binary mask `M_x`. The published attack uses
+//! two black-and-white sticker bars across the face of the stop sign; we
+//! provide that layout plus a few variants for ablations.
+
+use blurnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{DataError, Result};
+
+/// Sticker placement patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StickerLayout {
+    /// Two horizontal bars across the upper and lower face of the sign —
+    /// the "graffiti" layout of the RP2 paper.
+    TwoBars,
+    /// A single horizontal bar across the centre.
+    SingleBar,
+    /// A small square patch off-centre.
+    SmallPatch,
+}
+
+/// Builds the binary sticker mask `M_x` as an `[H, W]` tensor of zeros and
+/// ones.
+///
+/// The mask is expressed relative to the sign area (the central region of
+/// the rendered image), so the perturbation never touches the background —
+/// matching the threat-model constraint that an attacker can only modify
+/// the sign.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadConfig`] if `h` or `w` is smaller than 8 pixels.
+pub fn sticker_mask(h: usize, w: usize, layout: StickerLayout) -> Result<Tensor> {
+    if h < 8 || w < 8 {
+        return Err(DataError::BadConfig(format!(
+            "sticker mask needs at least an 8x8 image, got {h}x{w}"
+        )));
+    }
+    let mut mask = Tensor::zeros(&[h, w]);
+    let set_block = |mask: &mut Tensor, y0: usize, y1: usize, x0: usize, x1: usize| {
+        for y in y0..y1 {
+            for x in x0..x1 {
+                mask.set(&[y, x], 1.0).expect("in-bounds mask index");
+            }
+        }
+    };
+    match layout {
+        StickerLayout::TwoBars => {
+            // Bars span the middle ~55% of the width at ~1/3 and ~2/3 height.
+            let x0 = (w as f32 * 0.28) as usize;
+            let x1 = (w as f32 * 0.72) as usize;
+            let bar = (h as f32 * 0.10).max(1.0) as usize;
+            let y_top = (h as f32 * 0.30) as usize;
+            let y_bot = (h as f32 * 0.60) as usize;
+            set_block(&mut mask, y_top, y_top + bar, x0, x1);
+            set_block(&mut mask, y_bot, y_bot + bar, x0, x1);
+        }
+        StickerLayout::SingleBar => {
+            let x0 = (w as f32 * 0.28) as usize;
+            let x1 = (w as f32 * 0.72) as usize;
+            let bar = (h as f32 * 0.12).max(1.0) as usize;
+            let y0 = h / 2 - bar / 2;
+            set_block(&mut mask, y0, y0 + bar, x0, x1);
+        }
+        StickerLayout::SmallPatch => {
+            let side = (h as f32 * 0.2).max(2.0) as usize;
+            let y0 = (h as f32 * 0.35) as usize;
+            let x0 = (w as f32 * 0.55) as usize;
+            set_block(&mut mask, y0, y0 + side, x0, (x0 + side).min(w));
+        }
+    }
+    Ok(mask)
+}
+
+/// Fraction of pixels covered by a mask.
+pub fn mask_coverage(mask: &Tensor) -> f32 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    mask.data().iter().filter(|&&v| v > 0.5).count() as f32 / mask.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_are_binary_and_localized() {
+        for layout in [
+            StickerLayout::TwoBars,
+            StickerLayout::SingleBar,
+            StickerLayout::SmallPatch,
+        ] {
+            let mask = sticker_mask(32, 32, layout).unwrap();
+            assert!(mask.data().iter().all(|&v| v == 0.0 || v == 1.0));
+            let coverage = mask_coverage(&mask);
+            assert!(coverage > 0.0, "{layout:?} must cover something");
+            assert!(
+                coverage < 0.25,
+                "{layout:?} must stay a localized sticker, covers {coverage}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_bars_has_more_coverage_than_small_patch() {
+        let bars = sticker_mask(32, 32, StickerLayout::TwoBars).unwrap();
+        let patch = sticker_mask(32, 32, StickerLayout::SmallPatch).unwrap();
+        assert!(mask_coverage(&bars) > mask_coverage(&patch));
+    }
+
+    #[test]
+    fn mask_avoids_image_border() {
+        // The sticker must sit on the sign, not the background border.
+        let mask = sticker_mask(32, 32, StickerLayout::TwoBars).unwrap();
+        for i in 0..32 {
+            assert_eq!(mask.get(&[0, i]).unwrap(), 0.0);
+            assert_eq!(mask.get(&[31, i]).unwrap(), 0.0);
+            assert_eq!(mask.get(&[i, 0]).unwrap(), 0.0);
+            assert_eq!(mask.get(&[i, 31]).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn too_small_images_are_rejected() {
+        assert!(sticker_mask(4, 32, StickerLayout::TwoBars).is_err());
+        assert!(sticker_mask(32, 4, StickerLayout::SingleBar).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+use blurnet_attacks::AttackError;
+use blurnet_data::DataError;
+use blurnet_nn::NnError;
+use blurnet_signal::SignalError;
+use blurnet_tensor::TensorError;
+
+/// Errors produced while building, training or evaluating defenses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenseError {
+    /// A defense or training configuration was invalid.
+    BadConfig(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying network operation failed.
+    Network(NnError),
+    /// An underlying signal-processing operation failed.
+    Signal(SignalError),
+    /// An underlying dataset operation failed.
+    Data(DataError),
+    /// An underlying attack (used inside adversarial training) failed.
+    Attack(AttackError),
+}
+
+impl fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseError::BadConfig(msg) => write!(f, "bad defense configuration: {msg}"),
+            DefenseError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DefenseError::Network(e) => write!(f, "network error: {e}"),
+            DefenseError::Signal(e) => write!(f, "signal error: {e}"),
+            DefenseError::Data(e) => write!(f, "data error: {e}"),
+            DefenseError::Attack(e) => write!(f, "attack error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DefenseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DefenseError::Tensor(e) => Some(e),
+            DefenseError::Network(e) => Some(e),
+            DefenseError::Signal(e) => Some(e),
+            DefenseError::Data(e) => Some(e),
+            DefenseError::Attack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DefenseError {
+    fn from(e: TensorError) -> Self {
+        DefenseError::Tensor(e)
+    }
+}
+
+impl From<NnError> for DefenseError {
+    fn from(e: NnError) -> Self {
+        DefenseError::Network(e)
+    }
+}
+
+impl From<SignalError> for DefenseError {
+    fn from(e: SignalError) -> Self {
+        DefenseError::Signal(e)
+    }
+}
+
+impl From<DataError> for DefenseError {
+    fn from(e: DataError) -> Self {
+        DefenseError::Data(e)
+    }
+}
+
+impl From<AttackError> for DefenseError {
+    fn from(e: AttackError) -> Self {
+        DefenseError::Attack(e)
+    }
+}

@@ -1,0 +1,292 @@
+//! Training-time regularizers that push the first convolution towards
+//! low-pass behaviour.
+//!
+//! Three families from Section IV of the paper:
+//!
+//! * **L∞ on depthwise kernels** (Eq. 2) — encourages the inserted
+//!   depthwise layer's taps to take similar (small) values, i.e. to act
+//!   like a blur;
+//! * **total variation of the feature maps** (Eq. 4) — penalizes spatial
+//!   spikes in the first-layer activations directly;
+//! * **generalized Tikhonov** (Eq. 6–7) — quadratic penalties `‖L·F‖²`
+//!   with a high-frequency-extracting or pseudoinverse-difference operator.
+
+use blurnet_nn::{LayerKind, LisaCnnConfig, Sequential};
+use blurnet_signal::{total_variation_batch, tv_gradient_batch, OperatorPenalty};
+use blurnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{DefenseError, DefenseKind, Result};
+
+/// A regularizer evaluated (and differentiated) every training step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FeatureRegularizer {
+    /// No extra loss term.
+    None,
+    /// `α Σ_j ‖W_depthwise[:,:,j]‖∞` on the inserted depthwise layer.
+    LinfDepthwise {
+        /// Regularization strength.
+        alpha: f32,
+        /// Index of the depthwise layer in the network.
+        layer_index: usize,
+    },
+    /// `α_TV / (N·K) Σ TV(F)` on the feature maps at `layer_index`.
+    TotalVariation {
+        /// Regularization strength.
+        alpha: f32,
+        /// Index of the activation the penalty applies to.
+        layer_index: usize,
+    },
+    /// `α / (N·K) Σ ‖L·F‖²` on the feature maps at `layer_index`.
+    Operator {
+        /// Regularization strength.
+        alpha: f32,
+        /// Index of the activation the penalty applies to.
+        layer_index: usize,
+        /// The operator penalty (`L_hf` or `L_diff⁺`).
+        penalty: OperatorPenalty,
+    },
+}
+
+impl FeatureRegularizer {
+    /// Builds the regularizer matching a [`DefenseKind`] for a network with
+    /// the given architecture. Defenses without a training-time feature
+    /// regularizer map to [`FeatureRegularizer::None`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the defense parameters are invalid for the
+    /// architecture (e.g. a Tikhonov window wider than the feature maps).
+    pub fn from_defense(defense: &DefenseKind, arch: &LisaCnnConfig) -> Result<Self> {
+        let feature_index = arch.feature_layer_index();
+        let extent = arch.feature_map_extent();
+        match defense {
+            DefenseKind::DepthwiseLinf { alpha, .. } => {
+                let layer_index = arch.filter_layer_index().ok_or_else(|| {
+                    DefenseError::BadConfig(
+                        "DepthwiseLinf defense requires a depthwise filter layer".into(),
+                    )
+                })?;
+                Ok(FeatureRegularizer::LinfDepthwise {
+                    alpha: *alpha,
+                    layer_index,
+                })
+            }
+            DefenseKind::TotalVariation { alpha } => Ok(FeatureRegularizer::TotalVariation {
+                alpha: *alpha,
+                layer_index: feature_index,
+            }),
+            DefenseKind::TikhonovHf { alpha, window } => Ok(FeatureRegularizer::Operator {
+                alpha: *alpha,
+                layer_index: feature_index,
+                penalty: OperatorPenalty::high_frequency(extent, *window)?,
+            }),
+            DefenseKind::TikhonovPseudo { alpha } => Ok(FeatureRegularizer::Operator {
+                alpha: *alpha,
+                layer_index: feature_index,
+                penalty: OperatorPenalty::pseudo_difference(extent, 1e-3)?,
+            }),
+            _ => Ok(FeatureRegularizer::None),
+        }
+    }
+
+    /// Whether the training loop must collect intermediate activations for
+    /// this regularizer.
+    pub fn needs_activations(&self) -> bool {
+        matches!(
+            self,
+            FeatureRegularizer::TotalVariation { .. } | FeatureRegularizer::Operator { .. }
+        )
+    }
+
+    /// Evaluates the regularizer for the current step.
+    ///
+    /// Returns the penalty value (already scaled by α) and the list of
+    /// activation-gradient injections to pass to
+    /// [`Sequential::backward_with_injection`]. The L∞ variant instead
+    /// accumulates its sub-gradient directly into the depthwise layer's
+    /// weight gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if layer indices or activation shapes do not match
+    /// the network.
+    pub fn apply(
+        &self,
+        net: &mut Sequential,
+        activations: &[Tensor],
+    ) -> Result<(f32, Vec<(usize, Tensor)>)> {
+        match self {
+            FeatureRegularizer::None => Ok((0.0, Vec::new())),
+            FeatureRegularizer::LinfDepthwise { alpha, layer_index } => {
+                let layer = net.layer_mut(*layer_index).ok_or_else(|| {
+                    DefenseError::BadConfig(format!("no layer at index {layer_index}"))
+                })?;
+                let LayerKind::Depthwise(depthwise) = layer else {
+                    return Err(DefenseError::BadConfig(format!(
+                        "layer {layer_index} is not a depthwise layer"
+                    )));
+                };
+                let value = alpha * depthwise.linf_penalty();
+                let grad = depthwise.linf_penalty_grad();
+                depthwise.accumulate_weight_grad(&grad, *alpha)?;
+                Ok((value, Vec::new()))
+            }
+            FeatureRegularizer::TotalVariation { alpha, layer_index } => {
+                let feature = activation(activations, *layer_index)?;
+                let value = alpha * total_variation_batch(feature)?;
+                let grad = tv_gradient_batch(feature)?.scale(*alpha);
+                Ok((value, vec![(*layer_index, grad)]))
+            }
+            FeatureRegularizer::Operator {
+                alpha,
+                layer_index,
+                penalty,
+            } => {
+                let feature = activation(activations, *layer_index)?;
+                let value = alpha * penalty.value_batch(feature)?;
+                let grad = penalty.grad_batch(feature)?.scale(*alpha);
+                Ok((value, vec![(*layer_index, grad)]))
+            }
+        }
+    }
+}
+
+fn activation(activations: &[Tensor], index: usize) -> Result<&Tensor> {
+    activations.get(index).ok_or_else(|| {
+        DefenseError::BadConfig(format!(
+            "activation index {index} out of range ({} collected)",
+            activations.len()
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blurnet_nn::{Layer, LisaCnn};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_builder(defense: &DefenseKind) -> LisaCnn {
+        let base = LisaCnn::new(18).input_size(16).conv1_filters(4);
+        match defense {
+            DefenseKind::DepthwiseLinf { kernel, .. } => base.with_trainable_depthwise(*kernel),
+            _ => base,
+        }
+    }
+
+    #[test]
+    fn mapping_from_defense_kinds() {
+        let arch_plain = tiny_builder(&DefenseKind::Baseline).config().clone();
+        assert!(matches!(
+            FeatureRegularizer::from_defense(&DefenseKind::Baseline, &arch_plain).unwrap(),
+            FeatureRegularizer::None
+        ));
+        assert!(matches!(
+            FeatureRegularizer::from_defense(
+                &DefenseKind::TotalVariation { alpha: 1e-4 },
+                &arch_plain
+            )
+            .unwrap(),
+            FeatureRegularizer::TotalVariation { .. }
+        ));
+        assert!(matches!(
+            FeatureRegularizer::from_defense(
+                &DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+                &arch_plain
+            )
+            .unwrap(),
+            FeatureRegularizer::Operator { .. }
+        ));
+        // DepthwiseLinf needs the filter layer to exist.
+        assert!(FeatureRegularizer::from_defense(
+            &DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
+            &arch_plain
+        )
+        .is_err());
+        let defense = DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 };
+        let arch_dw = tiny_builder(&defense).config().clone();
+        assert!(matches!(
+            FeatureRegularizer::from_defense(&defense, &arch_dw).unwrap(),
+            FeatureRegularizer::LinfDepthwise { .. }
+        ));
+    }
+
+    #[test]
+    fn tv_regularizer_produces_injection_with_feature_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let builder = tiny_builder(&DefenseKind::Baseline);
+        let mut net = builder.build(&mut rng).unwrap();
+        let reg = FeatureRegularizer::from_defense(
+            &DefenseKind::TotalVariation { alpha: 1e-2 },
+            builder.config(),
+        )
+        .unwrap();
+        assert!(reg.needs_activations());
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let (_, acts) = net.forward_collect(&x, true).unwrap();
+        let (value, injections) = reg.apply(&mut net, &acts).unwrap();
+        assert!(value > 0.0);
+        assert_eq!(injections.len(), 1);
+        assert_eq!(injections[0].1.dims(), acts[0].dims());
+    }
+
+    #[test]
+    fn linf_regularizer_accumulates_into_depthwise_grads() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let defense = DefenseKind::DepthwiseLinf { kernel: 3, alpha: 0.5 };
+        let builder = tiny_builder(&defense);
+        let mut net = builder.build(&mut rng).unwrap();
+        let reg = FeatureRegularizer::from_defense(&defense, builder.config()).unwrap();
+        assert!(!reg.needs_activations());
+        net.zero_grads();
+        let (value, injections) = reg.apply(&mut net, &[]).unwrap();
+        assert!(value > 0.0);
+        assert!(injections.is_empty());
+        // The depthwise layer (layer index 1) must now hold non-zero grads.
+        let layer_index = builder.config().filter_layer_index().unwrap();
+        let LayerKind::Depthwise(dw) = net.layer_mut(layer_index).unwrap() else {
+            panic!("expected depthwise layer");
+        };
+        assert!(dw.param_grad_pairs()[0].1.l1_norm() > 0.0);
+    }
+
+    #[test]
+    fn operator_regularizer_injection_matches_feature_extent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let builder = tiny_builder(&DefenseKind::Baseline);
+        let mut net = builder.build(&mut rng).unwrap();
+        let reg = FeatureRegularizer::from_defense(
+            &DefenseKind::TikhonovPseudo { alpha: 1e-3 },
+            builder.config(),
+        )
+        .unwrap();
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let (_, acts) = net.forward_collect(&x, true).unwrap();
+        let (value, injections) = reg.apply(&mut net, &acts).unwrap();
+        assert!(value >= 0.0);
+        assert_eq!(injections[0].1.dims(), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn bad_indices_are_reported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = LisaCnn::new(4)
+            .input_size(16)
+            .conv1_filters(4)
+            .build(&mut rng)
+            .unwrap();
+        let reg = FeatureRegularizer::TotalVariation {
+            alpha: 1.0,
+            layer_index: 42,
+        };
+        assert!(reg.apply(&mut net, &[]).is_err());
+        let reg = FeatureRegularizer::LinfDepthwise {
+            alpha: 1.0,
+            layer_index: 0,
+        };
+        // Layer 0 is a Conv2d, not a depthwise layer.
+        assert!(reg.apply(&mut net, &[]).is_err());
+    }
+}

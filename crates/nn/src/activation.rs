@@ -1,0 +1,78 @@
+//! Rectified linear activation.
+
+use blurnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, NnError, Result};
+
+/// Elementwise `max(0, x)` activation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { cached_input: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
+        Ok(input.zip_map(grad_output, |x, g| if x > 0.0 { g } else { 0.0 })?)
+    }
+
+    fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -0.5], &[4]).unwrap();
+        let y = relu.forward(&x, false).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0, -0.5], &[4]).unwrap();
+        relu.forward(&x, true).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[4]).unwrap();
+        let dx = relu.backward(&g).unwrap();
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(&[2])).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Standard 2-D convolution layer.
+
+use blurnet_tensor::{conv2d, conv2d_backward, ConvSpec, Initializer, Tensor};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, NnError, Result};
+
+/// A trainable 2-D convolution layer with bias.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    d_weight: Tensor,
+    d_bias: Tensor,
+    spec: ConvSpec,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with `out_channels` filters of size
+    /// `kernel × kernel` over `in_channels` input channels, using Kaiming
+    /// initialization for the weights and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if any size is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        spec: ConvSpec,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 {
+            return Err(NnError::BadConfig(
+                "conv2d sizes must be non-zero".to_string(),
+            ));
+        }
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Initializer::KaimingUniform.init(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+            rng,
+        );
+        Ok(Conv2d {
+            d_weight: Tensor::zeros(weight.dims()),
+            d_bias: Tensor::zeros(&[out_channels]),
+            bias: Tensor::zeros(&[out_channels]),
+            weight,
+            spec,
+            cached_input: None,
+        })
+    }
+
+    /// The convolution stride/padding spec.
+    pub fn spec(&self) -> ConvSpec {
+        self.spec
+    }
+
+    /// The filter weights `[F, C, KH, KW]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable access to the filter weights (used by tests and by defenses
+    /// that overwrite filters with fixed kernels).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The bias vector `[F]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let out = conv2d(input, &self.weight, Some(&self.bias), self.spec)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
+        let grads = conv2d_backward(input, &self.weight, grad_output, self.spec)?;
+        self.d_weight.add_scaled(&grads.d_weight, 1.0)?;
+        self.d_bias.add_scaled(&grads.d_bias, 1.0)?;
+        Ok(grads.d_input)
+    }
+
+    fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![
+            (&mut self.weight, &self.d_weight),
+            (&mut self.bias, &self.d_bias),
+        ]
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn zero_grads(&mut self) {
+        self.d_weight.map_inplace(|_| 0.0);
+        self.d_bias.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_shape_and_backward_cache() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 8, 5, ConvSpec::new(2, 2).unwrap(), &mut rng).unwrap();
+        let input = Tensor::zeros(&[2, 3, 32, 32]);
+        let out = conv.forward(&input, true).unwrap();
+        assert_eq!(out.dims(), &[2, 8, 16, 16]);
+        let d_input = conv.backward(&Tensor::ones(out.dims())).unwrap();
+        assert_eq!(d_input.dims(), input.dims());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, ConvSpec::same(3), &mut rng).unwrap();
+        assert!(matches!(
+            conv.backward(&Tensor::zeros(&[1, 1, 4, 4])),
+            Err(NnError::MissingForwardCache(_))
+        ));
+    }
+
+    #[test]
+    fn gradients_accumulate_and_reset() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 2, 3, ConvSpec::same(3), &mut rng).unwrap();
+        let input = Tensor::ones(&[1, 1, 4, 4]);
+        let out = conv.forward(&input, true).unwrap();
+        conv.backward(&Tensor::ones(out.dims())).unwrap();
+        let first: f32 = conv.param_grad_pairs()[0].1.l1_norm();
+        assert!(first > 0.0);
+        conv.forward(&input, true).unwrap();
+        conv.backward(&Tensor::ones(out.dims())).unwrap();
+        let doubled: f32 = conv.param_grad_pairs()[0].1.l1_norm();
+        assert!((doubled - 2.0 * first).abs() < 1e-3);
+        conv.zero_grads();
+        assert_eq!(conv.param_grad_pairs()[0].1.l1_norm(), 0.0);
+    }
+
+    #[test]
+    fn rejects_zero_sizes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(Conv2d::new(0, 1, 3, ConvSpec::same(3), &mut rng).is_err());
+        assert!(Conv2d::new(1, 0, 3, ConvSpec::same(3), &mut rng).is_err());
+        assert!(Conv2d::new(1, 1, 0, ConvSpec::same(3), &mut rng).is_err());
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let conv = Conv2d::new(3, 8, 5, ConvSpec::same(5), &mut rng).unwrap();
+        assert_eq!(conv.parameter_count(), 8 * 3 * 5 * 5 + 8);
+    }
+}

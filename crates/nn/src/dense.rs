@@ -1,0 +1,175 @@
+//! Fully-connected (dense) layer.
+
+use blurnet_tensor::{matmul, matmul_transpose_a, matmul_transpose_b, Initializer, Tensor};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, NnError, Result};
+
+/// A fully-connected layer computing `x · Wᵀ + b` for `x: [N, in]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    d_weight: Tensor,
+    d_bias: Tensor,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer mapping `in_features` to `out_features`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if either size is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::BadConfig("dense sizes must be non-zero".into()));
+        }
+        let weight = Initializer::XavierUniform.init(
+            &[out_features, in_features],
+            in_features,
+            out_features,
+            rng,
+        );
+        Ok(Dense {
+            d_weight: Tensor::zeros(weight.dims()),
+            d_bias: Tensor::zeros(&[out_features]),
+            bias: Tensor::zeros(&[out_features]),
+            weight,
+            cached_input: None,
+        })
+    }
+
+    /// The weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.shape().rank() != 2 || input.dims()[1] != self.weight.dims()[1] {
+            return Err(NnError::BadConfig(format!(
+                "dense expects [N, {}], got {}",
+                self.weight.dims()[1],
+                input.shape()
+            )));
+        }
+        // [N, in] · [out, in]ᵀ = [N, out]
+        let mut out = matmul_transpose_b(input, &self.weight)?;
+        let (n, o) = (out.dims()[0], out.dims()[1]);
+        let bias = self.bias.data().to_vec();
+        let data = out.data_mut();
+        for i in 0..n {
+            for j in 0..o {
+                data[i * o + j] += bias[j];
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
+        // dW = gᵀ · x : [out, in]
+        let d_w = matmul_transpose_a(grad_output, input)?;
+        self.d_weight.add_scaled(&d_w, 1.0)?;
+        // db = column sums of g.
+        let (n, o) = (grad_output.dims()[0], grad_output.dims()[1]);
+        let g = grad_output.data();
+        let db = self.d_bias.data_mut();
+        for i in 0..n {
+            for j in 0..o {
+                db[j] += g[i * o + j];
+            }
+        }
+        // dx = g · W : [N, in]
+        Ok(matmul(grad_output, &self.weight)?)
+    }
+
+    fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        vec![
+            (&mut self.weight, &self.d_weight),
+            (&mut self.bias, &self.d_bias),
+        ]
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn zero_grads(&mut self) {
+        self.d_weight.map_inplace(|_| 0.0);
+        self.d_bias.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut dense = Dense::new(8, 4, &mut rng).unwrap();
+        let x = Tensor::ones(&[3, 8]);
+        let y = dense.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[3, 4]);
+        assert!(dense.forward(&Tensor::ones(&[3, 5]), false).is_err());
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut dense = Dense::new(5, 3, &mut rng).unwrap();
+        let x = Tensor::rand_uniform(&[2, 5], -1.0, 1.0, &mut rng);
+        let y = dense.forward(&x, true).unwrap();
+        let grad = Tensor::ones(y.dims());
+        let dx = dense.backward(&grad).unwrap();
+        let eps = 1e-2f32;
+        // Input gradient check.
+        for &idx in &[0usize, 4, 9] {
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let mut d2 = dense.clone();
+            let f_plus = d2.forward(&plus, true).unwrap().sum();
+            let f_minus = d2.forward(&minus, true).unwrap().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!((numeric - dx.data()[idx]).abs() < 1e-2);
+        }
+        // Bias gradient of a sum loss is the batch size.
+        let pairs = dense.param_grad_pairs();
+        for &b in pairs[1].1.data() {
+            assert!((b - 2.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(Dense::new(0, 3, &mut rng).is_err());
+        assert!(Dense::new(3, 0, &mut rng).is_err());
+    }
+}

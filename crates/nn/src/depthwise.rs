@@ -1,0 +1,256 @@
+//! Depthwise (per-channel) convolution layer — the BlurNet filter layer.
+//!
+//! Inserted after the first convolution, this layer applies one kernel per
+//! channel. It can be *fixed* (a standard blur kernel, Section III of the
+//! paper) or *trainable* (learned under an L∞ penalty, Eq. 2).
+
+use blurnet_tensor::{depthwise_conv2d, depthwise_conv2d_backward, ConvSpec, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, NnError, Result};
+
+/// A depthwise convolution layer with per-channel `[C, K, K]` kernels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DepthwiseConv2d {
+    weight: Tensor,
+    bias: Tensor,
+    d_weight: Tensor,
+    d_bias: Tensor,
+    spec: ConvSpec,
+    trainable: bool,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a trainable depthwise layer initialized as an identity
+    /// filter plus small noise-free spread (the centre tap is 1, the rest
+    /// 0), so an untrained layer does not perturb the network it is added
+    /// to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if `channels` or `kernel` is zero or
+    /// `kernel` is even (the identity centre tap must exist).
+    pub fn identity(channels: usize, kernel: usize) -> Result<Self> {
+        if channels == 0 || kernel == 0 || kernel % 2 == 0 {
+            return Err(NnError::BadConfig(
+                "depthwise layer needs non-zero channels and an odd kernel".to_string(),
+            ));
+        }
+        let mut weight = Tensor::zeros(&[channels, kernel, kernel]);
+        let c = kernel / 2;
+        for ch in 0..channels {
+            weight.set(&[ch, c, c], 1.0)?;
+        }
+        Ok(DepthwiseConv2d {
+            d_weight: Tensor::zeros(weight.dims()),
+            d_bias: Tensor::zeros(&[channels]),
+            bias: Tensor::zeros(&[channels]),
+            weight,
+            spec: ConvSpec::same(kernel),
+            trainable: true,
+            cached_input: None,
+        })
+    }
+
+    /// Creates a **fixed** (non-trainable) depthwise layer that applies the
+    /// given `[K, K]` kernel to every channel — the blur layer of Table I.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the kernel is not square rank 2 or
+    /// `channels` is zero.
+    pub fn fixed_kernel(channels: usize, kernel: &Tensor) -> Result<Self> {
+        if channels == 0 || kernel.shape().rank() != 2 || kernel.dims()[0] != kernel.dims()[1] {
+            return Err(NnError::BadConfig(format!(
+                "fixed depthwise kernel must be square rank-2 with channels > 0, got {}",
+                kernel.shape()
+            )));
+        }
+        let k = kernel.dims()[0];
+        let mut data = Vec::with_capacity(channels * k * k);
+        for _ in 0..channels {
+            data.extend_from_slice(kernel.data());
+        }
+        let weight = Tensor::from_vec(data, &[channels, k, k])?;
+        Ok(DepthwiseConv2d {
+            d_weight: Tensor::zeros(weight.dims()),
+            d_bias: Tensor::zeros(&[channels]),
+            bias: Tensor::zeros(&[channels]),
+            weight,
+            spec: ConvSpec::same(k),
+            trainable: false,
+            cached_input: None,
+        })
+    }
+
+    /// The per-channel kernels `[C, K, K]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Whether the layer's kernels are updated during training.
+    pub fn is_trainable(&self) -> bool {
+        self.trainable
+    }
+
+    /// Kernel extent `K`.
+    pub fn kernel_size(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// L∞ norm of each channel kernel summed over channels — the
+    /// regularization term of Eq. 2.
+    pub fn linf_penalty(&self) -> f32 {
+        let (c, kh, kw) = (
+            self.weight.dims()[0],
+            self.weight.dims()[1],
+            self.weight.dims()[2],
+        );
+        let d = self.weight.data();
+        (0..c)
+            .map(|ch| {
+                d[ch * kh * kw..(ch + 1) * kh * kw]
+                    .iter()
+                    .fold(0.0f32, |m, v| m.max(v.abs()))
+            })
+            .sum()
+    }
+
+    /// Sub-gradient of [`Self::linf_penalty`] with respect to the kernels:
+    /// `sign(w)` at each channel's maximal-magnitude tap, zero elsewhere.
+    pub fn linf_penalty_grad(&self) -> Tensor {
+        let (c, kh, kw) = (
+            self.weight.dims()[0],
+            self.weight.dims()[1],
+            self.weight.dims()[2],
+        );
+        let d = self.weight.data();
+        let mut grad = vec![0.0f32; d.len()];
+        for ch in 0..c {
+            let slice = &d[ch * kh * kw..(ch + 1) * kh * kw];
+            let mut best = 0usize;
+            for (i, v) in slice.iter().enumerate() {
+                if v.abs() > slice[best].abs() {
+                    best = i;
+                }
+            }
+            let idx = ch * kh * kw + best;
+            grad[idx] = d[idx].signum();
+        }
+        Tensor::from_vec(grad, self.weight.dims()).expect("same shape as weights")
+    }
+
+    /// Adds an external gradient contribution to the kernel gradient (used
+    /// by the L∞ regularizer during training).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `grad` does not match the kernel shape.
+    pub fn accumulate_weight_grad(&mut self, grad: &Tensor, scale: f32) -> Result<()> {
+        self.d_weight.add_scaled(grad, scale)?;
+        Ok(())
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn name(&self) -> &'static str {
+        "depthwise_conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let out = depthwise_conv2d(input, &self.weight, Some(&self.bias), self.spec)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
+        let grads = depthwise_conv2d_backward(input, &self.weight, grad_output, self.spec)?;
+        if self.trainable {
+            self.d_weight.add_scaled(&grads.d_weight, 1.0)?;
+            self.d_bias.add_scaled(&grads.d_bias, 1.0)?;
+        }
+        Ok(grads.d_input)
+    }
+
+    fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        if self.trainable {
+            vec![
+                (&mut self.weight, &self.d_weight),
+                (&mut self.bias, &self.d_bias),
+            ]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        if self.trainable {
+            vec![&self.weight, &self.bias]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        self.d_weight.map_inplace(|_| 0.0);
+        self.d_bias.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_layer_is_a_no_op() {
+        let mut layer = DepthwiseConv2d::identity(3, 3).unwrap();
+        let input = Tensor::from_vec((0..48).map(|v| v as f32).collect(), &[1, 3, 4, 4]).unwrap();
+        let out = layer.forward(&input, false).unwrap();
+        for (a, b) in out.data().iter().zip(input.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fixed_blur_layer_is_not_trainable() {
+        let kernel = Tensor::full(&[5, 5], 1.0 / 25.0);
+        let mut layer = DepthwiseConv2d::fixed_kernel(4, &kernel).unwrap();
+        assert!(!layer.is_trainable());
+        assert_eq!(layer.kernel_size(), 5);
+        assert!(layer.param_grad_pairs().is_empty());
+        assert_eq!(layer.parameter_count(), 0);
+        // Backward still propagates input gradients.
+        let input = Tensor::ones(&[1, 4, 8, 8]);
+        let out = layer.forward(&input, true).unwrap();
+        let d_input = layer.backward(&Tensor::ones(out.dims())).unwrap();
+        assert_eq!(d_input.dims(), input.dims());
+        assert!(d_input.l1_norm() > 0.0);
+    }
+
+    #[test]
+    fn linf_penalty_and_subgradient() {
+        let mut layer = DepthwiseConv2d::identity(2, 3).unwrap();
+        // Identity kernels: each channel max |w| is 1 -> penalty = 2.
+        assert!((layer.linf_penalty() - 2.0).abs() < 1e-6);
+        let g = layer.linf_penalty_grad();
+        // Exactly one non-zero entry per channel, equal to sign of the max tap.
+        assert_eq!(g.data().iter().filter(|v| **v != 0.0).count(), 2);
+        assert_eq!(g.l1_norm(), 2.0);
+        layer.accumulate_weight_grad(&g, 0.5).unwrap();
+        assert!(layer.param_grad_pairs()[0].1.l1_norm() > 0.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DepthwiseConv2d::identity(0, 3).is_err());
+        assert!(DepthwiseConv2d::identity(3, 4).is_err());
+        assert!(DepthwiseConv2d::fixed_kernel(0, &Tensor::zeros(&[3, 3])).is_err());
+        assert!(DepthwiseConv2d::fixed_kernel(2, &Tensor::zeros(&[3, 4])).is_err());
+    }
+}

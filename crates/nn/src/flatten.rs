@@ -1,0 +1,79 @@
+//! Flattening layer between convolutional and dense parts of the network.
+
+use blurnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, NnError, Result};
+
+/// Flattens an `[N, ...]` tensor to `[N, features]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    #[serde(skip)]
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.shape().rank() < 2 {
+            return Err(NnError::BadConfig(format!(
+                "flatten expects at least rank 2, got {}",
+                input.shape()
+            )));
+        }
+        let n = input.dims()[0];
+        let features = input.len() / n;
+        self.cached_dims = Some(input.dims().to_vec());
+        Ok(input.reshape(&[n, features])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
+        Ok(grad_output.reshape(dims)?)
+    }
+
+    fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_unflatten() {
+        let mut flat = Flatten::new();
+        let input = Tensor::zeros(&[2, 3, 4, 4]);
+        let out = flat.forward(&input, false).unwrap();
+        assert_eq!(out.dims(), &[2, 48]);
+        let back = flat.backward(&out).unwrap();
+        assert_eq!(back.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_rank1_input() {
+        let mut flat = Flatten::new();
+        assert!(flat.forward(&Tensor::zeros(&[4]), false).is_err());
+        assert!(flat.backward(&Tensor::zeros(&[2, 2])).is_err());
+    }
+}

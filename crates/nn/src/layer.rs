@@ -1,0 +1,176 @@
+//! The [`Layer`] abstraction and the serializable [`LayerKind`] enum used by
+//! [`crate::Sequential`].
+
+use blurnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{Conv2d, Dense, DepthwiseConv2d, Flatten, MaxPool2d, Relu, Result};
+
+/// A single differentiable network layer.
+///
+/// `forward` caches whatever it needs so that a subsequent `backward` call
+/// can compute the gradient with respect to the layer input and accumulate
+/// parameter gradients internally.
+pub trait Layer: std::fmt::Debug {
+    /// Human-readable layer name used in error messages and summaries.
+    fn name(&self) -> &'static str;
+
+    /// Runs the layer on `input`, caching intermediates for `backward`.
+    ///
+    /// `train` distinguishes training from inference for layers that behave
+    /// differently (none of the current layers do, but defenses wrap this).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Propagates `grad_output` back through the layer, accumulating
+    /// parameter gradients and returning the gradient with respect to the
+    /// layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::MissingForwardCache`] if `forward` has not
+    /// been called, or a shape error if `grad_output` does not match the
+    /// cached forward output.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Mutable (parameter, accumulated gradient) pairs, in a stable order.
+    ///
+    /// Non-trainable layers return an empty vector.
+    fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)>;
+
+    /// Immutable access to the trainable parameters, in the same order as
+    /// [`Layer::param_grad_pairs`].
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Clears the accumulated parameter gradients.
+    fn zero_grads(&mut self);
+
+    /// Number of trainable scalar parameters.
+    fn parameter_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// A concrete, serializable layer. [`crate::Sequential`] stores this enum so
+/// whole networks can be cloned and serialized without trait objects.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum LayerKind {
+    /// Standard 2-D convolution.
+    Conv2d(Conv2d),
+    /// Depthwise (per-channel) 2-D convolution — the BlurNet filter layer.
+    Depthwise(DepthwiseConv2d),
+    /// Rectified linear activation.
+    Relu(Relu),
+    /// 2-D max pooling.
+    MaxPool(MaxPool2d),
+    /// Flattens `[N, C, H, W]` to `[N, C·H·W]`.
+    Flatten(Flatten),
+    /// Fully-connected layer.
+    Dense(Dense),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            LayerKind::Conv2d($inner) => $body,
+            LayerKind::Depthwise($inner) => $body,
+            LayerKind::Relu($inner) => $body,
+            LayerKind::MaxPool($inner) => $body,
+            LayerKind::Flatten($inner) => $body,
+            LayerKind::Dense($inner) => $body,
+        }
+    };
+}
+
+impl Layer for LayerKind {
+    fn name(&self) -> &'static str {
+        dispatch!(self, l => l.name())
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        dispatch!(self, l => l.forward(input, train))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        dispatch!(self, l => l.backward(grad_output))
+    }
+
+    fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        dispatch!(self, l => l.param_grad_pairs())
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        dispatch!(self, l => l.params())
+    }
+
+    fn zero_grads(&mut self) {
+        dispatch!(self, l => l.zero_grads())
+    }
+}
+
+impl From<Conv2d> for LayerKind {
+    fn from(l: Conv2d) -> Self {
+        LayerKind::Conv2d(l)
+    }
+}
+
+impl From<DepthwiseConv2d> for LayerKind {
+    fn from(l: DepthwiseConv2d) -> Self {
+        LayerKind::Depthwise(l)
+    }
+}
+
+impl From<Relu> for LayerKind {
+    fn from(l: Relu) -> Self {
+        LayerKind::Relu(l)
+    }
+}
+
+impl From<MaxPool2d> for LayerKind {
+    fn from(l: MaxPool2d) -> Self {
+        LayerKind::MaxPool(l)
+    }
+}
+
+impl From<Flatten> for LayerKind {
+    fn from(l: Flatten) -> Self {
+        LayerKind::Flatten(l)
+    }
+}
+
+impl From<Dense> for LayerKind {
+    fn from(l: Dense) -> Self {
+        LayerKind::Dense(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn enum_dispatch_matches_inner_layer() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let conv = Conv2d::new(3, 4, 3, blurnet_tensor::ConvSpec::same(3), &mut rng).unwrap();
+        let mut kind: LayerKind = conv.clone().into();
+        assert_eq!(kind.name(), "conv2d");
+        assert_eq!(kind.parameter_count(), conv.parameter_count());
+        let input = Tensor::zeros(&[1, 3, 8, 8]);
+        let out = kind.forward(&input, false).unwrap();
+        assert_eq!(out.dims(), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn non_trainable_layers_have_no_params() {
+        let relu: LayerKind = Relu::new().into();
+        assert_eq!(relu.parameter_count(), 0);
+        let flat: LayerKind = Flatten::new().into();
+        assert_eq!(flat.parameter_count(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! A small layer-wise neural-network framework with explicit backward
+//! passes, built for the BlurNet reproduction.
+//!
+//! The framework deliberately avoids a general autodiff tape: every layer
+//! implements its own forward and backward pass over
+//! [`blurnet_tensor::Tensor`] values, which keeps the computation easy to
+//! audit and gives the two things the paper's experiments need beyond plain
+//! training:
+//!
+//! * gradients **with respect to the input image** (for the RP2, PGD and
+//!   adaptive attacks), via [`Sequential::backward`] returning the input
+//!   gradient, and
+//! * gradient **injection at intermediate activations** (for the
+//!   total-variation and Tikhonov feature-map regularizers of Eq. 4, 6 and
+//!   7), via [`Sequential::backward_with_injection`].
+//!
+//! The [`model::LisaCnn`] builder replicates the paper's road-sign
+//! classifier topology (three convolution layers plus a fully-connected
+//! head) at a CPU-friendly scale, with an optional fixed blur layer after
+//! the first convolution.
+//!
+//! # Example
+//!
+//! ```
+//! use blurnet_nn::{model::LisaCnn, loss::softmax_cross_entropy};
+//! use blurnet_tensor::Tensor;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(0);
+//! let mut net = LisaCnn::new(18).build(&mut rng)?;
+//! let batch = Tensor::zeros(&[2, 3, 32, 32]);
+//! let logits = net.forward(&batch, false)?;
+//! assert_eq!(logits.dims(), &[2, 18]);
+//! let (loss, _grad) = softmax_cross_entropy(&logits, &[0, 1])?;
+//! assert!(loss > 0.0);
+//! # Ok::<(), blurnet_nn::NnError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod depthwise;
+mod error;
+pub mod flatten;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod network;
+pub mod optim;
+pub mod pool;
+
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use depthwise::DepthwiseConv2d;
+pub use error::NnError;
+pub use flatten::Flatten;
+pub use layer::{Layer, LayerKind};
+pub use loss::{accuracy, softmax, softmax_cross_entropy};
+pub use model::{LisaCnn, LisaCnnConfig};
+pub use network::Sequential;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use pool::MaxPool2d;
+
+pub use activation::Relu;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,376 @@
+//! The [`Sequential`] network container.
+
+use blurnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{loss, Layer, LayerKind, NnError, Result};
+
+/// A feed-forward stack of layers.
+///
+/// Beyond the usual forward/backward API the container supports the two
+/// operations the BlurNet experiments need:
+///
+/// * [`Sequential::forward_collect`] returns every intermediate activation,
+///   so feature-map regularizers and the spectrum analyses of Figures 2 and
+///   4 can inspect specific layers;
+/// * [`Sequential::backward_with_injection`] adds extra gradient at chosen
+///   layer outputs while back-propagating, which is how the TV and Tikhonov
+///   penalties on first-layer feature maps reach the first convolution's
+///   weights (Eq. 4, 6, 7) — and how adaptive attacks reach the input
+///   (Eq. 9–11).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Sequential {
+    layers: Vec<LayerKind>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer and returns `self` for chaining.
+    pub fn push(&mut self, layer: impl Into<LayerKind>) -> &mut Self {
+        self.layers.push(layer.into());
+        self
+    }
+
+    /// Inserts a layer at `index`, shifting later layers back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > self.len()`.
+    pub fn insert(&mut self, index: usize, layer: impl Into<LayerKind>) {
+        self.layers.insert(index, layer.into());
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to layer `index`.
+    pub fn layer(&self, index: usize) -> Option<&LayerKind> {
+        self.layers.get(index)
+    }
+
+    /// Mutable access to layer `index`.
+    pub fn layer_mut(&mut self, index: usize) -> Option<&mut LayerKind> {
+        self.layers.get_mut(index)
+    }
+
+    /// Iterates over the layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, LayerKind> {
+        self.layers.iter()
+    }
+
+    /// Runs the network on a batch, caching intermediates for `backward`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error (shape mismatch, empty network, …).
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if self.layers.is_empty() {
+            return Err(NnError::BadConfig("network has no layers".into()));
+        }
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs the network and returns the final output together with the
+    /// activation after every layer (`activations[i]` is layer `i`'s
+    /// output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn forward_collect(&mut self, input: &Tensor, train: bool) -> Result<(Tensor, Vec<Tensor>)> {
+        if self.layers.is_empty() {
+            return Err(NnError::BadConfig("network has no layers".into()));
+        }
+        let mut activations = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+            activations.push(x.clone());
+        }
+        Ok((x, activations))
+    }
+
+    /// Back-propagates `grad_output` through the whole network, accumulating
+    /// parameter gradients and returning the gradient with respect to the
+    /// network input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `forward` has not been called or shapes mismatch.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        self.backward_with_injection(grad_output, &[])
+    }
+
+    /// Like [`Sequential::backward`], but adds `injection` gradients at the
+    /// *output* of the named layers while the gradient flows backwards.
+    ///
+    /// `injections` maps a layer index `i` to an extra gradient with the
+    /// same shape as layer `i`'s output. This realizes loss terms of the
+    /// form `R(F_i)` where `F_i` is an intermediate activation: pass
+    /// `dR/dF_i` here and the chain rule does the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range indices, shape mismatches, or a
+    /// missing forward pass.
+    pub fn backward_with_injection(
+        &mut self,
+        grad_output: &Tensor,
+        injections: &[(usize, Tensor)],
+    ) -> Result<Tensor> {
+        if self.layers.is_empty() {
+            return Err(NnError::BadConfig("network has no layers".into()));
+        }
+        for (idx, _) in injections {
+            if *idx >= self.layers.len() {
+                return Err(NnError::BadConfig(format!(
+                    "injection index {idx} out of range for {} layers",
+                    self.layers.len()
+                )));
+            }
+        }
+        let mut grad = grad_output.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            // Extra gradient arriving directly at this layer's output.
+            for (idx, extra) in injections {
+                if *idx == i {
+                    grad.add_scaled(extra, 1.0)?;
+                }
+            }
+            grad = layer.backward(&grad)?;
+        }
+        Ok(grad)
+    }
+
+    /// Flattened `(parameter, gradient)` pairs across every layer, in a
+    /// stable order suitable for [`crate::Optimizer::step`].
+    pub fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.param_grad_pairs())
+            .collect()
+    }
+
+    /// Clears the accumulated gradients of every layer.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Class predictions (argmax of the logits) for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>> {
+        let logits = self.forward(input, false)?;
+        loss::predictions(&logits)
+    }
+
+    /// Serializes the network (architecture and weights) to JSON bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] if encoding fails.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self).map_err(|e| NnError::Serialization(e.to_string()))
+    }
+
+    /// Restores a network serialized with [`Sequential::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] if decoding fails.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        serde_json::from_slice(bytes).map_err(|e| NnError::Serialization(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+    use blurnet_tensor::ConvSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_net(rng: &mut ChaCha8Rng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(1, 2, 3, ConvSpec::same(3), rng).unwrap())
+            .push(Relu::new())
+            .push(MaxPool2d::new(2, 2).unwrap())
+            .push(Flatten::new())
+            .push(Dense::new(2 * 4 * 4, 3, rng).unwrap());
+        net
+    }
+
+    #[test]
+    fn forward_and_predict_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::zeros(&[4, 1, 8, 8]);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[4, 3]);
+        assert_eq!(net.predict(&x).unwrap().len(), 4);
+        assert!(net.parameter_count() > 0);
+    }
+
+    #[test]
+    fn forward_collect_returns_every_activation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        let (out, acts) = net.forward_collect(&x, false).unwrap();
+        assert_eq!(acts.len(), net.len());
+        assert_eq!(acts[0].dims(), &[1, 2, 8, 8]);
+        assert_eq!(acts.last().unwrap().dims(), out.dims());
+    }
+
+    #[test]
+    fn backward_returns_input_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::rand_uniform(&[2, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x, true).unwrap();
+        let d_input = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(d_input.dims(), x.dims());
+        assert!(d_input.l1_norm() > 0.0);
+    }
+
+    #[test]
+    fn whole_network_input_gradient_matches_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x, true).unwrap();
+        let d_input = net.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 17, 33, 63] {
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let f_plus = net.forward(&plus, false).unwrap().sum();
+            let f_minus = net.forward(&minus, false).unwrap().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            // Max-pool argmax ties make this an approximate check.
+            assert!(
+                (numeric - d_input.data()[idx]).abs() < 5e-2,
+                "at {idx}: {numeric} vs {}",
+                d_input.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn injection_changes_first_layer_gradients() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, &mut rng);
+
+        let y = net.forward(&x, true).unwrap();
+        net.zero_grads();
+        net.backward(&Tensor::zeros(y.dims())).unwrap();
+        let baseline: f32 = net.param_grad_pairs()[0].1.l1_norm();
+        assert_eq!(baseline, 0.0);
+
+        // Injecting gradient at the conv output (layer 0) with a zero loss
+        // gradient must still produce conv weight gradients.
+        net.forward(&x, true).unwrap();
+        net.zero_grads();
+        let injection = Tensor::ones(&[1, 2, 8, 8]);
+        net.backward_with_injection(&Tensor::zeros(y.dims()), &[(0, injection)])
+            .unwrap();
+        let with_injection: f32 = net.param_grad_pairs()[0].1.l1_norm();
+        assert!(with_injection > 0.0);
+    }
+
+    #[test]
+    fn injection_index_validation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        let y = net.forward(&x, true).unwrap();
+        let err = net.backward_with_injection(
+            &Tensor::zeros(y.dims()),
+            &[(99, Tensor::zeros(&[1]))],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_outputs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let y1 = net.forward(&x, false).unwrap();
+        let bytes = net.to_bytes().unwrap();
+        let mut restored = Sequential::from_bytes(&bytes).unwrap();
+        let y2 = restored.forward(&x, false).unwrap();
+        for (a, b) in y1.data().iter().zip(y2.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!(Sequential::from_bytes(b"not json").is_err());
+    }
+
+    #[test]
+    fn empty_network_is_an_error() {
+        let mut net = Sequential::new();
+        assert!(net.forward(&Tensor::zeros(&[1, 1, 4, 4]), false).is_err());
+        assert!(net.backward(&Tensor::zeros(&[1, 3])).is_err());
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_toy_problem() {
+        use crate::{softmax_cross_entropy, Adam, Optimizer};
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut net = tiny_net(&mut rng);
+        // Two distinguishable patterns.
+        let mut x = Tensor::zeros(&[2, 1, 8, 8]);
+        for i in 0..8 {
+            x.set(&[0, 0, i, i], 1.0).unwrap();
+            x.set(&[1, 0, i, 7 - i], -1.0).unwrap();
+        }
+        let labels = [0usize, 1usize];
+        let mut adam = Adam::new(0.01).unwrap();
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..60 {
+            let logits = net.forward(&x, true).unwrap();
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+            net.zero_grads();
+            net.backward(&grad).unwrap();
+            let mut pairs = net.param_grad_pairs();
+            adam.step(&mut pairs).unwrap();
+            if first_loss.is_none() {
+                first_loss = Some(loss);
+            }
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.5 * first_loss.unwrap());
+        let logits = net.forward(&x, false).unwrap();
+        assert_eq!(crate::loss::predictions(&logits).unwrap(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,86 @@
+//! 2-D max-pooling layer.
+
+use blurnet_tensor::{max_pool2d, max_pool2d_backward, PoolSpec, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, NnError, Result};
+
+/// 2-D max pooling over square windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    spec: PoolSpec,
+    #[serde(skip)]
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with the given window and stride.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if window or stride is zero.
+    pub fn new(window: usize, stride: usize) -> Result<Self> {
+        let spec = PoolSpec::new(window, stride)
+            .map_err(|e| NnError::BadConfig(format!("invalid pool spec: {e}")))?;
+        Ok(MaxPool2d { spec, cache: None })
+    }
+
+    /// The pooling spec.
+    pub fn spec(&self) -> PoolSpec {
+        self.spec
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let pooled = max_pool2d(input, self.spec)?;
+        self.cache = Some((pooled.argmax.clone(), input.dims().to_vec()));
+        Ok(pooled.output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (argmax, dims) = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
+        Ok(max_pool2d_backward(grad_output, argmax, dims)?)
+    }
+
+    fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        let input =
+            Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let out = pool.forward(&input, true).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        let d_input = pool.backward(&Tensor::ones(out.dims())).unwrap();
+        assert_eq!(d_input.dims(), input.dims());
+        assert_eq!(d_input.sum(), 4.0);
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        assert!(MaxPool2d::new(0, 2).is_err());
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! 2-D discrete cosine transform (DCT-II) and its inverse.
+//!
+//! The adaptive low-frequency attack of the paper (Eq. 8, Figure 3) projects
+//! the RP2 perturbation through `IDCT(M_dim · DCT(M_x · δ))`, where `M_dim`
+//! zeroes all but the lowest `dim × dim` DCT coefficients.
+
+use blurnet_tensor::Tensor;
+
+use crate::{Result, SignalError};
+
+fn require_2d(t: &Tensor) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(SignalError::BadShape(format!(
+            "expected a rank-2 tensor, got shape {}",
+            t.shape()
+        )));
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+fn dct1d(input: &[f32], inverse: bool) -> Vec<f32> {
+    let n = input.len();
+    let nf = n as f32;
+    let mut out = vec![0.0f32; n];
+    if inverse {
+        // DCT-III (the inverse of the orthonormal DCT-II).
+        for (x, o) in out.iter_mut().enumerate() {
+            let mut acc = input[0] * (1.0 / nf).sqrt();
+            for (k, &v) in input.iter().enumerate().skip(1) {
+                let angle = std::f32::consts::PI * (x as f32 + 0.5) * k as f32 / nf;
+                acc += v * (2.0 / nf).sqrt() * angle.cos();
+            }
+            *o = acc;
+        }
+    } else {
+        // Orthonormal DCT-II.
+        for (k, o) in out.iter_mut().enumerate() {
+            let scale = if k == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
+            let mut acc = 0.0;
+            for (x, &v) in input.iter().enumerate() {
+                let angle = std::f32::consts::PI * (x as f32 + 0.5) * k as f32 / nf;
+                acc += v * angle.cos();
+            }
+            *o = scale * acc;
+        }
+    }
+    out
+}
+
+fn transform2d(image: &Tensor, inverse: bool) -> Result<Tensor> {
+    let (h, w) = require_2d(image)?;
+    let mut grid = image.data().to_vec();
+    // Rows.
+    for y in 0..h {
+        let row = dct1d(&grid[y * w..(y + 1) * w], inverse);
+        grid[y * w..(y + 1) * w].copy_from_slice(&row);
+    }
+    // Columns.
+    let mut col = vec![0.0f32; h];
+    for x in 0..w {
+        for y in 0..h {
+            col[y] = grid[y * w + x];
+        }
+        let out = dct1d(&col, inverse);
+        for y in 0..h {
+            grid[y * w + x] = out[y];
+        }
+    }
+    Ok(Tensor::from_vec(grid, &[h, w])?)
+}
+
+/// Orthonormal 2-D DCT-II of an `[H, W]` tensor.
+///
+/// # Errors
+///
+/// Returns [`SignalError::BadShape`] if the input is not rank 2.
+pub fn dct2d(image: &Tensor) -> Result<Tensor> {
+    transform2d(image, false)
+}
+
+/// Inverse of [`dct2d`].
+///
+/// # Errors
+///
+/// Returns [`SignalError::BadShape`] if the input is not rank 2.
+pub fn idct2d(coeffs: &Tensor) -> Result<Tensor> {
+    transform2d(coeffs, true)
+}
+
+/// The DCT-domain mask `M_dim`: keeps the lowest `dim × dim` coefficients of
+/// an `h × w` DCT grid and zeroes the rest.
+///
+/// # Errors
+///
+/// Returns [`SignalError::BadParameter`] if `dim` is zero or exceeds the
+/// grid extents.
+pub fn low_frequency_mask(h: usize, w: usize, dim: usize) -> Result<Tensor> {
+    if dim == 0 || dim > h || dim > w {
+        return Err(SignalError::BadParameter(format!(
+            "mask dimension {dim} must lie in 1..=min({h}, {w})"
+        )));
+    }
+    let mut mask = Tensor::zeros(&[h, w]);
+    for y in 0..dim {
+        for x in 0..dim {
+            mask.set(&[y, x], 1.0)?;
+        }
+    }
+    Ok(mask)
+}
+
+/// Projects an `[H, W]` perturbation onto its lowest `dim × dim` DCT
+/// coefficients: `IDCT(M_dim · DCT(x))`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 2 or `dim` is invalid.
+pub fn low_frequency_project(x: &Tensor, dim: usize) -> Result<Tensor> {
+    let (h, w) = require_2d(x)?;
+    let mask = low_frequency_mask(h, w, dim)?;
+    let coeffs = dct2d(x)?;
+    idct2d(&coeffs.mul(&mask)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_idct_roundtrip() {
+        let img =
+            Tensor::from_vec((0..64).map(|v| ((v * 31) % 17) as f32 * 0.1).collect(), &[8, 8])
+                .unwrap();
+        let coeffs = dct2d(&img).unwrap();
+        let back = idct2d(&coeffs).unwrap();
+        for (a, b) in back.data().iter().zip(img.data().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dct_is_orthonormal_energy_preserving() {
+        let img = Tensor::from_vec((0..36).map(|v| (v as f32 * 0.7).sin()).collect(), &[6, 6])
+            .unwrap();
+        let coeffs = dct2d(&img).unwrap();
+        let e_spatial: f32 = img.data().iter().map(|v| v * v).sum();
+        let e_freq: f32 = coeffs.data().iter().map(|v| v * v).sum();
+        assert!((e_spatial - e_freq).abs() / e_spatial < 1e-3);
+    }
+
+    #[test]
+    fn constant_image_has_only_dc_coefficient() {
+        let img = Tensor::full(&[8, 8], 3.0);
+        let coeffs = dct2d(&img).unwrap();
+        assert!(coeffs.get(&[0, 0]).unwrap().abs() > 1.0);
+        for y in 0..8 {
+            for x in 0..8 {
+                if y != 0 || x != 0 {
+                    assert!(coeffs.get(&[y, x]).unwrap().abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn low_frequency_mask_counts() {
+        let m = low_frequency_mask(16, 16, 4).unwrap();
+        assert_eq!(m.sum(), 16.0);
+        assert!(low_frequency_mask(16, 16, 0).is_err());
+        assert!(low_frequency_mask(16, 16, 17).is_err());
+    }
+
+    #[test]
+    fn projection_removes_high_frequency_content() {
+        // A checkerboard is almost entirely high-frequency: a dim-2 projection
+        // should remove nearly all its energy.
+        let n = 16;
+        let mut img = Tensor::zeros(&[n, n]);
+        for y in 0..n {
+            for x in 0..n {
+                img.set(&[y, x], if (x + y) % 2 == 0 { 1.0 } else { -1.0 })
+                    .unwrap();
+            }
+        }
+        let projected = low_frequency_project(&img, 2).unwrap();
+        assert!(projected.l2_norm() < 0.05 * img.l2_norm());
+        // A smooth ramp is mostly low-frequency: the same projection keeps
+        // most of its energy.
+        let mut ramp = Tensor::zeros(&[n, n]);
+        for y in 0..n {
+            for x in 0..n {
+                ramp.set(&[y, x], x as f32 / n as f32).unwrap();
+            }
+        }
+        let projected = low_frequency_project(&ramp, 4).unwrap();
+        assert!(projected.l2_norm() > 0.9 * ramp.l2_norm());
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let img = Tensor::from_vec((0..64).map(|v| (v as f32 * 0.37).cos()).collect(), &[8, 8])
+            .unwrap();
+        let once = low_frequency_project(&img, 3).unwrap();
+        let twice = low_frequency_project(&once, 3).unwrap();
+        for (a, b) in once.data().iter().zip(twice.data().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+use std::fmt;
+
+use blurnet_tensor::TensorError;
+
+/// Errors produced by signal-processing routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignalError {
+    /// A tensor had the wrong rank or extents for the requested transform.
+    BadShape(String),
+    /// A parameter (kernel size, sigma, mask dimension, …) was invalid.
+    BadParameter(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::BadShape(msg) => write!(f, "bad shape: {msg}"),
+            SignalError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            SignalError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SignalError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SignalError {
+    fn from(e: TensorError) -> Self {
+        SignalError::Tensor(e)
+    }
+}

@@ -1,0 +1,177 @@
+//! Standard low-pass blur kernels and helpers to apply them to images and
+//! activation batches.
+//!
+//! These are the fixed filters of Section III of the paper: a depthwise
+//! convolution of each feature map (or input channel) with a normalized blur
+//! kernel.
+
+use blurnet_tensor::{depthwise_conv2d, ConvSpec, Tensor};
+
+use crate::{Result, SignalError};
+
+/// A normalized `k × k` box (mean) blur kernel.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn box_kernel(k: usize) -> Tensor {
+    assert!(k > 0, "kernel size must be non-zero");
+    Tensor::full(&[k, k], 1.0 / (k * k) as f32)
+}
+
+/// A normalized `k × k` Gaussian blur kernel with standard deviation `sigma`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `sigma <= 0`.
+pub fn gaussian_kernel(k: usize, sigma: f32) -> Tensor {
+    assert!(k > 0, "kernel size must be non-zero");
+    assert!(sigma > 0.0, "sigma must be positive");
+    let c = (k as f32 - 1.0) / 2.0;
+    let mut kernel = Tensor::zeros(&[k, k]);
+    let mut sum = 0.0;
+    for y in 0..k {
+        for x in 0..k {
+            let dy = y as f32 - c;
+            let dx = x as f32 - c;
+            let v = (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+            kernel.set(&[y, x], v).expect("in-bounds kernel index");
+            sum += v;
+        }
+    }
+    kernel.scale(1.0 / sum)
+}
+
+/// Expands a single `[K, K]` kernel into per-channel depthwise weights
+/// `[C, K, K]` so every channel is filtered identically.
+///
+/// # Errors
+///
+/// Returns [`SignalError::BadShape`] if the kernel is not rank 2 and square.
+pub fn depthwise_weights(kernel: &Tensor, channels: usize) -> Result<Tensor> {
+    if kernel.shape().rank() != 2 || kernel.dims()[0] != kernel.dims()[1] {
+        return Err(SignalError::BadShape(format!(
+            "kernel must be a square rank-2 tensor, got {}",
+            kernel.shape()
+        )));
+    }
+    let k = kernel.dims()[0];
+    let mut data = Vec::with_capacity(channels * k * k);
+    for _ in 0..channels {
+        data.extend_from_slice(kernel.data());
+    }
+    Ok(Tensor::from_vec(data, &[channels, k, k])?)
+}
+
+/// Applies a blur kernel to every channel of a `[C, H, W]` image using
+/// "same" padding.
+///
+/// # Errors
+///
+/// Returns an error if the image is not rank 3 or the kernel is invalid.
+pub fn blur_image(image: &Tensor, kernel: &Tensor) -> Result<Tensor> {
+    if image.shape().rank() != 3 {
+        return Err(SignalError::BadShape(format!(
+            "expected a [C, H, W] image, got {}",
+            image.shape()
+        )));
+    }
+    let dims = image.dims().to_vec();
+    let batch = image.reshape(&[1, dims[0], dims[1], dims[2]])?;
+    let blurred = blur_batch(&batch, kernel)?;
+    Ok(blurred.reshape(&dims)?)
+}
+
+/// Applies a blur kernel to every channel of an `[N, C, H, W]` batch using
+/// "same" padding.
+///
+/// # Errors
+///
+/// Returns an error if the batch is not rank 4 or the kernel is invalid.
+pub fn blur_batch(batch: &Tensor, kernel: &Tensor) -> Result<Tensor> {
+    if batch.shape().rank() != 4 {
+        return Err(SignalError::BadShape(format!(
+            "expected an [N, C, H, W] batch, got {}",
+            batch.shape()
+        )));
+    }
+    let channels = batch.dims()[1];
+    let weights = depthwise_weights(kernel, channels)?;
+    let k = kernel.dims()[0];
+    Ok(depthwise_conv2d(batch, &weights, None, ConvSpec::same(k))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_kernel_is_normalized() {
+        for k in [3usize, 5, 7] {
+            let kernel = box_kernel(k);
+            assert_eq!(kernel.dims(), &[k, k]);
+            assert!((kernel.sum() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gaussian_kernel_is_normalized_and_peaked_at_centre() {
+        let kernel = gaussian_kernel(5, 1.0);
+        assert!((kernel.sum() - 1.0).abs() < 1e-5);
+        let centre = kernel.get(&[2, 2]).unwrap();
+        assert_eq!(kernel.max().unwrap(), centre);
+        // Symmetry.
+        assert!((kernel.get(&[0, 1]).unwrap() - kernel.get(&[4, 3]).unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blur_preserves_constant_images_in_the_interior() {
+        let image = Tensor::full(&[3, 9, 9], 2.0);
+        let blurred = blur_image(&image, &box_kernel(3)).unwrap();
+        assert!((blurred.get(&[1, 4, 4]).unwrap() - 2.0).abs() < 1e-5);
+        // Zero padding dims the borders.
+        assert!(blurred.get(&[1, 0, 0]).unwrap() < 2.0);
+    }
+
+    #[test]
+    fn blur_suppresses_an_isolated_spike() {
+        // The motivating observation of the paper: a localized spike in an
+        // otherwise smooth map is strongly attenuated by a 5x5 blur.
+        let mut image = Tensor::zeros(&[1, 11, 11]);
+        image.set(&[0, 5, 5], 9.0).unwrap();
+        let blurred = blur_image(&image, &box_kernel(5)).unwrap();
+        let peak_after = blurred.get(&[0, 5, 5]).unwrap();
+        assert!(peak_after < 0.5, "spike should be attenuated, got {peak_after}");
+        // Energy is spread, not created.
+        assert!(blurred.max().unwrap() <= 9.0 / 25.0 + 1e-5);
+    }
+
+    #[test]
+    fn larger_kernels_blur_more() {
+        let mut image = Tensor::zeros(&[1, 15, 15]);
+        image.set(&[0, 7, 7], 1.0).unwrap();
+        let b3 = blur_image(&image, &box_kernel(3)).unwrap();
+        let b5 = blur_image(&image, &box_kernel(5)).unwrap();
+        let b7 = blur_image(&image, &box_kernel(7)).unwrap();
+        assert!(b3.max().unwrap() > b5.max().unwrap());
+        assert!(b5.max().unwrap() > b7.max().unwrap());
+    }
+
+    #[test]
+    fn depthwise_weights_repeat_kernel_per_channel() {
+        let k = box_kernel(3);
+        let w = depthwise_weights(&k, 4).unwrap();
+        assert_eq!(w.dims(), &[4, 3, 3]);
+        for c in 0..4 {
+            assert!((w.channel(c).unwrap().sum() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let k = box_kernel(3);
+        assert!(blur_image(&Tensor::zeros(&[4, 4]), &k).is_err());
+        assert!(blur_batch(&Tensor::zeros(&[3, 4, 4]), &k).is_err());
+        assert!(depthwise_weights(&Tensor::zeros(&[3]), 2).is_err());
+    }
+}

@@ -1,0 +1,720 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{matmul, matmul_transpose_a, matmul_transpose_b, Result, Tensor, TensorError};
+
+/// Stride and zero-padding configuration for convolution and pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Stride applied to both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding applied symmetrically to both spatial dimensions.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Creates a spec with the given stride and padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidSpec`] when `stride == 0`.
+    pub fn new(stride: usize, padding: usize) -> Result<Self> {
+        if stride == 0 {
+            return Err(TensorError::InvalidSpec("stride must be non-zero".into()));
+        }
+        Ok(ConvSpec { stride, padding })
+    }
+
+    /// A unit-stride spec whose padding keeps the spatial size unchanged for
+    /// an odd `kernel` size ("same" convolution).
+    pub fn same(kernel: usize) -> Self {
+        ConvSpec {
+            stride: 1,
+            padding: kernel / 2,
+        }
+    }
+
+    /// A unit-stride, zero-padding ("valid") spec.
+    pub fn valid() -> Self {
+        ConvSpec {
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    /// Output spatial extent for an input extent and kernel extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidSpec`] if the kernel does not fit the
+    /// padded input.
+    pub fn output_extent(&self, input: usize, kernel: usize) -> Result<usize> {
+        let padded = input + 2 * self.padding;
+        if kernel == 0 || kernel > padded {
+            return Err(TensorError::InvalidSpec(format!(
+                "kernel {kernel} does not fit padded input {padded}"
+            )));
+        }
+        Ok((padded - kernel) / self.stride + 1)
+    }
+}
+
+impl Default for ConvSpec {
+    fn default() -> Self {
+        ConvSpec {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+fn dims4(t: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if t.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.shape().rank(),
+        });
+    }
+    let d = t.dims();
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Unfolds an `[N, C, H, W]` input into an `[N*OH*OW, C*KH*KW]` patch matrix.
+///
+/// Out-of-bounds (padding) locations contribute zeros.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4 or the kernel does not fit.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Result<Tensor> {
+    let (n, c, h, w) = dims4(input)?;
+    let oh = spec.output_extent(h, kh)?;
+    let ow = spec.output_extent(w, kw)?;
+    let cols_rows = n * oh * ow;
+    let cols_cols = c * kh * kw;
+    let mut cols = vec![0.0f32; cols_rows * cols_cols];
+    let data = input.data();
+    let pad = spec.padding as isize;
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols_cols;
+                let y0 = (oy * spec.stride) as isize - pad;
+                let x0 = (ox * spec.stride) as isize - pad;
+                for ci in 0..c {
+                    let in_base = (ni * c + ci) * h * w;
+                    let col_base = row + ci * kh * kw;
+                    for ky in 0..kh {
+                        let y = y0 + ky as isize;
+                        if y < 0 || y >= h as isize {
+                            continue;
+                        }
+                        let in_row = in_base + y as usize * w;
+                        let col_row = col_base + ky * kw;
+                        for kx in 0..kw {
+                            let x = x0 + kx as isize;
+                            if x < 0 || x >= w as isize {
+                                continue;
+                            }
+                            cols[col_row + kx] = data[in_row + x as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(cols, &[cols_rows, cols_cols])
+}
+
+/// Folds an `[N*OH*OW, C*KH*KW]` patch matrix back into an `[N, C, H, W]`
+/// tensor by scatter-adding overlapping patches (the adjoint of [`im2col`]).
+///
+/// # Errors
+///
+/// Returns an error if the column matrix shape is inconsistent with the
+/// target dimensions and spec.
+pub fn col2im(
+    cols: &Tensor,
+    input_dims: &[usize],
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let oh = spec.output_extent(h, kh)?;
+    let ow = spec.output_extent(w, kw)?;
+    let cols_rows = n * oh * ow;
+    let cols_cols = c * kh * kw;
+    if cols.dims() != [cols_rows, cols_cols] {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.dims().to_vec(),
+            right: vec![cols_rows, cols_cols],
+        });
+    }
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols.data();
+    let pad = spec.padding as isize;
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols_cols;
+                let y0 = (oy * spec.stride) as isize - pad;
+                let x0 = (ox * spec.stride) as isize - pad;
+                for ci in 0..c {
+                    let out_base = (ni * c + ci) * h * w;
+                    let col_base = row + ci * kh * kw;
+                    for ky in 0..kh {
+                        let y = y0 + ky as isize;
+                        if y < 0 || y >= h as isize {
+                            continue;
+                        }
+                        let out_row = out_base + y as usize * w;
+                        let col_row = col_base + ky * kw;
+                        for kx in 0..kw {
+                            let x = x0 + kx as isize;
+                            if x < 0 || x >= w as isize {
+                                continue;
+                            }
+                            out[out_row + x as usize] += data[col_row + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, input_dims)
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the convolution input.
+    pub d_input: Tensor,
+    /// Gradient with respect to the filter weights.
+    pub d_weight: Tensor,
+    /// Gradient with respect to the bias (one entry per output channel).
+    pub d_bias: Tensor,
+}
+
+/// Standard 2-D convolution.
+///
+/// * `input`:  `[N, C, H, W]`
+/// * `weight`: `[F, C, KH, KW]`
+/// * `bias`:   optional `[F]`
+///
+/// Returns `[N, F, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches or if the kernel does not fit
+/// the padded input.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    let (n, c, h, w) = dims4(input)?;
+    let (f, wc, kh, kw) = dims4(weight)?;
+    if wc != c {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![f, wc, kh, kw],
+            right: vec![f, c, kh, kw],
+        });
+    }
+    if let Some(b) = bias {
+        if b.dims() != [f] {
+            return Err(TensorError::ShapeMismatch {
+                left: b.dims().to_vec(),
+                right: vec![f],
+            });
+        }
+    }
+    let oh = spec.output_extent(h, kh)?;
+    let ow = spec.output_extent(w, kw)?;
+    let cols = im2col(input, kh, kw, spec)?;
+    let wmat = weight.reshape(&[f, c * kh * kw])?;
+    // [N*OH*OW, F]
+    let prod = matmul_transpose_b(&cols, &wmat)?;
+    let prod_data = prod.data();
+    let mut out = vec![0.0f32; n * f * oh * ow];
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * f;
+                for fi in 0..f {
+                    let mut v = prod_data[row + fi];
+                    if let Some(b) = bias {
+                        v += b.data()[fi];
+                    }
+                    out[((ni * f + fi) * oh + oy) * ow + ox] = v;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, f, oh, ow])
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// `grad_output` must be `[N, F, OH, OW]` matching the forward output.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: ConvSpec,
+) -> Result<Conv2dGrads> {
+    let (n, c, h, w) = dims4(input)?;
+    let (f, _, kh, kw) = dims4(weight)?;
+    let (gn, gf, oh, ow) = dims4(grad_output)?;
+    let exp_oh = spec.output_extent(h, kh)?;
+    let exp_ow = spec.output_extent(w, kw)?;
+    if gn != n || gf != f || oh != exp_oh || ow != exp_ow {
+        return Err(TensorError::ShapeMismatch {
+            left: grad_output.dims().to_vec(),
+            right: vec![n, f, exp_oh, exp_ow],
+        });
+    }
+
+    // Reorder grad_output [N,F,OH,OW] -> [N*OH*OW, F].
+    let g = grad_output.data();
+    let mut gmat = vec![0.0f32; n * oh * ow * f];
+    let mut d_bias = vec![0.0f32; f];
+    for ni in 0..n {
+        for fi in 0..f {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let v = g[((ni * f + fi) * oh + oy) * ow + ox];
+                    gmat[((ni * oh + oy) * ow + ox) * f + fi] = v;
+                    d_bias[fi] += v;
+                }
+            }
+        }
+    }
+    let gmat = Tensor::from_vec(gmat, &[n * oh * ow, f])?;
+    let cols = im2col(input, kh, kw, spec)?;
+    // dW = gmatᵀ · cols : [F, C*KH*KW]
+    let d_weight = matmul_transpose_a(&gmat, &cols)?.reshape(&[f, c, kh, kw])?;
+    // dCols = gmat · wmat : [N*OH*OW, C*KH*KW]
+    let wmat = weight.reshape(&[f, c * kh * kw])?;
+    let d_cols = matmul(&gmat, &wmat)?;
+    let d_input = col2im(&d_cols, &[n, c, h, w], kh, kw, spec)?;
+    Ok(Conv2dGrads {
+        d_input,
+        d_weight,
+        d_bias: Tensor::from_vec(d_bias, &[f])?,
+    })
+}
+
+/// Gradients produced by [`depthwise_conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct DepthwiseGrads {
+    /// Gradient with respect to the input.
+    pub d_input: Tensor,
+    /// Gradient with respect to the per-channel kernels (`[C, KH, KW]`).
+    pub d_weight: Tensor,
+    /// Gradient with respect to the per-channel bias (`[C]`).
+    pub d_bias: Tensor,
+}
+
+/// Depthwise 2-D convolution: each channel is convolved with its own kernel.
+///
+/// * `input`:  `[N, C, H, W]`
+/// * `weight`: `[C, KH, KW]`
+/// * `bias`:   optional `[C]`
+///
+/// Returns `[N, C, OH, OW]`. This is the filtering layer BlurNet inserts
+/// after the first convolution.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches or if the kernel does not fit.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    let (n, c, h, w) = dims4(input)?;
+    if weight.shape().rank() != 3 || weight.dims()[0] != c {
+        return Err(TensorError::ShapeMismatch {
+            left: weight.dims().to_vec(),
+            right: vec![c, 0, 0],
+        });
+    }
+    let (kh, kw) = (weight.dims()[1], weight.dims()[2]);
+    if let Some(b) = bias {
+        if b.dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                left: b.dims().to_vec(),
+                right: vec![c],
+            });
+        }
+    }
+    let oh = spec.output_extent(h, kh)?;
+    let ow = spec.output_extent(w, kw)?;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = input.data();
+    let wdata = weight.data();
+    let pad = spec.padding as isize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w;
+            let k_base = ci * kh * kw;
+            let b = bias.map_or(0.0, |b| b.data()[ci]);
+            for oy in 0..oh {
+                let y0 = (oy * spec.stride) as isize - pad;
+                for ox in 0..ow {
+                    let x0 = (ox * spec.stride) as isize - pad;
+                    let mut acc = b;
+                    for ky in 0..kh {
+                        let y = y0 + ky as isize;
+                        if y < 0 || y >= h as isize {
+                            continue;
+                        }
+                        let in_row = in_base + y as usize * w;
+                        let k_row = k_base + ky * kw;
+                        for kx in 0..kw {
+                            let x = x0 + kx as isize;
+                            if x < 0 || x >= w as isize {
+                                continue;
+                            }
+                            acc += data[in_row + x as usize] * wdata[k_row + kx];
+                        }
+                    }
+                    out[((ni * c + ci) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Backward pass of [`depthwise_conv2d`].
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches.
+pub fn depthwise_conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: ConvSpec,
+) -> Result<DepthwiseGrads> {
+    let (n, c, h, w) = dims4(input)?;
+    let (kh, kw) = (weight.dims()[1], weight.dims()[2]);
+    let oh = spec.output_extent(h, kh)?;
+    let ow = spec.output_extent(w, kw)?;
+    if grad_output.dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            left: grad_output.dims().to_vec(),
+            right: vec![n, c, oh, ow],
+        });
+    }
+    let mut d_input = vec![0.0f32; n * c * h * w];
+    let mut d_weight = vec![0.0f32; c * kh * kw];
+    let mut d_bias = vec![0.0f32; c];
+    let x = input.data();
+    let wd = weight.data();
+    let g = grad_output.data();
+    let pad = spec.padding as isize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w;
+            let k_base = ci * kh * kw;
+            for oy in 0..oh {
+                let y0 = (oy * spec.stride) as isize - pad;
+                for ox in 0..ow {
+                    let x0 = (ox * spec.stride) as isize - pad;
+                    let go = g[((ni * c + ci) * oh + oy) * ow + ox];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    d_bias[ci] += go;
+                    for ky in 0..kh {
+                        let y = y0 + ky as isize;
+                        if y < 0 || y >= h as isize {
+                            continue;
+                        }
+                        let in_row = in_base + y as usize * w;
+                        let k_row = k_base + ky * kw;
+                        for kx in 0..kw {
+                            let x_pos = x0 + kx as isize;
+                            if x_pos < 0 || x_pos >= w as isize {
+                                continue;
+                            }
+                            let xi = in_row + x_pos as usize;
+                            d_weight[k_row + kx] += go * x[xi];
+                            d_input[xi] += go * wd[k_row + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(DepthwiseGrads {
+        d_input: Tensor::from_vec(d_input, &[n, c, h, w])?,
+        d_weight: Tensor::from_vec(d_weight, &[c, kh, kw])?,
+        d_bias: Tensor::from_vec(d_bias, &[c])?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Direct (loop-based) reference convolution used to validate the
+    /// im2col implementation.
+    fn naive_conv2d(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: ConvSpec,
+    ) -> Tensor {
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (f, _, kh, kw) = (
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        );
+        let oh = spec.output_extent(h, kh).unwrap();
+        let ow = spec.output_extent(w, kw).unwrap();
+        let mut out = Tensor::zeros(&[n, f, oh, ow]);
+        for ni in 0..n {
+            for fi in 0..f {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.map_or(0.0, |b| b.data()[fi]);
+                        for ci in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let y = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let x = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if y < 0 || y >= h as isize || x < 0 || x >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.get(&[ni, ci, y as usize, x as usize]).unwrap()
+                                        * weight.get(&[fi, ci, ky, kx]).unwrap();
+                                }
+                            }
+                        }
+                        out.set(&[ni, fi, oy, ox], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn output_extent_math() {
+        let s = ConvSpec::new(2, 1).unwrap();
+        assert_eq!(s.output_extent(32, 5).unwrap(), 15);
+        assert_eq!(ConvSpec::same(5).output_extent(32, 5).unwrap(), 32);
+        assert_eq!(ConvSpec::valid().output_extent(32, 5).unwrap(), 28);
+        assert!(ConvSpec::valid().output_extent(2, 5).is_err());
+        assert!(ConvSpec::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn conv2d_matches_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for &(stride, padding) in &[(1usize, 0usize), (1, 2), (2, 1)] {
+            let spec = ConvSpec { stride, padding };
+            let input = Tensor::rand_uniform(&[2, 3, 9, 8], -1.0, 1.0, &mut rng);
+            let weight = Tensor::rand_uniform(&[4, 3, 3, 3], -1.0, 1.0, &mut rng);
+            let bias = Tensor::rand_uniform(&[4], -0.5, 0.5, &mut rng);
+            let fast = conv2d(&input, &weight, Some(&bias), spec).unwrap();
+            let slow = naive_conv2d(&input, &weight, Some(&bias), spec);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_preserves_input() {
+        // A 1x1 kernel of value 1 on a single channel is the identity.
+        let input = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let out = conv2d(&input, &weight, None, ConvSpec::valid()).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv2d_backward_matches_numerical_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let spec = ConvSpec { stride: 1, padding: 1 };
+        let input = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let weight = Tensor::rand_uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let bias = Tensor::rand_uniform(&[3], -0.5, 0.5, &mut rng);
+        // Loss = sum of outputs, so grad_output is all ones.
+        let out = conv2d(&input, &weight, Some(&bias), spec).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, spec).unwrap();
+
+        let eps = 1e-2f32;
+        // Check a handful of input coordinates.
+        for &flat in &[0usize, 7, 13, 24, 40] {
+            let mut plus = input.clone();
+            plus.data_mut()[flat] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[flat] -= eps;
+            let f_plus = conv2d(&plus, &weight, Some(&bias), spec).unwrap().sum();
+            let f_minus = conv2d(&minus, &weight, Some(&bias), spec).unwrap().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grads.d_input.data()[flat];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "input grad mismatch at {flat}: {numeric} vs {analytic}"
+            );
+        }
+        // Check a handful of weight coordinates.
+        for &flat in &[0usize, 5, 11, 17, 35] {
+            let mut plus = weight.clone();
+            plus.data_mut()[flat] += eps;
+            let mut minus = weight.clone();
+            minus.data_mut()[flat] -= eps;
+            let f_plus = conv2d(&input, &plus, Some(&bias), spec).unwrap().sum();
+            let f_minus = conv2d(&input, &minus, Some(&bias), spec).unwrap().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grads.d_weight.data()[flat];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "weight grad mismatch at {flat}: {numeric} vs {analytic}"
+            );
+        }
+        // Bias gradient of a sum-loss equals the number of output pixels.
+        let expected_bias = (out.len() / 3) as f32;
+        for &b in grads.d_bias.data() {
+            assert!((b - expected_bias).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn depthwise_identity_kernel_preserves_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let input = Tensor::rand_uniform(&[2, 3, 6, 6], -1.0, 1.0, &mut rng);
+        // 3x3 kernels with a 1 in the centre = identity under "same" padding.
+        let mut weight = Tensor::zeros(&[3, 3, 3]);
+        for c in 0..3 {
+            weight.set(&[c, 1, 1], 1.0).unwrap();
+        }
+        let out = depthwise_conv2d(&input, &weight, None, ConvSpec::same(3)).unwrap();
+        for (a, b) in out.data().iter().zip(input.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn depthwise_box_blur_averages_neighbours() {
+        // Uniform input stays uniform under a normalized box kernel.
+        let input = Tensor::full(&[1, 2, 5, 5], 3.0);
+        let weight = Tensor::full(&[2, 3, 3], 1.0 / 9.0);
+        let out = depthwise_conv2d(&input, &weight, None, ConvSpec::same(3)).unwrap();
+        // Centre pixels keep the value; border pixels shrink due to zero padding.
+        assert!((out.get(&[0, 0, 2, 2]).unwrap() - 3.0).abs() < 1e-5);
+        assert!(out.get(&[0, 0, 0, 0]).unwrap() < 3.0);
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_standard_conv() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let input = Tensor::rand_uniform(&[1, 3, 7, 7], -1.0, 1.0, &mut rng);
+        let dw = Tensor::rand_uniform(&[3, 3, 3], -1.0, 1.0, &mut rng);
+        // Expand depthwise kernel into a block-diagonal standard kernel.
+        let mut full = Tensor::zeros(&[3, 3, 3, 3]);
+        for c in 0..3 {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    full.set(&[c, c, ky, kx], dw.get(&[c, ky, kx]).unwrap())
+                        .unwrap();
+                }
+            }
+        }
+        let spec = ConvSpec::same(3);
+        let a = depthwise_conv2d(&input, &dw, None, spec).unwrap();
+        let b = conv2d(&input, &full, None, spec).unwrap();
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn depthwise_backward_matches_numerical_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let spec = ConvSpec::same(3);
+        let input = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let weight = Tensor::rand_uniform(&[2, 3, 3], -1.0, 1.0, &mut rng);
+        let out = depthwise_conv2d(&input, &weight, None, spec).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grads = depthwise_conv2d_backward(&input, &weight, &grad_out, spec).unwrap();
+        let eps = 1e-2f32;
+        for &flat in &[0usize, 3, 10, 17] {
+            let mut plus = weight.clone();
+            plus.data_mut()[flat] += eps;
+            let mut minus = weight.clone();
+            minus.data_mut()[flat] -= eps;
+            let f_plus = depthwise_conv2d(&input, &plus, None, spec).unwrap().sum();
+            let f_minus = depthwise_conv2d(&input, &minus, None, spec).unwrap().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grads.d_weight.data()[flat];
+            assert!((numeric - analytic).abs() < 1e-2);
+        }
+        for &flat in &[0usize, 12, 30, 49] {
+            let mut plus = input.clone();
+            plus.data_mut()[flat] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[flat] -= eps;
+            let f_plus = depthwise_conv2d(&plus, &weight, None, spec).unwrap().sum();
+            let f_minus = depthwise_conv2d(&minus, &weight, None, spec).unwrap().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grads.d_input.data()[flat];
+            assert!((numeric - analytic).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let spec = ConvSpec { stride: 2, padding: 1 };
+        let x = Tensor::rand_uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let cols = im2col(&x, 3, 3, spec).unwrap();
+        let y = Tensor::rand_uniform(cols.dims(), -1.0, 1.0, &mut rng);
+        let lhs = cols.dot(&y).unwrap();
+        let back = col2im(&y, &[1, 2, 6, 6], 3, 3, spec).unwrap();
+        let rhs = x.dot(&back).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let input = Tensor::zeros(&[1, 3, 8, 8]);
+        let bad_weight = Tensor::zeros(&[2, 4, 3, 3]);
+        assert!(conv2d(&input, &bad_weight, None, ConvSpec::valid()).is_err());
+        let bad_bias = Tensor::zeros(&[3]);
+        let weight = Tensor::zeros(&[2, 3, 3, 3]);
+        assert!(conv2d(&input, &weight, Some(&bad_bias), ConvSpec::valid()).is_err());
+        let dw_bad = Tensor::zeros(&[2, 3, 3]);
+        assert!(depthwise_conv2d(&input, &dw_bad, None, ConvSpec::same(3)).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Minimal NCHW `f32` tensor library for the BlurNet reproduction.
+//!
+//! The crate provides exactly the numeric substrate the rest of the
+//! workspace needs: a dense row-major [`Tensor`], blocked matrix
+//! multiplication, im2col-based 2-D convolution (regular and depthwise)
+//! with full gradients, max-pooling, and seeded weight initializers.
+//!
+//! # Example
+//!
+//! ```
+//! use blurnet_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.add(&b)?;
+//! assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
+//! # Ok::<(), blurnet_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod init;
+mod matmul;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use conv::{
+    col2im, conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, im2col,
+    Conv2dGrads, ConvSpec, DepthwiseGrads,
+};
+pub use error::TensorError;
+pub use init::{kaiming_uniform, xavier_uniform, Initializer};
+pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use pool::{max_pool2d, max_pool2d_backward, MaxPoolOutput, PoolSpec};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

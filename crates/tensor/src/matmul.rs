@@ -1,0 +1,204 @@
+use crate::{Result, Tensor, TensorError};
+
+fn dims2(t: &Tensor) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.shape().rank(),
+        });
+    }
+    Ok((t.shape().dim(0), t.shape().dim(1)))
+}
+
+/// Dense matrix product `a (m×k) · b (k×n) → (m×n)`.
+///
+/// Uses a cache-friendly ikj loop order; this is the hot path for every
+/// convolution (via im2col) and dense layer in the workspace.
+///
+/// # Errors
+///
+/// Returns an error if either argument is not rank 2 or the inner
+/// dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = dims2(a)?;
+    let (k2, n) = dims2(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `aᵀ (k×m) · b (k×n) → (m×n)` without materialising the transpose.
+///
+/// # Errors
+///
+/// Returns an error if either argument is not rank 2 or the shared leading
+/// dimension disagrees.
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = dims2(a)?;
+    let (k2, n) = dims2(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let a_row = &a_data[p * m..(p + 1) * m];
+        let b_row = &b_data[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes `a (m×k) · bᵀ (n×k) → (m×n)` without materialising the transpose.
+///
+/// # Errors
+///
+/// Returns an error if either argument is not rank 2 or the shared trailing
+/// dimension disagrees.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = dims2(a)?;
+    let (n, k2) = dims2(b)?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.get(&[i, p]).unwrap() * b.get(&[p, j]).unwrap();
+                }
+                out.set(&[i, j], acc).unwrap();
+            }
+        }
+        out
+    }
+
+    fn transpose(t: &Tensor) -> Tensor {
+        let (r, c) = (t.dims()[0], t.dims()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.set(&[j, i], t.get(&[i, j]).unwrap()).unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_matrices() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let a = Tensor::rand_uniform(&[7, 5], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[5, 9], -1.0, 1.0, &mut rng);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = naive(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_variants_match_explicit_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let a = Tensor::rand_uniform(&[6, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[6, 3], -1.0, 1.0, &mut rng);
+        let expected = matmul(&transpose(&a), &b).unwrap();
+        let got = matmul_transpose_a(&a, &b).unwrap();
+        for (x, y) in got.data().iter().zip(expected.data().iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        let c = Tensor::rand_uniform(&[4, 5], -1.0, 1.0, &mut rng);
+        let d = Tensor::rand_uniform(&[7, 5], -1.0, 1.0, &mut rng);
+        let expected = matmul(&c, &transpose(&d)).unwrap();
+        let got = matmul_transpose_b(&c, &d).unwrap();
+        for (x, y) in got.data().iter().zip(expected.data().iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(
+            matmul(&v, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the tensor substrate.
+
+use blurnet_tensor::{
+    col2im, conv2d, im2col, matmul, matmul_transpose_a, matmul_transpose_b, ConvSpec, Tensor,
+};
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Addition is commutative and subtraction is its inverse.
+    #[test]
+    fn add_commutative_sub_inverse(data_a in tensor_strategy(24), data_b in tensor_strategy(24)) {
+        let a = Tensor::from_vec(data_a, &[2, 3, 4]).unwrap();
+        let b = Tensor::from_vec(data_b, &[2, 3, 4]).unwrap();
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        for (x, y) in ab.data().iter().zip(ba.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+        let back = ab.sub(&b).unwrap();
+        for (x, y) in back.data().iter().zip(a.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Scaling by s then 1/s returns the original (away from zero).
+    #[test]
+    fn scale_roundtrip(data in tensor_strategy(16), s in 0.5f32..4.0) {
+        let t = Tensor::from_vec(data, &[4, 4]).unwrap();
+        let round = t.scale(s).scale(1.0 / s);
+        for (x, y) in round.data().iter().zip(t.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// The L2 norm satisfies the triangle inequality and absolute homogeneity.
+    #[test]
+    fn l2_norm_properties(data_a in tensor_strategy(12), data_b in tensor_strategy(12), s in -3.0f32..3.0) {
+        let a = Tensor::from_vec(data_a, &[12]).unwrap();
+        let b = Tensor::from_vec(data_b, &[12]).unwrap();
+        let sum = a.add(&b).unwrap();
+        prop_assert!(sum.l2_norm() <= a.l2_norm() + b.l2_norm() + 1e-4);
+        prop_assert!((a.scale(s).l2_norm() - s.abs() * a.l2_norm()).abs() < 1e-3);
+    }
+
+    /// Matrix multiplication distributes over addition.
+    #[test]
+    fn matmul_distributes(a in tensor_strategy(12), b in tensor_strategy(20), c in tensor_strategy(20)) {
+        let a = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let b = Tensor::from_vec(b, &[4, 5]).unwrap();
+        let c = Tensor::from_vec(c, &[4, 5]).unwrap();
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    /// `matmul_transpose_a` and `matmul_transpose_b` agree with explicit matmul.
+    #[test]
+    fn transpose_matmul_consistency(a in tensor_strategy(12), b in tensor_strategy(15)) {
+        // a: [3,4] viewed also as [4,3] transposed operand; b: [3,5]
+        let a_t = Tensor::from_vec(a.clone(), &[3, 4]).unwrap();
+        let b_m = Tensor::from_vec(b, &[3, 5]).unwrap();
+        let via_ta = matmul_transpose_a(&a_t, &b_m).unwrap();
+        // Build explicit transpose of a.
+        let mut at = Tensor::zeros(&[4, 3]);
+        for i in 0..3 {
+            for j in 0..4 {
+                at.set(&[j, i], a_t.get(&[i, j]).unwrap()).unwrap();
+            }
+        }
+        let direct = matmul(&at, &b_m).unwrap();
+        for (x, y) in via_ta.data().iter().zip(direct.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        // a · aᵀ computed via the transpose-b helper vs an explicit transpose.
+        let via_tb = matmul_transpose_b(&a_t, &a_t).unwrap();
+        let direct2 = matmul(&a_t, &at).unwrap();
+        for (x, y) in via_tb.data().iter().zip(direct2.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// im2col followed by col2im is the adjoint pair: <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn im2col_col2im_adjoint(data in tensor_strategy(72), stride in 1usize..3, padding in 0usize..2) {
+        let x = Tensor::from_vec(data, &[1, 2, 6, 6]).unwrap();
+        let spec = ConvSpec { stride, padding };
+        if spec.output_extent(6, 3).is_err() {
+            return Ok(());
+        }
+        let cols = im2col(&x, 3, 3, spec).unwrap();
+        let y = Tensor::ones(cols.dims());
+        let lhs = cols.dot(&y).unwrap();
+        let back = col2im(&y, &[1, 2, 6, 6], 3, 3, spec).unwrap();
+        let rhs = x.dot(&back).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2);
+    }
+
+    /// Convolution is linear in its input.
+    #[test]
+    fn conv_is_linear(a in tensor_strategy(48), b in tensor_strategy(48), w in tensor_strategy(18), alpha in -2.0f32..2.0) {
+        let x1 = Tensor::from_vec(a, &[1, 3, 4, 4]).unwrap();
+        let x2 = Tensor::from_vec(b, &[1, 3, 4, 4]).unwrap();
+        let weight = Tensor::from_vec(w, &[2, 3, 1, 3]).unwrap().reshape(&[2, 3, 3, 1]).unwrap();
+        let spec = ConvSpec::valid();
+        let combo = x1.scale(alpha).add(&x2).unwrap();
+        let lhs = conv2d(&combo, &weight, None, spec).unwrap();
+        let rhs = conv2d(&x1, &weight, None, spec).unwrap().scale(alpha)
+            .add(&conv2d(&x2, &weight, None, spec).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    /// stack/batch_item round-trips.
+    #[test]
+    fn stack_batch_item_roundtrip(a in tensor_strategy(12), b in tensor_strategy(12)) {
+        let t1 = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let t2 = Tensor::from_vec(b, &[3, 4]).unwrap();
+        let s = Tensor::stack(&[t1.clone(), t2.clone()]).unwrap();
+        prop_assert_eq!(s.batch_item(0).unwrap(), t1);
+        prop_assert_eq!(s.batch_item(1).unwrap(), t2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Compares the BlurNet defenses head-to-head under the white-box RP2
+//! attacker: fixed feature-map blurring, L∞-regularized depthwise
+//! filtering, TV and Tikhonov regularization (a miniature Table II).
+//!
+//! ```sh
+//! cargo run --release --example defense_comparison
+//! # or, for a longer and more faithful run:
+//! BLURNET_SCALE=quick cargo run --release --example defense_comparison
+//! ```
+
+use blurnet::experiments::table2;
+use blurnet::{ModelZoo, Scale, Table};
+use blurnet_defenses::DefenseKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_env();
+    println!("running at scale: {scale} (set BLURNET_SCALE=quick for a fuller run)");
+    let mut zoo = ModelZoo::new(scale, 7)?;
+
+    let defenses = [
+        DefenseKind::Baseline,
+        DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
+        DefenseKind::TotalVariation { alpha: 1e-4 },
+        DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+        DefenseKind::TikhonovPseudo { alpha: 1e-6 },
+    ];
+
+    let mut table = Table::new(
+        "White-box RP2 against selected defenses",
+        &["Defense", "Legit acc.", "Avg success", "Worst success", "L2"],
+    );
+    for defense in &defenses {
+        let row = table2::run_defense(&mut zoo, defense)?;
+        table.push_row(vec![
+            row.defense,
+            format!("{:.1}%", row.legitimate_accuracy * 100.0),
+            format!("{:.1}%", row.average_success_rate * 100.0),
+            format!("{:.1}%", row.worst_success_rate * 100.0),
+            format!("{:.3}", row.l2_dissimilarity),
+        ]);
+    }
+    println!("{table}");
+    println!("Paper reference (Table II): baseline worst-case 90% vs TV 17.5% and Tik_hf 10%.");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Smoke tests that every table/figure reproduction runs end-to-end and
+//! produces structurally valid output. These are the same entry points the
+//! bench binaries call.
+
+use blurnet::experiments::{figures, table1, table3, table4, table5};
+use blurnet::{ModelZoo, Scale};
+use blurnet_defenses::DefenseKind;
+
+/// One shared zoo keeps the total training cost of this file low: models
+/// are trained once and reused across the experiments, exactly as
+/// `all_experiments` does.
+fn smoke_zoo() -> ModelZoo {
+    ModelZoo::new(Scale::Smoke, 7).expect("smoke dataset generation")
+}
+
+#[test]
+fn table1_reproduction_runs_and_renders() {
+    let mut zoo = smoke_zoo();
+    let t1 = table1::run(&mut zoo).unwrap();
+    assert_eq!(t1.rows.len(), 5);
+    let rendered = t1.table().to_string();
+    assert!(rendered.contains("Input filter 3x3"));
+    assert!(rendered.contains("Accuracy"));
+}
+
+#[test]
+fn table3_and_table4_share_trained_models() {
+    let mut zoo = smoke_zoo();
+    let defense = DefenseKind::TotalVariation { alpha: 1e-4 };
+    let adaptive = table3::run_defense(&mut zoo, &defense).unwrap();
+    let cached_after_t3 = zoo.cached_models();
+    let pgd = table4::run_defense(&mut zoo, &defense).unwrap();
+    // The same trained model is reused, not retrained.
+    assert_eq!(zoo.cached_models(), cached_after_t3);
+    assert!((0.0..=1.0).contains(&adaptive.average_success_rate));
+    assert!((0.0..=1.0).contains(&pgd.attack_success_rate));
+}
+
+#[test]
+fn table5_reports_all_three_adaptive_attacks() {
+    let mut zoo = smoke_zoo();
+    let t5 = table5::run(&mut zoo).unwrap();
+    assert_eq!(t5.rows.len(), 3);
+    let labels: Vec<&str> = t5.rows.iter().map(|r| r.attack.as_str()).collect();
+    assert!(labels.contains(&"TV adaptive attack"));
+    assert!(labels.contains(&"Tik_hf attack"));
+    assert!(labels.contains(&"Tik_pseudo attack"));
+}
+
+#[test]
+fn figure2_blur_reduces_difference_spectrum() {
+    let mut zoo = smoke_zoo();
+    let fig2 = figures::figure2(&mut zoo, 4).unwrap();
+    assert!(!fig2.channels.is_empty());
+    // The paper's qualitative claim: blurring the difference map removes
+    // high-frequency energy (or at least never adds any).
+    assert!(
+        fig2.mean_blurred_difference_fraction() <= fig2.mean_difference_fraction() + 1e-3,
+        "blur should not increase the high-frequency share ({} -> {})",
+        fig2.mean_difference_fraction(),
+        fig2.mean_blurred_difference_fraction()
+    );
+}
+
+#[test]
+fn figure3_sweep_returns_one_point_per_dimension() {
+    let mut zoo = smoke_zoo();
+    let fig3 = figures::figure3(&mut zoo, &[8, 16]).unwrap();
+    assert_eq!(fig3.points.len(), 2);
+    for (dim, asr) in &fig3.points {
+        assert!(*dim == 8 || *dim == 16);
+        assert!((0.0..=1.0).contains(asr));
+    }
+    assert!(fig3.table().to_string().contains("DCT mask dim"));
+}
