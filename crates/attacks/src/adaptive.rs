@@ -29,9 +29,10 @@ pub enum FeaturePenaltyKind {
 }
 
 /// Modification of the RP2 objective used by adaptive attacks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub enum AdaptiveObjective {
     /// The plain RP2 objective of Eq. 1 (white-box and black-box tables).
+    #[default]
     Standard,
     /// Restrict the perturbation to the lowest `dim × dim` DCT
     /// coefficients, `IDCT(M_dim · DCT(M_x · δ))` (Eq. 8).
@@ -50,12 +51,6 @@ pub enum AdaptiveObjective {
         /// unweighted term (1.0) to be the strongest attacker.
         weight: f32,
     },
-}
-
-impl Default for AdaptiveObjective {
-    fn default() -> Self {
-        AdaptiveObjective::Standard
-    }
 }
 
 /// Builds the low-frequency DCT adaptive attack of Eq. 8 from a base RP2

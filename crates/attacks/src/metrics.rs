@@ -31,8 +31,7 @@ impl AttackEvaluation {
                 dissimilarities.len()
             )));
         }
-        let success_rate =
-            successes.iter().filter(|&&s| s).count() as f32 / successes.len() as f32;
+        let success_rate = successes.iter().filter(|&&s| s).count() as f32 / successes.len() as f32;
         let l2 = dissimilarities.iter().sum::<f32>() / dissimilarities.len() as f32;
         Ok(AttackEvaluation {
             success_rate,
@@ -155,7 +154,7 @@ mod tests {
         let mean = mean_l2_dissimilarity(&[a.clone(), a.clone()], &[b1, b2]).unwrap();
         assert!((mean - 0.2).abs() < 1e-5);
         assert!(mean_l2_dissimilarity(&[], &[]).is_err());
-        assert!(mean_l2_dissimilarity(&[a.clone()], &[]).is_err());
+        assert!(mean_l2_dissimilarity(std::slice::from_ref(&a), &[]).is_err());
     }
 
     #[test]
@@ -172,8 +171,8 @@ mod tests {
 
     #[test]
     fn evaluation_from_parts() {
-        let eval =
-            AttackEvaluation::from_parts(&[true, false, true, true], &[0.1, 0.2, 0.3, 0.4]).unwrap();
+        let eval = AttackEvaluation::from_parts(&[true, false, true, true], &[0.1, 0.2, 0.3, 0.4])
+            .unwrap();
         assert!((eval.success_rate - 0.75).abs() < 1e-6);
         assert!((eval.l2_dissimilarity - 0.25).abs() < 1e-6);
         assert_eq!(eval.count, 4);

@@ -70,12 +70,7 @@ impl PgdAttack {
     /// # Errors
     ///
     /// Returns an error for malformed inputs.
-    pub fn generate(
-        &self,
-        net: &mut Sequential,
-        image: &Tensor,
-        label: usize,
-    ) -> Result<Tensor> {
+    pub fn generate(&self, net: &mut Sequential, image: &Tensor, label: usize) -> Result<Tensor> {
         if image.shape().rank() != 3 {
             return Err(AttackError::BadInput(format!(
                 "expected a [C, H, W] image, got {}",
@@ -133,9 +128,9 @@ impl PgdAttack {
         let mut adv_preds = Vec::with_capacity(images.len());
         let mut dissims = Vec::with_capacity(images.len());
         for (image, &label) in images.iter().zip(labels.iter()) {
-            let clean_pred = net.predict(&Tensor::stack(&[image.clone()])?)?[0];
+            let clean_pred = net.predict(&Tensor::stack(std::slice::from_ref(image))?)?[0];
             let adv = self.generate(net, image, label)?;
-            let adv_pred = net.predict(&Tensor::stack(&[adv.clone()])?)?[0];
+            let adv_pred = net.predict(&Tensor::stack(std::slice::from_ref(&adv))?)?[0];
             clean_preds.push(clean_pred);
             adv_preds.push(adv_pred);
             dissims.push(l2_dissimilarity(image, &adv)?);
@@ -190,7 +185,10 @@ mod tests {
         let image = &data.stop_eval_images()[0];
         let adv = attack.generate(&mut net, image, 14).unwrap();
         let max_diff = adv.sub(image).unwrap().linf_norm();
-        assert!(max_diff <= 8.0 / 255.0 + 1e-5, "L-inf violation: {max_diff}");
+        assert!(
+            max_diff <= 8.0 / 255.0 + 1e-5,
+            "L-inf violation: {max_diff}"
+        );
         assert!(adv.min().unwrap() >= 0.0 && adv.max().unwrap() <= 1.0);
     }
 
@@ -219,12 +217,17 @@ mod tests {
         .unwrap();
         let image = &data.stop_eval_images()[0];
         let label = 14usize;
-        let clean_logits = net.forward(&Tensor::stack(&[image.clone()]).unwrap(), false).unwrap();
+        let clean_logits = net
+            .forward(&Tensor::stack(std::slice::from_ref(image)).unwrap(), false)
+            .unwrap();
         let (clean_loss, _) = softmax_cross_entropy(&clean_logits, &[label]).unwrap();
         let adv = attack.generate(&mut net, image, label).unwrap();
         let adv_logits = net.forward(&Tensor::stack(&[adv]).unwrap(), false).unwrap();
         let (adv_loss, _) = softmax_cross_entropy(&adv_logits, &[label]).unwrap();
-        assert!(adv_loss >= clean_loss, "{adv_loss} should exceed {clean_loss}");
+        assert!(
+            adv_loss >= clean_loss,
+            "{adv_loss} should exceed {clean_loss}"
+        );
     }
 
     #[test]
@@ -242,6 +245,8 @@ mod tests {
     fn bad_image_rank_rejected() {
         let (mut net, _) = tiny_setup();
         let attack = PgdAttack::new(PgdConfig::default()).unwrap();
-        assert!(attack.generate(&mut net, &Tensor::zeros(&[16, 16]), 0).is_err());
+        assert!(attack
+            .generate(&mut net, &Tensor::zeros(&[16, 16]), 0)
+            .is_err());
     }
 }

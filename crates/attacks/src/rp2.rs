@@ -96,6 +96,10 @@ pub struct Rp2Attack {
     config: Rp2Config,
 }
 
+/// Logits, per-layer gradient injections and total penalty value from one
+/// objective-aware forward pass (Eq. 9–11).
+type ObjectiveForward = (Tensor, Vec<(usize, Tensor)>, f32);
+
 impl Rp2Attack {
     /// Creates an attack from a configuration.
     ///
@@ -165,7 +169,7 @@ impl Rp2Attack {
             let transformed = transform_perturbation(&effective, transform)?;
             let raw = image.add(&transformed)?;
             let x_adv = raw.clamp(0.0, 1.0);
-            let batch = Tensor::stack(&[x_adv.clone()])?;
+            let batch = Tensor::stack(std::slice::from_ref(&x_adv))?;
 
             // Forward pass; adaptive feature penalties need the activations.
             let (logits, injections, penalty_value) = self.forward_with_objective(net, &batch)?;
@@ -230,7 +234,7 @@ impl Rp2Attack {
         let mut dissims = Vec::with_capacity(images.len());
         for image in images {
             let result = self.generate(net, image, target)?;
-            let pred = net.predict(&Tensor::stack(&[result.adversarial.clone()])?)?[0];
+            let pred = net.predict(&Tensor::stack(std::slice::from_ref(&result.adversarial))?)?[0];
             adv_preds.push(pred);
             dissims.push(l2_dissimilarity(image, &result.adversarial)?);
         }
@@ -310,7 +314,7 @@ impl Rp2Attack {
         &self,
         net: &mut Sequential,
         batch: &Tensor,
-    ) -> Result<(Tensor, Vec<(usize, Tensor)>, f32)> {
+    ) -> Result<ObjectiveForward> {
         match &self.config.objective {
             AdaptiveObjective::FeaturePenalty {
                 layer_index,
@@ -348,7 +352,10 @@ impl TargetSweep {
         if self.per_target.is_empty() {
             return 0.0;
         }
-        self.per_target.iter().map(|(_, e)| e.success_rate).sum::<f32>()
+        self.per_target
+            .iter()
+            .map(|(_, e)| e.success_rate)
+            .sum::<f32>()
             / self.per_target.len() as f32
     }
 
@@ -384,10 +391,9 @@ pub(crate) fn feature_penalty(
             blurnet_signal::total_variation_batch(feature)?,
             blurnet_signal::tv_gradient_batch(feature)?,
         )),
-        FeaturePenaltyKind::Operator(penalty) => Ok((
-            penalty.value_batch(feature)?,
-            penalty.grad_batch(feature)?,
-        )),
+        FeaturePenaltyKind::Operator(penalty) => {
+            Ok((penalty.value_batch(feature)?, penalty.grad_batch(feature)?))
+        }
     }
 }
 
@@ -616,8 +622,11 @@ mod tests {
     fn transform_adjoint_is_consistent() {
         // <T(x), y> == <x, T^T(y)> for random-ish tensors.
         let x = Tensor::from_vec((0..27).map(|v| v as f32 * 0.1).collect(), &[3, 3, 3]).unwrap();
-        let y = Tensor::from_vec((0..27).map(|v| (v as f32 * 0.07).sin()).collect(), &[3, 3, 3])
-            .unwrap();
+        let y = Tensor::from_vec(
+            (0..27).map(|v| (v as f32 * 0.07).sin()).collect(),
+            &[3, 3, 3],
+        )
+        .unwrap();
         let t = Transform {
             dx: 1,
             dy: -1,

@@ -29,7 +29,7 @@ pub trait Classifier {
 
 impl Classifier for Sequential {
     fn classify(&mut self, image: &Tensor) -> Result<usize> {
-        let batch = Tensor::stack(&[image.clone()])?;
+        let batch = Tensor::stack(std::slice::from_ref(image))?;
         Ok(self.predict(&batch)?[0])
     }
 }

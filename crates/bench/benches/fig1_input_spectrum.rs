@@ -18,10 +18,7 @@ fn bench_fig1(c: &mut Criterion) {
         .unwrap()
         .scale(1.0 / 3.0);
     let mask = blurnet_data::sticker_mask(32, 32, StickerLayout::TwoBars).unwrap();
-    let perturbed = gray
-        .add(&mask.scale(0.6))
-        .unwrap()
-        .clamp(0.0, 1.0);
+    let perturbed = gray.add(&mask.scale(0.6)).unwrap().clamp(0.0, 1.0);
 
     let mut group = c.benchmark_group("fig1");
     group.sample_size(20);

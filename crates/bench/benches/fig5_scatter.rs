@@ -34,7 +34,7 @@ fn bench_fig5(c: &mut Criterion) {
         b.iter(|| {
             let result = attack.generate(&mut net, &image, 4).unwrap();
             let pred = net
-                .predict(&Tensor::stack(&[result.adversarial.clone()]).unwrap())
+                .predict(&Tensor::stack(std::slice::from_ref(&result.adversarial)).unwrap())
                 .unwrap()[0];
             let dissim = l2_dissimilarity(&image, &result.adversarial).unwrap();
             (pred, dissim)

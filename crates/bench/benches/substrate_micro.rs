@@ -1,30 +1,223 @@
 //! Micro-benchmarks for the numeric substrates every experiment rests on:
 //! convolution, matrix multiply, FFT/DCT, blurring and the regularizer
-//! kernels.
+//! kernels — plus head-to-head comparisons of the blocked/parallel fast
+//! paths against the seed implementations they replaced.
+//!
+//! Besides the human-readable criterion output, the run writes
+//! `BENCH_substrate.json` at the repository root: a machine-readable record
+//! (schema `blurnet-substrate-bench/v1`) of median ns/iter for every probe
+//! and the fast-vs-seed speedups, so future PRs can track the perf
+//! trajectory. Single-thread numbers are measured through a 1-thread rayon
+//! pool; `_mt` entries use the ambient `RAYON_NUM_THREADS`.
+
+use std::time::Duration;
 
 use blurnet_nn::LisaCnn;
-use blurnet_signal::{box_kernel, dct2d, fft2d_magnitude, total_variation_batch, OperatorPenalty};
-use blurnet_signal::blur_batch;
-use blurnet_tensor::{conv2d, matmul, ConvSpec, Tensor};
-use criterion::{criterion_group, criterion_main, Criterion};
+use blurnet_signal::{
+    blur_batch, blur_batch_2d, box_kernel, dct2d, depthwise_weights, fft2d_magnitude,
+    total_variation_batch, OperatorPenalty,
+};
+use blurnet_tensor::{conv2d, depthwise_conv2d, matmul, reference, ConvSpec, Tensor};
+use criterion::{criterion_group, criterion_main, measure_median_ns, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::Value;
+
+/// Samples per probe for the JSON record.
+const JSON_SAMPLES: usize = 15;
+/// Minimum batch duration per sample for the JSON record.
+const MIN_BATCH: Duration = Duration::from_millis(4);
+
+fn median_ns<O>(mut f: impl FnMut() -> O) -> f64 {
+    measure_median_ns(&mut f, JSON_SAMPLES, MIN_BATCH)
+}
+
+/// Runs `f` under a single-thread rayon pool (the "st" numbers).
+fn single_thread_ns<O>(mut f: impl FnMut() -> O) -> f64 {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("1-thread pool");
+    pool.install(|| median_ns(&mut f))
+}
+
+struct Record {
+    entries: Vec<(String, f64)>,
+    speedups: Vec<(String, f64)>,
+}
+
+impl Record {
+    fn new() -> Self {
+        Record {
+            entries: Vec::new(),
+            speedups: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, name: &str, ns: f64) {
+        println!("json-probe {name:<40} {:12.1} ns/iter", ns);
+        self.entries.push((name.to_string(), ns));
+    }
+
+    fn speedup(&mut self, name: &str, seed_ns: f64, fast_ns: f64) {
+        let ratio = seed_ns / fast_ns;
+        println!("json-speedup {name:<38} {ratio:6.2}x");
+        self.speedups.push((name.to_string(), ratio));
+    }
+
+    fn to_json(&self) -> String {
+        let entries = Value::Map(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                .collect(),
+        );
+        let speedups = Value::Map(
+            self.speedups
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Float((*v * 100.0).round() / 100.0)))
+                .collect(),
+        );
+        let root = Value::Map(vec![
+            (
+                "schema".to_string(),
+                Value::Str("blurnet-substrate-bench/v1".to_string()),
+            ),
+            (
+                "rayon_threads".to_string(),
+                Value::Int(rayon::current_num_threads() as i64),
+            ),
+            ("median_ns_per_iter".to_string(), entries),
+            ("speedup_vs_seed".to_string(), speedups),
+        ]);
+        serde_json::to_string_pretty(&root).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// Measures the fast-vs-seed comparisons and writes `BENCH_substrate.json`
+/// at the workspace root.
+fn write_bench_json() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut record = Record::new();
+
+    // GEMM: the acceptance-criteria sizes, single-thread fast vs seed, plus
+    // the default-thread-count number for multicore machines.
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let seed_ns = single_thread_ns(|| reference::matmul_naive(&a, &b).unwrap());
+        let fast_st = single_thread_ns(|| matmul(&a, &b).unwrap());
+        let fast_mt = median_ns(|| matmul(&a, &b).unwrap());
+        record.push(&format!("gemm_{n}x{n}_seed"), seed_ns);
+        record.push(&format!("gemm_{n}x{n}_fast_st"), fast_st);
+        record.push(&format!("gemm_{n}x{n}_fast_mt"), fast_mt);
+        record.speedup(&format!("gemm_{n}x{n}_st"), seed_ns, fast_st);
+    }
+
+    // Depthwise conv (the BlurNet filter layer): direct path vs seed gather
+    // loop on first-layer-sized feature maps.
+    let feature_maps = Tensor::rand_uniform(&[8, 16, 32, 32], 0.0, 1.0, &mut rng);
+    for &k in &[3usize, 5] {
+        let weight = Tensor::rand_uniform(&[16, k, k], -0.5, 0.5, &mut rng);
+        let spec = ConvSpec::same(k).expect("odd kernel");
+        let seed_ns = single_thread_ns(|| {
+            reference::depthwise_conv2d_naive(&feature_maps, &weight, None, spec).unwrap()
+        });
+        let fast_st =
+            single_thread_ns(|| depthwise_conv2d(&feature_maps, &weight, None, spec).unwrap());
+        let fast_mt = median_ns(|| depthwise_conv2d(&feature_maps, &weight, None, spec).unwrap());
+        record.push(&format!("depthwise_{k}x{k}_8x16x32x32_seed"), seed_ns);
+        record.push(&format!("depthwise_{k}x{k}_8x16x32x32_fast_st"), fast_st);
+        record.push(&format!("depthwise_{k}x{k}_8x16x32x32_fast_mt"), fast_mt);
+        record.speedup(&format!("depthwise_{k}x{k}_st"), seed_ns, fast_st);
+    }
+
+    // Blur on the acceptance-criteria batch shape ([8, 16, 32, 32]):
+    // separable two-pass vs (a) the current generic 2-D path and (b) the
+    // true seed path — depthwise gather-loop convolution with per-channel
+    // copies of the kernel, exactly what `blur_batch` compiled to before
+    // this optimisation pass.
+    for &k in &[3usize, 5] {
+        let kernel = box_kernel(k);
+        let dw = depthwise_weights(&kernel, feature_maps.dims()[1]).expect("square kernel");
+        let spec = ConvSpec::same(k).expect("odd kernel");
+        let seed_ns = single_thread_ns(|| {
+            reference::depthwise_conv2d_naive(&feature_maps, &dw, None, spec).unwrap()
+        });
+        let two_d_ns = single_thread_ns(|| blur_batch_2d(&feature_maps, &kernel).unwrap());
+        let fast_st = single_thread_ns(|| blur_batch(&feature_maps, &kernel).unwrap());
+        let fast_mt = median_ns(|| blur_batch(&feature_maps, &kernel).unwrap());
+        record.push(&format!("blur{k}x{k}_8x16x32x32_seed"), seed_ns);
+        record.push(&format!("blur{k}x{k}_8x16x32x32_2d_fast"), two_d_ns);
+        record.push(&format!("blur{k}x{k}_8x16x32x32_separable_st"), fast_st);
+        record.push(&format!("blur{k}x{k}_8x16x32x32_separable_mt"), fast_mt);
+        record.speedup(&format!("blur{k}x{k}_st"), seed_ns, fast_st);
+        record.speedup(&format!("blur{k}x{k}_vs_2d_st"), two_d_ns, fast_st);
+    }
+
+    // Forward-path probes (no seed counterpart; tracked for trajectory).
+    let input = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform(&[8, 3, 5, 5], -0.5, 0.5, &mut rng);
+    let conv_spec = ConvSpec::new(2, 2).expect("valid spec");
+    record.push(
+        "conv2d_32x32_8f",
+        median_ns(|| conv2d(&input, &weight, None, conv_spec).unwrap()),
+    );
+    let mut net = LisaCnn::new(18).build(&mut rng).expect("default LisaCnn");
+    let batch = Tensor::rand_uniform(&[4, 3, 32, 32], 0.0, 1.0, &mut rng);
+    record.push(
+        "lisacnn_forward_batch4",
+        median_ns(|| net.forward(&batch, false).unwrap()),
+    );
+    record.push(
+        "lisacnn_forward_backward_batch4",
+        median_ns(|| {
+            let out = net.forward(&batch, true).unwrap();
+            net.zero_grads();
+            net.backward(&Tensor::ones(out.dims())).unwrap();
+        }),
+    );
+
+    // crates/bench/ -> workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json");
+    match std::fs::write(path, record.to_json()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
 
 fn bench_substrates(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut group = c.benchmark_group("substrate");
     group.sample_size(20);
 
-    let a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
-    let b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
-    group.bench_function("matmul_64x64", |bench| {
-        bench.iter(|| matmul(&a, &b).unwrap());
-    });
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        group.bench_function(format!("matmul_{n}x{n}"), |bench| {
+            bench.iter(|| matmul(&a, &b).unwrap());
+        });
+        group.bench_function(format!("matmul_{n}x{n}_seed"), |bench| {
+            bench.iter(|| reference::matmul_naive(&a, &b).unwrap());
+        });
+    }
 
     let input = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut rng);
     let weight = Tensor::rand_uniform(&[8, 3, 5, 5], -0.5, 0.5, &mut rng);
     group.bench_function("conv2d_32x32_8f", |bench| {
         bench.iter(|| conv2d(&input, &weight, None, ConvSpec::new(2, 2).unwrap()).unwrap());
+    });
+
+    let feature_maps_big = Tensor::rand_uniform(&[8, 16, 32, 32], 0.0, 1.0, &mut rng);
+    let dw_weight = Tensor::rand_uniform(&[16, 5, 5], -0.5, 0.5, &mut rng);
+    let dw_spec = ConvSpec::same(5).unwrap();
+    group.bench_function("depthwise5x5_8x16x32x32", |bench| {
+        bench.iter(|| depthwise_conv2d(&feature_maps_big, &dw_weight, None, dw_spec).unwrap());
+    });
+    group.bench_function("depthwise5x5_8x16x32x32_seed", |bench| {
+        bench.iter(|| {
+            reference::depthwise_conv2d_naive(&feature_maps_big, &dw_weight, None, dw_spec).unwrap()
+        });
     });
 
     let image = Tensor::rand_uniform(&[32, 32], 0.0, 1.0, &mut rng);
@@ -43,9 +236,13 @@ fn bench_substrates(c: &mut Criterion) {
     group.bench_function("tikhonov_hf_batch_8x16x16", |bench| {
         bench.iter(|| penalty.value_batch(&feature_maps).unwrap());
     });
+
     let kernel = box_kernel(5);
-    group.bench_function("blur5x5_batch_8x16x16", |bench| {
-        bench.iter(|| blur_batch(&feature_maps, &kernel).unwrap());
+    group.bench_function("blur5x5_batch_8x16x32x32_separable", |bench| {
+        bench.iter(|| blur_batch(&feature_maps_big, &kernel).unwrap());
+    });
+    group.bench_function("blur5x5_batch_8x16x32x32_2d", |bench| {
+        bench.iter(|| blur_batch_2d(&feature_maps_big, &kernel).unwrap());
     });
 
     let mut net = LisaCnn::new(18).build(&mut rng).unwrap();
@@ -63,5 +260,10 @@ fn bench_substrates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrates);
+fn bench_with_json(c: &mut Criterion) {
+    write_bench_json();
+    bench_substrates(c);
+}
+
+criterion_group!(benches, bench_with_json);
 criterion_main!(benches);

@@ -66,7 +66,10 @@ impl Figure1 {
             "Figure 1 — input spectrum band energy (high-frequency fraction)",
             &["Image", "High-frequency fraction"],
         );
-        table.push_row(vec!["Clean stop sign".into(), num3(self.clean_high_fraction)]);
+        table.push_row(vec![
+            "Clean stop sign".into(),
+            num3(self.clean_high_fraction),
+        ]);
         table.push_row(vec![
             "Perturbed stop sign".into(),
             num3(self.adversarial_high_fraction),
@@ -92,7 +95,11 @@ pub fn figure1(zoo: &mut ModelZoo) -> Result<Figure1> {
         .next()
         .ok_or_else(|| BlurNetError::BadConfig("no stop-sign image available".into()))?;
     let attack = Rp2Attack::new(scale.rp2_config())?;
-    let result = attack.generate(baseline.network_mut(), &image, super::table1::TRANSFER_TARGET)?;
+    let result = attack.generate(
+        baseline.network_mut(),
+        &image,
+        super::table1::TRANSFER_TARGET,
+    )?;
 
     let clean_gray = grayscale(&image)?;
     let adv_gray = grayscale(&result.adversarial)?;
@@ -139,7 +146,13 @@ impl Figure2 {
     pub fn table(&self) -> Table {
         let mut table = Table::new(
             "Figure 2 — first-layer feature-map spectra (high-frequency fraction)",
-            &["Channel", "Clean", "Adversarial", "Difference", "Blurred difference"],
+            &[
+                "Channel",
+                "Clean",
+                "Adversarial",
+                "Difference",
+                "Blurred difference",
+            ],
         );
         for ch in &self.channels {
             table.push_row(vec![
@@ -191,7 +204,11 @@ pub fn figure2(zoo: &mut ModelZoo, max_channels: usize) -> Result<Figure2> {
         .ok_or_else(|| BlurNetError::BadConfig("no stop-sign image available".into()))?;
     let attack = Rp2Attack::new(scale.rp2_config())?;
     let adversarial = attack
-        .generate(baseline.network_mut(), &image, super::table1::TRANSFER_TARGET)?
+        .generate(
+            baseline.network_mut(),
+            &image,
+            super::table1::TRANSFER_TARGET,
+        )?
         .adversarial;
 
     let feature_index = baseline.feature_layer_index();
@@ -232,7 +249,7 @@ fn layer_activation(
     image: &Tensor,
     layer_index: usize,
 ) -> Result<Tensor> {
-    let batch = Tensor::stack(&[image.clone()])?;
+    let batch = Tensor::stack(std::slice::from_ref(image))?;
     let (_, activations) = model.network_mut().forward_collect(&batch, false)?;
     let activation = activations.get(layer_index).ok_or_else(|| {
         BlurNetError::BadConfig(format!("layer index {layer_index} out of range"))
@@ -281,8 +298,7 @@ pub fn figure3(zoo: &mut ModelZoo, dims: &[usize]) -> Result<Figure3> {
     let targets = scale.attack_targets();
     let mut points = Vec::with_capacity(dims.len());
     for &dim in dims {
-        let attack =
-            super::rp2_with_objective(scale, AdaptiveObjective::LowFrequencyDct { dim })?;
+        let attack = super::rp2_with_objective(scale, AdaptiveObjective::LowFrequencyDct { dim })?;
         let sweep = super::sweep_defended(&mut model, &attack, &images, &targets)?;
         points.push((dim, sweep.worst_success_rate()));
     }
@@ -396,14 +412,26 @@ impl Figure5And6 {
 /// Propagates training and attack errors.
 pub fn figure5_and_6(zoo: &mut ModelZoo) -> Result<Figure5And6> {
     let fig5_defenses = vec![
-        DefenseKind::DepthwiseLinf { kernel: 3, alpha: 1e-5 },
-        DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
-        DefenseKind::DepthwiseLinf { kernel: 7, alpha: 0.1 },
+        DefenseKind::DepthwiseLinf {
+            kernel: 3,
+            alpha: 1e-5,
+        },
+        DefenseKind::DepthwiseLinf {
+            kernel: 5,
+            alpha: 0.1,
+        },
+        DefenseKind::DepthwiseLinf {
+            kernel: 7,
+            alpha: 0.1,
+        },
         DefenseKind::TotalVariation { alpha: 1e-4 },
         DefenseKind::TotalVariation { alpha: 1e-5 },
     ];
     let fig6_defenses = vec![
-        DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+        DefenseKind::TikhonovHf {
+            alpha: 1e-4,
+            window: 3,
+        },
         DefenseKind::TikhonovPseudo { alpha: 1e-6 },
         DefenseKind::GaussianAugmentation { sigma: 0.1 },
         DefenseKind::GaussianAugmentation { sigma: 0.2 },

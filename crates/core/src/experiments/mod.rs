@@ -12,11 +12,11 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 
+use blurnet_attacks::rp2::TargetSweep;
 use blurnet_attacks::{
     l2_dissimilarity, targeted_success_rate, AdaptiveObjective, AttackEvaluation,
     FeaturePenaltyKind, Rp2Attack, Rp2Config,
 };
-use blurnet_attacks::rp2::TargetSweep;
 use blurnet_defenses::{DefendedModel, DefenseKind};
 use blurnet_signal::OperatorPenalty;
 use blurnet_tensor::Tensor;
@@ -123,20 +123,41 @@ pub(crate) fn table2_defenses(scale: Scale) -> Vec<DefenseKind> {
         DefenseKind::GaussianAugmentation { sigma: 0.1 },
         DefenseKind::GaussianAugmentation { sigma: 0.2 },
         DefenseKind::GaussianAugmentation { sigma: 0.3 },
-        DefenseKind::RandomizedSmoothing { sigma: 0.1, samples },
-        DefenseKind::RandomizedSmoothing { sigma: 0.2, samples },
-        DefenseKind::RandomizedSmoothing { sigma: 0.3, samples },
+        DefenseKind::RandomizedSmoothing {
+            sigma: 0.1,
+            samples,
+        },
+        DefenseKind::RandomizedSmoothing {
+            sigma: 0.2,
+            samples,
+        },
+        DefenseKind::RandomizedSmoothing {
+            sigma: 0.3,
+            samples,
+        },
         DefenseKind::AdversarialTraining {
             epsilon: 8.0 / 255.0,
             step_size: 0.1,
             steps: adv_steps,
         },
-        DefenseKind::DepthwiseLinf { kernel: 3, alpha: 1e-5 },
-        DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
-        DefenseKind::DepthwiseLinf { kernel: 7, alpha: 0.1 },
+        DefenseKind::DepthwiseLinf {
+            kernel: 3,
+            alpha: 1e-5,
+        },
+        DefenseKind::DepthwiseLinf {
+            kernel: 5,
+            alpha: 0.1,
+        },
+        DefenseKind::DepthwiseLinf {
+            kernel: 7,
+            alpha: 0.1,
+        },
         DefenseKind::TotalVariation { alpha: 1e-4 },
         DefenseKind::TotalVariation { alpha: 1e-5 },
-        DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+        DefenseKind::TikhonovHf {
+            alpha: 1e-4,
+            window: 3,
+        },
         DefenseKind::TikhonovPseudo { alpha: 1e-6 },
     ]
 }
@@ -145,12 +166,24 @@ pub(crate) fn table2_defenses(scale: Scale) -> Vec<DefenseKind> {
 /// IV): the BlurNet defenses proper.
 pub(crate) fn blurnet_defenses(_scale: Scale) -> Vec<DefenseKind> {
     vec![
-        DefenseKind::DepthwiseLinf { kernel: 3, alpha: 1e-5 },
-        DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
-        DefenseKind::DepthwiseLinf { kernel: 7, alpha: 0.1 },
+        DefenseKind::DepthwiseLinf {
+            kernel: 3,
+            alpha: 1e-5,
+        },
+        DefenseKind::DepthwiseLinf {
+            kernel: 5,
+            alpha: 0.1,
+        },
+        DefenseKind::DepthwiseLinf {
+            kernel: 7,
+            alpha: 0.1,
+        },
         DefenseKind::TotalVariation { alpha: 1e-4 },
         DefenseKind::TotalVariation { alpha: 1e-5 },
-        DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+        DefenseKind::TikhonovHf {
+            alpha: 1e-4,
+            window: 3,
+        },
         DefenseKind::TikhonovPseudo { alpha: 1e-6 },
     ]
 }

@@ -67,7 +67,13 @@ impl Table2 {
         );
         for (d, a, avg, worst, l2) in [
             ("Baseline", "91%", "49.18%", "90%", "0.207"),
-            ("Gaussian aug (sigma=0.1)", "84.3%", "19.44%", "62.5%", "0.238"),
+            (
+                "Gaussian aug (sigma=0.1)",
+                "84.3%",
+                "19.44%",
+                "62.5%",
+                "0.238",
+            ),
             ("Adv-train", "77.9%", "11.94%", "20%", "0.244"),
             ("3x3 conv", "86.3%", "30%", "55%", "0.201"),
             ("5x5 conv", "86.3%", "24.11%", "47.5%", "0.189"),

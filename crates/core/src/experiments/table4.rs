@@ -6,9 +6,9 @@
 //! paper uses this to argue that defenses must be tailored to a threat
 //! model.
 
+use blurnet_attacks::PgdAttack;
 use blurnet_data::STOP_CLASS_ID;
 use blurnet_defenses::DefenseKind;
-use blurnet_attacks::PgdAttack;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{num3, pct};

@@ -63,11 +63,7 @@ impl ModelZoo {
             let model = train_defended_model(defense, &self.dataset, &self.scale.train_config())?;
             self.cache.insert(key.clone(), model);
         }
-        Ok(self
-            .cache
-            .get(&key)
-            .expect("model inserted above")
-            .clone())
+        Ok(self.cache.get(&key).expect("model inserted above").clone())
     }
 
     /// Inserts an externally-built model (used by Table I, whose filtered

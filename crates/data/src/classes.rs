@@ -79,24 +79,150 @@ const BLACK: [f32; 3] = [0.05, 0.05, 0.05];
 
 /// The full class table, indexed by class id.
 pub const CLASSES: [SignClass; NUM_CLASSES] = [
-    SignClass { id: 0, name: "addedLane", shape: SignShape::Diamond, fill: YELLOW, glyph_color: BLACK, glyph: Glyph::VerticalBar },
-    SignClass { id: 1, name: "curveLeft", shape: SignShape::Diamond, fill: YELLOW, glyph_color: BLACK, glyph: Glyph::ChevronLeft },
-    SignClass { id: 2, name: "curveRight", shape: SignShape::Diamond, fill: YELLOW, glyph_color: BLACK, glyph: Glyph::ChevronRight },
-    SignClass { id: 3, name: "dip", shape: SignShape::Diamond, fill: YELLOW, glyph_color: BLACK, glyph: Glyph::HorizontalBar },
-    SignClass { id: 4, name: "doNotPass", shape: SignShape::Rectangle, fill: WHITE, glyph_color: BLACK, glyph: Glyph::DiagonalDown },
-    SignClass { id: 5, name: "intersection", shape: SignShape::Diamond, fill: YELLOW, glyph_color: BLACK, glyph: Glyph::Cross },
-    SignClass { id: 6, name: "keepRight", shape: SignShape::Rectangle, fill: WHITE, glyph_color: BLACK, glyph: Glyph::ChevronRight },
-    SignClass { id: 7, name: "laneEnds", shape: SignShape::Diamond, fill: YELLOW, glyph_color: BLACK, glyph: Glyph::DiagonalUp },
-    SignClass { id: 8, name: "merge", shape: SignShape::Diamond, fill: ORANGE, glyph_color: BLACK, glyph: Glyph::DiagonalDown },
-    SignClass { id: 9, name: "pedestrianCrossing", shape: SignShape::Diamond, fill: YELLOW, glyph_color: BLACK, glyph: Glyph::Dot },
-    SignClass { id: 10, name: "school", shape: SignShape::Diamond, fill: ORANGE, glyph_color: BLACK, glyph: Glyph::DoubleBar },
-    SignClass { id: 11, name: "signalAhead", shape: SignShape::Diamond, fill: YELLOW, glyph_color: RED, glyph: Glyph::Dot },
-    SignClass { id: 12, name: "speedLimit25", shape: SignShape::Rectangle, fill: WHITE, glyph_color: BLACK, glyph: Glyph::HorizontalBar },
-    SignClass { id: 13, name: "speedLimit35", shape: SignShape::Rectangle, fill: WHITE, glyph_color: BLACK, glyph: Glyph::DoubleBar },
-    SignClass { id: 14, name: "stop", shape: SignShape::Octagon, fill: RED, glyph_color: WHITE, glyph: Glyph::HorizontalBar },
-    SignClass { id: 15, name: "stopAhead", shape: SignShape::Diamond, fill: YELLOW, glyph_color: RED, glyph: Glyph::Cross },
-    SignClass { id: 16, name: "turnRight", shape: SignShape::Rectangle, fill: WHITE, glyph_color: BLACK, glyph: Glyph::VerticalBar },
-    SignClass { id: 17, name: "yield", shape: SignShape::TriangleDown, fill: WHITE, glyph_color: RED, glyph: Glyph::None },
+    SignClass {
+        id: 0,
+        name: "addedLane",
+        shape: SignShape::Diamond,
+        fill: YELLOW,
+        glyph_color: BLACK,
+        glyph: Glyph::VerticalBar,
+    },
+    SignClass {
+        id: 1,
+        name: "curveLeft",
+        shape: SignShape::Diamond,
+        fill: YELLOW,
+        glyph_color: BLACK,
+        glyph: Glyph::ChevronLeft,
+    },
+    SignClass {
+        id: 2,
+        name: "curveRight",
+        shape: SignShape::Diamond,
+        fill: YELLOW,
+        glyph_color: BLACK,
+        glyph: Glyph::ChevronRight,
+    },
+    SignClass {
+        id: 3,
+        name: "dip",
+        shape: SignShape::Diamond,
+        fill: YELLOW,
+        glyph_color: BLACK,
+        glyph: Glyph::HorizontalBar,
+    },
+    SignClass {
+        id: 4,
+        name: "doNotPass",
+        shape: SignShape::Rectangle,
+        fill: WHITE,
+        glyph_color: BLACK,
+        glyph: Glyph::DiagonalDown,
+    },
+    SignClass {
+        id: 5,
+        name: "intersection",
+        shape: SignShape::Diamond,
+        fill: YELLOW,
+        glyph_color: BLACK,
+        glyph: Glyph::Cross,
+    },
+    SignClass {
+        id: 6,
+        name: "keepRight",
+        shape: SignShape::Rectangle,
+        fill: WHITE,
+        glyph_color: BLACK,
+        glyph: Glyph::ChevronRight,
+    },
+    SignClass {
+        id: 7,
+        name: "laneEnds",
+        shape: SignShape::Diamond,
+        fill: YELLOW,
+        glyph_color: BLACK,
+        glyph: Glyph::DiagonalUp,
+    },
+    SignClass {
+        id: 8,
+        name: "merge",
+        shape: SignShape::Diamond,
+        fill: ORANGE,
+        glyph_color: BLACK,
+        glyph: Glyph::DiagonalDown,
+    },
+    SignClass {
+        id: 9,
+        name: "pedestrianCrossing",
+        shape: SignShape::Diamond,
+        fill: YELLOW,
+        glyph_color: BLACK,
+        glyph: Glyph::Dot,
+    },
+    SignClass {
+        id: 10,
+        name: "school",
+        shape: SignShape::Diamond,
+        fill: ORANGE,
+        glyph_color: BLACK,
+        glyph: Glyph::DoubleBar,
+    },
+    SignClass {
+        id: 11,
+        name: "signalAhead",
+        shape: SignShape::Diamond,
+        fill: YELLOW,
+        glyph_color: RED,
+        glyph: Glyph::Dot,
+    },
+    SignClass {
+        id: 12,
+        name: "speedLimit25",
+        shape: SignShape::Rectangle,
+        fill: WHITE,
+        glyph_color: BLACK,
+        glyph: Glyph::HorizontalBar,
+    },
+    SignClass {
+        id: 13,
+        name: "speedLimit35",
+        shape: SignShape::Rectangle,
+        fill: WHITE,
+        glyph_color: BLACK,
+        glyph: Glyph::DoubleBar,
+    },
+    SignClass {
+        id: 14,
+        name: "stop",
+        shape: SignShape::Octagon,
+        fill: RED,
+        glyph_color: WHITE,
+        glyph: Glyph::HorizontalBar,
+    },
+    SignClass {
+        id: 15,
+        name: "stopAhead",
+        shape: SignShape::Diamond,
+        fill: YELLOW,
+        glyph_color: RED,
+        glyph: Glyph::Cross,
+    },
+    SignClass {
+        id: 16,
+        name: "turnRight",
+        shape: SignShape::Rectangle,
+        fill: WHITE,
+        glyph_color: BLACK,
+        glyph: Glyph::VerticalBar,
+    },
+    SignClass {
+        id: 17,
+        name: "yield",
+        shape: SignShape::TriangleDown,
+        fill: WHITE,
+        glyph_color: RED,
+        glyph: Glyph::None,
+    },
 ];
 
 impl SignClass {
@@ -143,7 +269,11 @@ mod tests {
                 )
             })
             .collect();
-        assert_eq!(identities.len(), NUM_CLASSES, "each class must look distinct");
+        assert_eq!(
+            identities.len(),
+            NUM_CLASSES,
+            "each class must look distinct"
+        );
     }
 
     #[test]

@@ -119,11 +119,21 @@ impl SignDataset {
         for id in 0..NUM_CLASSES {
             let class = SignClass::from_id(id)?;
             for _ in 0..config.train_per_class {
-                train_images.push(render_sign(class, config.image_size, config.jitter, &mut rng)?);
+                train_images.push(render_sign(
+                    class,
+                    config.image_size,
+                    config.jitter,
+                    &mut rng,
+                )?);
                 train_labels.push(id);
             }
             for _ in 0..config.test_per_class {
-                test_images.push(render_sign(class, config.image_size, config.jitter, &mut rng)?);
+                test_images.push(render_sign(
+                    class,
+                    config.image_size,
+                    config.jitter,
+                    &mut rng,
+                )?);
                 test_labels.push(id);
             }
         }
@@ -189,7 +199,10 @@ impl SignDataset {
         indices.shuffle(rng);
         let mut batches = Vec::new();
         for chunk in indices.chunks(batch_size) {
-            let images: Vec<Tensor> = chunk.iter().map(|&i| self.train_images[i].clone()).collect();
+            let images: Vec<Tensor> = chunk
+                .iter()
+                .map(|&i| self.train_images[i].clone())
+                .collect();
             let labels: Vec<usize> = chunk.iter().map(|&i| self.train_labels[i]).collect();
             batches.push(Batch {
                 images: Tensor::stack(&images)?,
@@ -275,7 +288,7 @@ mod tests {
     fn test_batch_is_balanced() {
         let ds = SignDataset::generate(&DatasetConfig::tiny(), 0).unwrap();
         let test = ds.test_batch().unwrap();
-        let mut counts = vec![0usize; NUM_CLASSES];
+        let mut counts = [0usize; NUM_CLASSES];
         for &l in &test.labels {
             counts[l] += 1;
         }

@@ -66,7 +66,7 @@ fn inside_shape(shape: SignShape, dx: f32, dy: f32) -> bool {
         }
         SignShape::TriangleDown => {
             // Downward triangle with apex at the bottom.
-            dy >= -0.85 && dy <= 0.85 && dx.abs() <= 0.9 * (0.85 - dy) / 1.7 * 2.0
+            (-0.85..=0.85).contains(&dy) && dx.abs() <= 0.9 * (0.85 - dy) / 1.7 * 2.0
         }
     }
 }
@@ -78,12 +78,18 @@ fn inside_glyph(glyph: Glyph, dx: f32, dy: f32) -> bool {
         Glyph::HorizontalBar => dy.abs() <= 0.16 && dx.abs() <= 0.62,
         Glyph::VerticalBar => dx.abs() <= 0.16 && dy.abs() <= 0.62,
         Glyph::DoubleBar => (dy + 0.33).abs() <= 0.12 || (dy - 0.33).abs() <= 0.12,
-        Glyph::Cross => (dx.abs() <= 0.14 && dy.abs() <= 0.6) || (dy.abs() <= 0.14 && dx.abs() <= 0.6),
+        Glyph::Cross => {
+            (dx.abs() <= 0.14 && dy.abs() <= 0.6) || (dy.abs() <= 0.14 && dx.abs() <= 0.6)
+        }
         Glyph::DiagonalDown => (dy - dx).abs() <= 0.18 && dx.abs() <= 0.65 && dy.abs() <= 0.65,
         Glyph::DiagonalUp => (dy + dx).abs() <= 0.18 && dx.abs() <= 0.65 && dy.abs() <= 0.65,
         Glyph::Dot => dx * dx + dy * dy <= 0.12,
-        Glyph::ChevronRight => (dy.abs() - dx).abs() <= 0.16 && dx >= -0.4 && dx <= 0.6 && dy.abs() <= 0.6,
-        Glyph::ChevronLeft => (dy.abs() + dx).abs() <= 0.16 && dx <= 0.4 && dx >= -0.6 && dy.abs() <= 0.6,
+        Glyph::ChevronRight => {
+            (dy.abs() - dx).abs() <= 0.16 && (-0.4..=0.6).contains(&dx) && dy.abs() <= 0.6
+        }
+        Glyph::ChevronLeft => {
+            (dy.abs() + dx).abs() <= 0.16 && (-0.6..=0.4).contains(&dx) && dy.abs() <= 0.6
+        }
     }
 }
 
@@ -199,7 +205,10 @@ mod tests {
                 blue += img.get(&[2, y, x]).unwrap();
             }
         }
-        assert!(red > 1.5 * blue, "stop face should be red (r={red}, b={blue})");
+        assert!(
+            red > 1.5 * blue,
+            "stop face should be red (r={red}, b={blue})"
+        );
     }
 
     #[test]
@@ -207,7 +216,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let jitter = RenderJitter::none();
         let stop = render_sign(SignClass::from_id(14).unwrap(), 32, jitter, &mut rng).unwrap();
-        let yield_sign = render_sign(SignClass::from_id(17).unwrap(), 32, jitter, &mut rng).unwrap();
+        let yield_sign =
+            render_sign(SignClass::from_id(17).unwrap(), 32, jitter, &mut rng).unwrap();
         let diff = stop.sub(&yield_sign).unwrap().l1_norm();
         assert!(diff > 50.0, "distinct classes must differ, diff={diff}");
     }

@@ -48,9 +48,7 @@ mod tests {
         let images = Tensor::full(&[2, 3, 8, 8], 0.5);
         let small = gaussian_augment(&images, 0.05, &mut rng).unwrap();
         let large = gaussian_augment(&images, 0.3, &mut rng).unwrap();
-        assert!(
-            large.sub(&images).unwrap().l2_norm() > small.sub(&images).unwrap().l2_norm()
-        );
+        assert!(large.sub(&images).unwrap().l2_norm() > small.sub(&images).unwrap().l2_norm());
     }
 
     #[test]

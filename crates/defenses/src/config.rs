@@ -142,7 +142,9 @@ impl DefenseKind {
             }
             DefenseKind::DepthwiseLinf { kernel, alpha } => {
                 if *kernel < 2 || kernel % 2 == 0 {
-                    fail(format!("depthwise kernel must be odd and >= 3, got {kernel}"))
+                    fail(format!(
+                        "depthwise kernel must be odd and >= 3, got {kernel}"
+                    ))
                 } else if *alpha < 0.0 {
                     fail(format!("alpha must be non-negative, got {alpha}"))
                 } else {
@@ -217,14 +219,29 @@ mod tests {
         let rows = [
             DefenseKind::Baseline,
             DefenseKind::GaussianAugmentation { sigma: 0.1 },
-            DefenseKind::RandomizedSmoothing { sigma: 0.1, samples: 10 },
+            DefenseKind::RandomizedSmoothing {
+                sigma: 0.1,
+                samples: 10,
+            },
             DefenseKind::paper_adversarial_training(),
-            DefenseKind::DepthwiseLinf { kernel: 3, alpha: 1e-5 },
-            DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
-            DefenseKind::DepthwiseLinf { kernel: 7, alpha: 0.1 },
+            DefenseKind::DepthwiseLinf {
+                kernel: 3,
+                alpha: 1e-5,
+            },
+            DefenseKind::DepthwiseLinf {
+                kernel: 5,
+                alpha: 0.1,
+            },
+            DefenseKind::DepthwiseLinf {
+                kernel: 7,
+                alpha: 0.1,
+            },
             DefenseKind::TotalVariation { alpha: 1e-4 },
             DefenseKind::TotalVariation { alpha: 1e-5 },
-            DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+            DefenseKind::TikhonovHf {
+                alpha: 1e-4,
+                window: 3,
+            },
             DefenseKind::TikhonovPseudo { alpha: 1e-6 },
         ];
         let labels: std::collections::HashSet<_> = rows.iter().map(|r| r.label()).collect();
@@ -238,20 +255,33 @@ mod tests {
     fn validation_rejects_bad_parameters() {
         assert!(DefenseKind::InputFilter { kernel: 4 }.validate().is_err());
         assert!(DefenseKind::FeatureFilter { kernel: 1 }.validate().is_err());
-        assert!(DefenseKind::DepthwiseLinf { kernel: 3, alpha: -1.0 }
+        assert!(DefenseKind::DepthwiseLinf {
+            kernel: 3,
+            alpha: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(DefenseKind::TotalVariation { alpha: 0.0 }
             .validate()
             .is_err());
-        assert!(DefenseKind::TotalVariation { alpha: 0.0 }.validate().is_err());
-        assert!(DefenseKind::TikhonovHf { alpha: 1e-4, window: 4 }
+        assert!(DefenseKind::TikhonovHf {
+            alpha: 1e-4,
+            window: 4
+        }
+        .validate()
+        .is_err());
+        assert!(DefenseKind::TikhonovPseudo { alpha: -1.0 }
             .validate()
             .is_err());
-        assert!(DefenseKind::TikhonovPseudo { alpha: -1.0 }.validate().is_err());
         assert!(DefenseKind::GaussianAugmentation { sigma: 0.0 }
             .validate()
             .is_err());
-        assert!(DefenseKind::RandomizedSmoothing { sigma: 0.1, samples: 0 }
-            .validate()
-            .is_err());
+        assert!(DefenseKind::RandomizedSmoothing {
+            sigma: 0.1,
+            samples: 0
+        }
+        .validate()
+        .is_err());
         assert!(DefenseKind::AdversarialTraining {
             epsilon: 0.0,
             step_size: 0.1,
@@ -264,12 +294,18 @@ mod tests {
     #[test]
     fn structural_flags() {
         assert!(DefenseKind::FeatureFilter { kernel: 5 }.has_filter_layer());
-        assert!(DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 }.has_filter_layer());
+        assert!(DefenseKind::DepthwiseLinf {
+            kernel: 5,
+            alpha: 0.1
+        }
+        .has_filter_layer());
         assert!(!DefenseKind::TotalVariation { alpha: 1e-4 }.has_filter_layer());
         assert!(DefenseKind::InputFilter { kernel: 3 }.has_prediction_wrapper());
-        assert!(
-            DefenseKind::RandomizedSmoothing { sigma: 0.1, samples: 4 }.has_prediction_wrapper()
-        );
+        assert!(DefenseKind::RandomizedSmoothing {
+            sigma: 0.1,
+            samples: 4
+        }
+        .has_prediction_wrapper());
         assert!(!DefenseKind::Baseline.has_prediction_wrapper());
     }
 }

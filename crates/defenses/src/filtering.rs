@@ -1,5 +1,9 @@
 //! Input-space low-pass filtering (the defense BlurNet argues *against* in
 //! Table I, kept as the comparison baseline).
+//!
+//! Box kernels are separable, so both entry points ride
+//! `blurnet_signal::blur_batch`'s two-pass O(k)-per-pixel fast path with
+//! rayon-parallel planes.
 
 use blurnet_signal::{blur_batch, blur_image, box_kernel};
 use blurnet_tensor::Tensor;
@@ -7,7 +11,7 @@ use blurnet_tensor::Tensor;
 use crate::{DefenseError, Result};
 
 fn check_kernel(kernel: usize) -> Result<()> {
-    if kernel < 2 || kernel % 2 == 0 {
+    if kernel < 2 || kernel.is_multiple_of(2) {
         return Err(DefenseError::BadConfig(format!(
             "blur kernel must be odd and >= 3, got {kernel}"
         )));

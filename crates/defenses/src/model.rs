@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::filtering::filter_image;
+use crate::filtering::{filter_image, filter_images};
 use crate::smoothing::smoothed_predict;
 use crate::{DefenseError, DefenseKind, Result};
 
@@ -129,6 +129,10 @@ impl DefendedModel {
 
     /// Accuracy of the defended prediction path on a labelled batch.
     ///
+    /// Deterministic defenses classify the whole batch in one forward pass
+    /// (preprocessing included), so the evaluation rides the batched GEMM
+    /// path; only randomized smoothing still votes image by image.
+    ///
     /// # Errors
     ///
     /// Returns [`DefenseError::BadConfig`] for an empty batch.
@@ -136,13 +140,35 @@ impl DefendedModel {
         if batch.labels.is_empty() {
             return Err(DefenseError::BadConfig("empty evaluation batch".into()));
         }
-        let mut correct = 0usize;
-        for (i, &label) in batch.labels.iter().enumerate() {
-            let image = batch.images.batch_item(i)?;
-            if self.classify_one(&image)? == label {
-                correct += 1;
+        let correct = match &self.defense {
+            DefenseKind::RandomizedSmoothing { .. } => {
+                let mut correct = 0usize;
+                for (i, &label) in batch.labels.iter().enumerate() {
+                    let image = batch.images.batch_item(i)?;
+                    if self.classify_one(&image)? == label {
+                        correct += 1;
+                    }
+                }
+                correct
             }
-        }
+            DefenseKind::InputFilter { kernel } => {
+                let filtered = filter_images(&batch.images, *kernel)?;
+                let preds = self.net.predict(&filtered)?;
+                preds
+                    .iter()
+                    .zip(batch.labels.iter())
+                    .filter(|(p, l)| p == l)
+                    .count()
+            }
+            _ => {
+                let preds = self.net.predict(&batch.images)?;
+                preds
+                    .iter()
+                    .zip(batch.labels.iter())
+                    .filter(|(p, l)| p == l)
+                    .count()
+            }
+        };
         Ok(correct as f32 / batch.labels.len() as f32)
     }
 }
@@ -236,7 +262,10 @@ mod tests {
         let model = untrained(DefenseKind::TotalVariation { alpha: 1e-4 });
         assert_eq!(model.feature_layer_index(), 0);
         assert_eq!(model.feature_map_extent(), 8);
-        assert_eq!(model.defense(), &DefenseKind::TotalVariation { alpha: 1e-4 });
+        assert_eq!(
+            model.defense(),
+            &DefenseKind::TotalVariation { alpha: 1e-4 }
+        );
         assert!(model.training_report().epoch_losses.is_empty());
         assert!(model.network().parameter_count() > 0);
     }

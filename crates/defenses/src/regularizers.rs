@@ -193,7 +193,10 @@ mod tests {
         ));
         assert!(matches!(
             FeatureRegularizer::from_defense(
-                &DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+                &DefenseKind::TikhonovHf {
+                    alpha: 1e-4,
+                    window: 3
+                },
                 &arch_plain
             )
             .unwrap(),
@@ -201,11 +204,17 @@ mod tests {
         ));
         // DepthwiseLinf needs the filter layer to exist.
         assert!(FeatureRegularizer::from_defense(
-            &DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
+            &DefenseKind::DepthwiseLinf {
+                kernel: 5,
+                alpha: 0.1
+            },
             &arch_plain
         )
         .is_err());
-        let defense = DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 };
+        let defense = DefenseKind::DepthwiseLinf {
+            kernel: 5,
+            alpha: 0.1,
+        };
         let arch_dw = tiny_builder(&defense).config().clone();
         assert!(matches!(
             FeatureRegularizer::from_defense(&defense, &arch_dw).unwrap(),
@@ -235,7 +244,10 @@ mod tests {
     #[test]
     fn linf_regularizer_accumulates_into_depthwise_grads() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let defense = DefenseKind::DepthwiseLinf { kernel: 3, alpha: 0.5 };
+        let defense = DefenseKind::DepthwiseLinf {
+            kernel: 3,
+            alpha: 0.5,
+        };
         let builder = tiny_builder(&defense);
         let mut net = builder.build(&mut rng).unwrap();
         let reg = FeatureRegularizer::from_defense(&defense, builder.config()).unwrap();

@@ -27,12 +27,20 @@ pub fn smoothed_predict<R: Rng + ?Sized>(
             "smoothing needs positive sigma and samples, got sigma={sigma}, samples={samples}"
         )));
     }
-    let mut noisy = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let noise = Tensor::rand_normal(image.dims(), 0.0, sigma, rng);
-        noisy.push(image.add(&noise)?.clamp(0.0, 1.0));
+    // Draw the whole noise batch in one tensor (same RNG stream as the old
+    // per-sample loop) and add the image in place: one allocation and one
+    // pass instead of `samples` temporary tensors plus a stack copy.
+    let dims = image.dims();
+    let mut batch_dims = Vec::with_capacity(dims.len() + 1);
+    batch_dims.push(samples);
+    batch_dims.extend_from_slice(dims);
+    let mut batch = Tensor::rand_normal(&batch_dims, 0.0, sigma, rng);
+    let len = image.len();
+    for sample in batch.data_mut().chunks_mut(len) {
+        for (noisy, &clean) in sample.iter_mut().zip(image.data().iter()) {
+            *noisy = (*noisy + clean).clamp(0.0, 1.0);
+        }
     }
-    let batch = Tensor::stack(&noisy)?;
     let preds = net.predict(&batch)?;
     let mut votes = std::collections::HashMap::new();
     for p in preds {
@@ -61,7 +69,9 @@ mod tests {
             .build(&mut rng)
             .unwrap();
         let image = Tensor::full(&[3, 16, 16], 0.4);
-        let plain = net.predict(&Tensor::stack(&[image.clone()]).unwrap()).unwrap()[0];
+        let plain = net
+            .predict(&Tensor::stack(std::slice::from_ref(&image)).unwrap())
+            .unwrap()[0];
         let smoothed = smoothed_predict(&mut net, &image, 1e-4, 11, &mut rng).unwrap();
         assert!(smoothed < 18);
         // With near-zero noise the vote must match the plain prediction.

@@ -144,7 +144,14 @@ pub fn train_defended_model(
         let mut epoch_loss = 0.0f32;
         let mut batch_count = 0usize;
         for batch in dataset.train_batches(config.batch_size, &mut rng)? {
-            let images = prepare_batch_inputs(defense, &batch.images, &batch.labels, &mut net, pgd.as_ref(), &mut rng)?;
+            let images = prepare_batch_inputs(
+                defense,
+                &batch.images,
+                &batch.labels,
+                &mut net,
+                pgd.as_ref(),
+                &mut rng,
+            )?;
 
             net.zero_grads();
             let (loss_value, d_logits, injections) = if regularizer.needs_activations() {
@@ -207,10 +214,10 @@ fn prepare_batch_inputs(
             // paper trains 50% clean / 50% adversarial).
             let n = images.dims()[0];
             let mut out = Vec::with_capacity(n);
-            for i in 0..n {
+            for (i, &label) in labels.iter().enumerate().take(n) {
                 let image = images.batch_item(i)?;
                 if i % 2 == 0 {
-                    out.push(attack.generate(net, &image, labels[i])?);
+                    out.push(attack.generate(net, &image, label)?);
                 } else {
                     out.push(image);
                 }
@@ -282,7 +289,10 @@ mod tests {
             train_defended_model(&DefenseKind::FeatureFilter { kernel: 3 }, &ds, &cfg).unwrap();
         assert_eq!(blurred.network().len(), baseline.network().len() + 1);
         let dw = train_defended_model(
-            &DefenseKind::DepthwiseLinf { kernel: 3, alpha: 1e-3 },
+            &DefenseKind::DepthwiseLinf {
+                kernel: 3,
+                alpha: 1e-3,
+            },
             &ds,
             &cfg,
         )
@@ -299,7 +309,10 @@ mod tests {
         };
         for defense in [
             DefenseKind::TotalVariation { alpha: 1e-4 },
-            DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+            DefenseKind::TikhonovHf {
+                alpha: 1e-4,
+                window: 3,
+            },
             DefenseKind::TikhonovPseudo { alpha: 1e-5 },
             DefenseKind::GaussianAugmentation { sigma: 0.1 },
         ] {

@@ -1,6 +1,8 @@
 //! Standard 2-D convolution layer.
 
-use blurnet_tensor::{conv2d, conv2d_backward, ConvSpec, Initializer, Tensor};
+use blurnet_tensor::{
+    conv2d_backward_with_scratch, conv2d_with_scratch, ConvSpec, Initializer, Scratch, Tensor,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -16,6 +18,10 @@ pub struct Conv2d {
     spec: ConvSpec,
     #[serde(skip)]
     cached_input: Option<Tensor>,
+    /// Per-layer workspace pool: im2col/GEMM buffers are reused across
+    /// forward/backward calls instead of being reallocated.
+    #[serde(skip)]
+    scratch: Scratch,
 }
 
 impl Conv2d {
@@ -53,6 +59,7 @@ impl Conv2d {
             weight,
             spec,
             cached_input: None,
+            scratch: Scratch::new(),
         })
     }
 
@@ -84,7 +91,13 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
-        let out = conv2d(input, &self.weight, Some(&self.bias), self.spec)?;
+        let out = conv2d_with_scratch(
+            input,
+            &self.weight,
+            Some(&self.bias),
+            self.spec,
+            &mut self.scratch,
+        )?;
         self.cached_input = Some(input.clone());
         Ok(out)
     }
@@ -94,7 +107,13 @@ impl Layer for Conv2d {
             .cached_input
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
-        let grads = conv2d_backward(input, &self.weight, grad_output, self.spec)?;
+        let grads = conv2d_backward_with_scratch(
+            input,
+            &self.weight,
+            grad_output,
+            self.spec,
+            &mut self.scratch,
+        )?;
         self.d_weight.add_scaled(&grads.d_weight, 1.0)?;
         self.d_bias.add_scaled(&grads.d_bias, 1.0)?;
         Ok(grads.d_input)
@@ -137,7 +156,7 @@ mod tests {
     #[test]
     fn backward_without_forward_errors() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let mut conv = Conv2d::new(1, 1, 3, ConvSpec::same(3), &mut rng).unwrap();
+        let mut conv = Conv2d::new(1, 1, 3, ConvSpec::same(3).unwrap(), &mut rng).unwrap();
         assert!(matches!(
             conv.backward(&Tensor::zeros(&[1, 1, 4, 4])),
             Err(NnError::MissingForwardCache(_))
@@ -147,7 +166,7 @@ mod tests {
     #[test]
     fn gradients_accumulate_and_reset() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut conv = Conv2d::new(1, 2, 3, ConvSpec::same(3), &mut rng).unwrap();
+        let mut conv = Conv2d::new(1, 2, 3, ConvSpec::same(3).unwrap(), &mut rng).unwrap();
         let input = Tensor::ones(&[1, 1, 4, 4]);
         let out = conv.forward(&input, true).unwrap();
         conv.backward(&Tensor::ones(out.dims())).unwrap();
@@ -164,15 +183,15 @@ mod tests {
     #[test]
     fn rejects_zero_sizes() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        assert!(Conv2d::new(0, 1, 3, ConvSpec::same(3), &mut rng).is_err());
-        assert!(Conv2d::new(1, 0, 3, ConvSpec::same(3), &mut rng).is_err());
-        assert!(Conv2d::new(1, 1, 0, ConvSpec::same(3), &mut rng).is_err());
+        assert!(Conv2d::new(0, 1, 3, ConvSpec::same(3).unwrap(), &mut rng).is_err());
+        assert!(Conv2d::new(1, 0, 3, ConvSpec::same(3).unwrap(), &mut rng).is_err());
+        assert!(Conv2d::new(1, 1, 0, ConvSpec::same(3).unwrap(), &mut rng).is_err());
     }
 
     #[test]
     fn parameter_count() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let conv = Conv2d::new(3, 8, 5, ConvSpec::same(5), &mut rng).unwrap();
+        let conv = Conv2d::new(3, 8, 5, ConvSpec::same(5).unwrap(), &mut rng).unwrap();
         assert_eq!(conv.parameter_count(), 8 * 3 * 5 * 5 + 8);
     }
 }

@@ -33,7 +33,7 @@ impl DepthwiseConv2d {
     /// Returns [`NnError::BadConfig`] if `channels` or `kernel` is zero or
     /// `kernel` is even (the identity centre tap must exist).
     pub fn identity(channels: usize, kernel: usize) -> Result<Self> {
-        if channels == 0 || kernel == 0 || kernel % 2 == 0 {
+        if channels == 0 || kernel == 0 || kernel.is_multiple_of(2) {
             return Err(NnError::BadConfig(
                 "depthwise layer needs non-zero channels and an odd kernel".to_string(),
             ));
@@ -48,7 +48,7 @@ impl DepthwiseConv2d {
             d_bias: Tensor::zeros(&[channels]),
             bias: Tensor::zeros(&[channels]),
             weight,
-            spec: ConvSpec::same(kernel),
+            spec: ConvSpec::same(kernel).map_err(|e| NnError::BadConfig(e.to_string()))?,
             trainable: true,
             cached_input: None,
         })
@@ -79,7 +79,7 @@ impl DepthwiseConv2d {
             d_bias: Tensor::zeros(&[channels]),
             bias: Tensor::zeros(&[channels]),
             weight,
-            spec: ConvSpec::same(k),
+            spec: ConvSpec::same(k).map_err(|e| NnError::BadConfig(e.to_string()))?,
             trainable: false,
             cached_input: None,
         })

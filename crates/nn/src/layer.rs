@@ -157,7 +157,14 @@ mod tests {
     #[test]
     fn enum_dispatch_matches_inner_layer() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let conv = Conv2d::new(3, 4, 3, blurnet_tensor::ConvSpec::same(3), &mut rng).unwrap();
+        let conv = Conv2d::new(
+            3,
+            4,
+            3,
+            blurnet_tensor::ConvSpec::same(3).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
         let mut kind: LayerKind = conv.clone().into();
         assert_eq!(kind.name(), "conv2d");
         assert_eq!(kind.parameter_count(), conv.parameter_count());

@@ -9,7 +9,9 @@ use blurnet_tensor::{ConvSpec, Tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Conv2d, Dense, DepthwiseConv2d, Flatten, MaxPool2d, NnError, Relu, Result, Sequential};
+use crate::{
+    Conv2d, Dense, DepthwiseConv2d, Flatten, MaxPool2d, NnError, Relu, Result, Sequential,
+};
 
 /// Where (if anywhere) a depthwise filter layer is inserted after the first
 /// convolution.
@@ -167,7 +169,7 @@ impl LisaCnn {
         if c.num_classes == 0 {
             return Err(NnError::BadConfig("num_classes must be non-zero".into()));
         }
-        if c.input_size % (c.conv1_stride * 4) != 0 {
+        if !c.input_size.is_multiple_of(c.conv1_stride * 4) {
             return Err(NnError::BadConfig(format!(
                 "input size {} must be divisible by conv1_stride * 4 = {}",
                 c.input_size,
@@ -209,7 +211,7 @@ impl LisaCnn {
             c.conv1_filters,
             c.conv2_filters,
             3,
-            ConvSpec::same(3),
+            ConvSpec::same(3).map_err(|e| NnError::BadConfig(e.to_string()))?,
             rng,
         )?);
         net.push(Relu::new());
@@ -218,7 +220,7 @@ impl LisaCnn {
             c.conv2_filters,
             c.conv3_filters,
             3,
-            ConvSpec::same(3),
+            ConvSpec::same(3).map_err(|e| NnError::BadConfig(e.to_string()))?,
             rng,
         )?);
         net.push(Relu::new());

@@ -78,11 +78,17 @@ impl Sequential {
         if self.layers.is_empty() {
             return Err(NnError::BadConfig("network has no layers".into()));
         }
-        let mut x = input.clone();
+        // Feed each layer the previous layer's owned output — no per-layer
+        // activation clones on the batched forward path.
+        let mut x: Option<Tensor> = None;
         for layer in &mut self.layers {
-            x = layer.forward(&x, train)?;
+            let out = match &x {
+                None => layer.forward(input, train)?,
+                Some(prev) => layer.forward(prev, train)?,
+            };
+            x = Some(out);
         }
-        Ok(x)
+        Ok(x.expect("non-empty network produced an output"))
     }
 
     /// Runs the network and returns the final output together with the
@@ -92,17 +98,27 @@ impl Sequential {
     /// # Errors
     ///
     /// Propagates layer errors.
-    pub fn forward_collect(&mut self, input: &Tensor, train: bool) -> Result<(Tensor, Vec<Tensor>)> {
+    pub fn forward_collect(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+    ) -> Result<(Tensor, Vec<Tensor>)> {
         if self.layers.is_empty() {
             return Err(NnError::BadConfig("network has no layers".into()));
         }
-        let mut activations = Vec::with_capacity(self.layers.len());
-        let mut x = input.clone();
+        let mut activations: Vec<Tensor> = Vec::with_capacity(self.layers.len());
         for layer in &mut self.layers {
-            x = layer.forward(&x, train)?;
-            activations.push(x.clone());
+            let out = match activations.last() {
+                None => layer.forward(input, train)?,
+                Some(prev) => layer.forward(prev, train)?,
+            };
+            activations.push(out);
         }
-        Ok((x, activations))
+        let output = activations
+            .last()
+            .expect("non-empty network produced an output")
+            .clone();
+        Ok((output, activations))
     }
 
     /// Back-propagates `grad_output` through the whole network, accumulating
@@ -217,7 +233,7 @@ mod tests {
 
     fn tiny_net(rng: &mut ChaCha8Rng) -> Sequential {
         let mut net = Sequential::new();
-        net.push(Conv2d::new(1, 2, 3, ConvSpec::same(3), rng).unwrap())
+        net.push(Conv2d::new(1, 2, 3, ConvSpec::same(3).unwrap(), rng).unwrap())
             .push(Relu::new())
             .push(MaxPool2d::new(2, 2).unwrap())
             .push(Flatten::new())
@@ -265,7 +281,11 @@ mod tests {
         let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, &mut rng);
         let y = net.forward(&x, true).unwrap();
         let d_input = net.backward(&Tensor::ones(y.dims())).unwrap();
-        let eps = 1e-2f32;
+        // eps must stay small: at 1e-2 the central difference for this seed
+        // steps across a max-pool argmax flip at index 0 and reads exactly
+        // twice the true slope (at 1e-3 it matches the analytic gradient to
+        // six decimals).
+        let eps = 1e-3f32;
         for &idx in &[0usize, 17, 33, 63] {
             let mut plus = x.clone();
             plus.data_mut()[idx] += eps;
@@ -312,10 +332,8 @@ mod tests {
         let mut net = tiny_net(&mut rng);
         let x = Tensor::zeros(&[1, 1, 8, 8]);
         let y = net.forward(&x, true).unwrap();
-        let err = net.backward_with_injection(
-            &Tensor::zeros(y.dims()),
-            &[(99, Tensor::zeros(&[1]))],
-        );
+        let err =
+            net.backward_with_injection(&Tensor::zeros(y.dims()), &[(99, Tensor::zeros(&[1]))]);
         assert!(err.is_err());
     }
 

@@ -38,7 +38,8 @@ impl Layer for MaxPool2d {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         let pooled = max_pool2d(input, self.spec)?;
-        self.cache = Some((pooled.argmax.clone(), input.dims().to_vec()));
+        // Move the argmax table into the cache instead of cloning it.
+        self.cache = Some((pooled.argmax, input.dims().to_vec()));
         Ok(pooled.output)
     }
 
@@ -68,8 +69,7 @@ mod tests {
     #[test]
     fn forward_backward_roundtrip() {
         let mut pool = MaxPool2d::new(2, 2).unwrap();
-        let input =
-            Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let input = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
         let out = pool.forward(&input, true).unwrap();
         assert_eq!(out.dims(), &[1, 1, 2, 2]);
         let d_input = pool.backward(&Tensor::ones(out.dims())).unwrap();

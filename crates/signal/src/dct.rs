@@ -132,9 +132,11 @@ mod tests {
 
     #[test]
     fn dct_idct_roundtrip() {
-        let img =
-            Tensor::from_vec((0..64).map(|v| ((v * 31) % 17) as f32 * 0.1).collect(), &[8, 8])
-                .unwrap();
+        let img = Tensor::from_vec(
+            (0..64).map(|v| ((v * 31) % 17) as f32 * 0.1).collect(),
+            &[8, 8],
+        )
+        .unwrap();
         let coeffs = dct2d(&img).unwrap();
         let back = idct2d(&coeffs).unwrap();
         for (a, b) in back.data().iter().zip(img.data().iter()) {
@@ -144,8 +146,8 @@ mod tests {
 
     #[test]
     fn dct_is_orthonormal_energy_preserving() {
-        let img = Tensor::from_vec((0..36).map(|v| (v as f32 * 0.7).sin()).collect(), &[6, 6])
-            .unwrap();
+        let img =
+            Tensor::from_vec((0..36).map(|v| (v as f32 * 0.7).sin()).collect(), &[6, 6]).unwrap();
         let coeffs = dct2d(&img).unwrap();
         let e_spatial: f32 = img.data().iter().map(|v| v * v).sum();
         let e_freq: f32 = coeffs.data().iter().map(|v| v * v).sum();
@@ -202,8 +204,8 @@ mod tests {
 
     #[test]
     fn projection_is_idempotent() {
-        let img = Tensor::from_vec((0..64).map(|v| (v as f32 * 0.37).cos()).collect(), &[8, 8])
-            .unwrap();
+        let img =
+            Tensor::from_vec((0..64).map(|v| (v as f32 * 0.37).cos()).collect(), &[8, 8]).unwrap();
         let once = low_frequency_project(&img, 3).unwrap();
         let twice = low_frequency_project(&once, 3).unwrap();
         for (a, b) in once.data().iter().zip(twice.data().iter()) {

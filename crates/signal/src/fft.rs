@@ -246,8 +246,8 @@ mod tests {
 
     #[test]
     fn fft_ifft_roundtrip_non_power_of_two() {
-        let img = Tensor::from_vec((0..35).map(|v| (v as f32 * 0.3).cos()).collect(), &[5, 7])
-            .unwrap();
+        let img =
+            Tensor::from_vec((0..35).map(|v| (v as f32 * 0.3).cos()).collect(), &[5, 7]).unwrap();
         let coeffs = fft2d(&img).unwrap();
         let back = ifft2d(&coeffs, 5, 7).unwrap();
         for (a, b) in back.data().iter().zip(img.data().iter()) {
@@ -257,9 +257,11 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_preserved() {
-        let img =
-            Tensor::from_vec((0..256).map(|v| ((v * 7919) % 13) as f32 - 6.0).collect(), &[16, 16])
-                .unwrap();
+        let img = Tensor::from_vec(
+            (0..256).map(|v| ((v * 7919) % 13) as f32 - 6.0).collect(),
+            &[16, 16],
+        )
+        .unwrap();
         let coeffs = fft2d(&img).unwrap();
         let spatial_energy: f32 = img.data().iter().map(|v| v * v).sum();
         let freq_energy: f32 = coeffs.iter().map(|z| z.abs() * z.abs()).sum::<f32>() / 256.0;

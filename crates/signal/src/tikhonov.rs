@@ -31,7 +31,7 @@ use crate::{Result, SignalError};
 /// Returns [`SignalError::BadParameter`] if `n == 0`, the window is even,
 /// zero, or larger than `n`.
 pub fn moving_average_matrix(n: usize, window: usize) -> Result<Tensor> {
-    if n == 0 || window == 0 || window % 2 == 0 || window > n {
+    if n == 0 || window == 0 || window.is_multiple_of(2) || window > n {
         return Err(SignalError::BadParameter(format!(
             "moving average needs 0 < odd window <= n, got window {window}, n {n}"
         )));
@@ -102,9 +102,7 @@ pub fn invert(matrix: &Tensor) -> Result<Tensor> {
     let mut a: Vec<Vec<f32>> = (0..n)
         .map(|i| {
             let mut row = vec![0.0f32; 2 * n];
-            for j in 0..n {
-                row[j] = matrix.data()[i * n + j];
-            }
+            row[..n].copy_from_slice(&matrix.data()[i * n..(i + 1) * n]);
             row[n + i] = 1.0;
             row
         })
@@ -137,8 +135,9 @@ pub fn invert(matrix: &Tensor) -> Result<Tensor> {
             if factor == 0.0 {
                 continue;
             }
-            for j in 0..2 * n {
-                a[row][j] -= factor * a[col][j];
+            let pivot_row = a[col].clone();
+            for (entry, &pivot) in a[row].iter_mut().zip(pivot_row.iter()) {
+                *entry -= factor * pivot;
             }
         }
     }
@@ -356,9 +355,13 @@ mod tests {
     #[test]
     fn hf_operator_passes_alternating_signal() {
         let lhf = high_frequency_operator(8, 3).unwrap();
-        let alternating =
-            Tensor::from_vec((0..8).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(), &[8, 1])
-                .unwrap();
+        let alternating = Tensor::from_vec(
+            (0..8)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+            &[8, 1],
+        )
+        .unwrap();
         let out = matmul(&lhf, &alternating).unwrap();
         // High-frequency content passes through mostly unattenuated.
         assert!(out.l2_norm() > 0.8 * alternating.l2_norm());
@@ -397,12 +400,15 @@ mod tests {
         let n = 16;
         let pinv = ridge_pseudoinverse(&difference_matrix(n).unwrap(), 1e-3).unwrap();
         let alternating = Tensor::from_vec(
-            (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+            (0..n)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
             &[n, 1],
         )
         .unwrap();
         let hi = matmul(&pinv, &alternating).unwrap().l2_norm();
-        let ramp = Tensor::from_vec((0..n).map(|i| i as f32 / n as f32).collect(), &[n, 1]).unwrap();
+        let ramp =
+            Tensor::from_vec((0..n).map(|i| i as f32 / n as f32).collect(), &[n, 1]).unwrap();
         let ramp = ramp.scale(alternating.l2_norm() / ramp.l2_norm());
         let lo = matmul(&pinv, &ramp).unwrap().l2_norm();
         assert!(lo > 2.0 * hi, "low-frequency response {lo} vs high {hi}");

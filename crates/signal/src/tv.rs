@@ -163,8 +163,12 @@ mod tests {
         for y in 0..8 {
             for x in 0..8 {
                 let ramp = 0.05 * (x + y) as f32;
-                smooth.set(&[y, x], smooth.get(&[y, x]).unwrap() + ramp).unwrap();
-                spiked.set(&[y, x], spiked.get(&[y, x]).unwrap() + ramp).unwrap();
+                smooth
+                    .set(&[y, x], smooth.get(&[y, x]).unwrap() + ramp)
+                    .unwrap();
+                spiked
+                    .set(&[y, x], spiked.get(&[y, x]).unwrap() + ramp)
+                    .unwrap();
             }
         }
         assert!(total_variation(&spiked).unwrap() > total_variation(&smooth).unwrap() + 10.0);

@@ -1,0 +1,63 @@
+//! Equivalence tests pinning the separable two-pass blur to the generic 2-D
+//! depthwise path on ChaCha8-seeded random batches — the numeric guarantee
+//! behind the `substrate_micro` speedup claims.
+
+use blurnet_signal::{blur_batch, blur_batch_2d, box_kernel, gaussian_kernel, separable_factors};
+use blurnet_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn assert_close(fast: &Tensor, slow: &Tensor, context: &str) {
+    assert_eq!(fast.dims(), slow.dims(), "{context}");
+    for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+        assert!((a - b).abs() < 1e-5, "{context}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn separable_blur_matches_2d_on_random_batches() {
+    for seed in 0u64..8 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Odd and even extents, single-pixel edge cases, non-square planes.
+        for &(n, c, h, w) in &[
+            (1usize, 1usize, 1usize, 1usize),
+            (2, 3, 7, 5),
+            (3, 2, 9, 16),
+        ] {
+            let batch = Tensor::rand_uniform(&[n, c, h, w], -2.0, 2.0, &mut rng);
+            for k in [1usize, 3, 5, 7] {
+                if k > h + 2 * (k / 2) || k > w + 2 * (k / 2) {
+                    continue;
+                }
+                let kernel = box_kernel(k);
+                assert_close(
+                    &blur_batch(&batch, &kernel).unwrap(),
+                    &blur_batch_2d(&batch, &kernel).unwrap(),
+                    &format!("box k={k} seed={seed} dims=({n},{c},{h},{w})"),
+                );
+            }
+            for &sigma in &[0.4f32, 1.0, 2.5] {
+                let kernel = gaussian_kernel(5, sigma);
+                assert!(separable_factors(&kernel).is_some(), "gaussian must factor");
+                assert_close(
+                    &blur_batch(&batch, &kernel).unwrap(),
+                    &blur_batch_2d(&batch, &kernel).unwrap(),
+                    &format!("gaussian sigma={sigma} seed={seed}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn blur_batch_of_paper_shape_matches_2d() {
+    // The acceptance-criteria shape: a 5×5 blur of an [8, 16, 32, 32] batch.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let batch = Tensor::rand_uniform(&[8, 16, 32, 32], 0.0, 1.0, &mut rng);
+    let kernel = box_kernel(5);
+    assert_close(
+        &blur_batch(&batch, &kernel).unwrap(),
+        &blur_batch_2d(&batch, &kernel).unwrap(),
+        "paper-shape 5x5 blur",
+    );
+}

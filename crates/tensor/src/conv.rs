@@ -1,6 +1,12 @@
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::{matmul, matmul_transpose_a, matmul_transpose_b, Result, Tensor, TensorError};
+use crate::matmul::{gemm_into, transpose_into};
+use crate::{Result, Scratch, Tensor, TensorError};
+
+/// Work (in multiply-adds) below which spatial loops stay sequential;
+/// thread fan-out costs more than it saves under this.
+const PAR_WORK: usize = 1 << 16;
 
 /// Stride and zero-padding configuration for convolution and pooling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -24,13 +30,24 @@ impl ConvSpec {
         Ok(ConvSpec { stride, padding })
     }
 
-    /// A unit-stride spec whose padding keeps the spatial size unchanged for
-    /// an odd `kernel` size ("same" convolution).
-    pub fn same(kernel: usize) -> Self {
-        ConvSpec {
+    /// A unit-stride spec whose padding keeps the spatial size unchanged
+    /// ("same" convolution). Only odd kernels admit a symmetric "same"
+    /// padding; even kernels are rejected instead of silently producing an
+    /// output one pixel short.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidSpec`] when `kernel` is zero or even.
+    pub fn same(kernel: usize) -> Result<Self> {
+        if kernel == 0 || kernel.is_multiple_of(2) {
+            return Err(TensorError::InvalidSpec(format!(
+                "\"same\" convolution requires an odd kernel, got {kernel}"
+            )));
+        }
+        Ok(ConvSpec {
             stride: 1,
             padding: kernel / 2,
-        }
+        })
     }
 
     /// A unit-stride, zero-padding ("valid") spec.
@@ -78,6 +95,98 @@ fn dims4(t: &Tensor) -> Result<(usize, usize, usize, usize)> {
     Ok((d[0], d[1], d[2], d[3]))
 }
 
+/// Fills one im2col row group (all patches of one input image row `oy` of
+/// image `ni`) into `cols`. `cols` rows must be pre-zeroed (padding taps).
+#[allow(clippy::too_many_arguments)]
+fn im2col_rows(
+    cols: &mut [f32],
+    data: &[f32],
+    ni: usize,
+    oy: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ow: usize,
+    spec: ConvSpec,
+) {
+    let cols_cols = c * kh * kw;
+    let pad = spec.padding as isize;
+    let y0 = (oy * spec.stride) as isize - pad;
+    for ox in 0..ow {
+        let row = ox * cols_cols;
+        let x0 = (ox * spec.stride) as isize - pad;
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w;
+            let col_base = row + ci * kh * kw;
+            for ky in 0..kh {
+                let y = y0 + ky as isize;
+                if y < 0 || y >= h as isize {
+                    continue;
+                }
+                let in_row = in_base + y as usize * w;
+                let col_row = col_base + ky * kw;
+                let x_lo = (-x0).max(0) as usize;
+                let x_hi = ((w as isize - x0).min(kw as isize)).max(0) as usize;
+                if x_lo >= x_hi {
+                    continue;
+                }
+                // x0 + x_lo >= 0 by construction of x_lo.
+                let src_start = in_row + (x0 + x_lo as isize) as usize;
+                let src = &data[src_start..src_start + (x_hi - x_lo)];
+                cols[col_row + x_lo..col_row + x_hi].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// Unfolds an `[N, C, H, W]` input into a pre-zeroed `[N*OH*OW, C*KH*KW]`
+/// buffer, parallel over image rows.
+fn im2col_into(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    let (n, c, h, w) = {
+        let d = input.dims();
+        (d[0], d[1], d[2], d[3])
+    };
+    let cols_cols = c * kh * kw;
+    let data = input.data();
+    let row_group = ow * cols_cols;
+    if n * oh * row_group < PAR_WORK || rayon::current_num_threads() <= 1 {
+        for ni in 0..n {
+            for oy in 0..oh {
+                let base = (ni * oh + oy) * row_group;
+                im2col_rows(
+                    &mut cols[base..base + row_group],
+                    data,
+                    ni,
+                    oy,
+                    c,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    ow,
+                    spec,
+                );
+            }
+        }
+    } else {
+        cols.par_chunks_mut(row_group)
+            .enumerate()
+            .for_each(|(g, chunk)| {
+                im2col_rows(chunk, data, g / oh, g % oh, c, h, w, kh, kw, ow, spec);
+            });
+    }
+}
+
 /// Unfolds an `[N, C, H, W]` input into an `[N*OH*OW, C*KH*KW]` patch matrix.
 ///
 /// Out-of-bounds (padding) locations contribute zeros.
@@ -89,44 +198,15 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Result<Te
     let (n, c, h, w) = dims4(input)?;
     let oh = spec.output_extent(h, kh)?;
     let ow = spec.output_extent(w, kw)?;
-    let cols_rows = n * oh * ow;
-    let cols_cols = c * kh * kw;
-    let mut cols = vec![0.0f32; cols_rows * cols_cols];
-    let data = input.data();
-    let pad = spec.padding as isize;
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * cols_cols;
-                let y0 = (oy * spec.stride) as isize - pad;
-                let x0 = (ox * spec.stride) as isize - pad;
-                for ci in 0..c {
-                    let in_base = (ni * c + ci) * h * w;
-                    let col_base = row + ci * kh * kw;
-                    for ky in 0..kh {
-                        let y = y0 + ky as isize;
-                        if y < 0 || y >= h as isize {
-                            continue;
-                        }
-                        let in_row = in_base + y as usize * w;
-                        let col_row = col_base + ky * kw;
-                        for kx in 0..kw {
-                            let x = x0 + kx as isize;
-                            if x < 0 || x >= w as isize {
-                                continue;
-                            }
-                            cols[col_row + kx] = data[in_row + x as usize];
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Tensor::from_vec(cols, &[cols_rows, cols_cols])
+    let mut cols = vec![0.0f32; n * oh * ow * c * kh * kw];
+    im2col_into(input, kh, kw, spec, oh, ow, &mut cols);
+    Tensor::from_vec(cols, &[n * oh * ow, c * kh * kw])
 }
 
 /// Folds an `[N*OH*OW, C*KH*KW]` patch matrix back into an `[N, C, H, W]`
 /// tensor by scatter-adding overlapping patches (the adjoint of [`im2col`]).
+/// Parallel over output planes — each `(image, channel)` plane gathers only
+/// its own column entries, so there are no write conflicts.
 ///
 /// # Errors
 ///
@@ -159,33 +239,42 @@ pub fn col2im(
     let mut out = vec![0.0f32; n * c * h * w];
     let data = cols.data();
     let pad = spec.padding as isize;
-    for ni in 0..n {
+
+    let plane = |pi: usize, out_plane: &mut [f32]| {
+        let (ni, ci) = (pi / c, pi % c);
         for oy in 0..oh {
+            let y0 = (oy * spec.stride) as isize - pad;
             for ox in 0..ow {
                 let row = ((ni * oh + oy) * ow + ox) * cols_cols;
-                let y0 = (oy * spec.stride) as isize - pad;
                 let x0 = (ox * spec.stride) as isize - pad;
-                for ci in 0..c {
-                    let out_base = (ni * c + ci) * h * w;
-                    let col_base = row + ci * kh * kw;
-                    for ky in 0..kh {
-                        let y = y0 + ky as isize;
-                        if y < 0 || y >= h as isize {
+                let col_base = row + ci * kh * kw;
+                for ky in 0..kh {
+                    let y = y0 + ky as isize;
+                    if y < 0 || y >= h as isize {
+                        continue;
+                    }
+                    let out_row = y as usize * w;
+                    let col_row = col_base + ky * kw;
+                    for kx in 0..kw {
+                        let x = x0 + kx as isize;
+                        if x < 0 || x >= w as isize {
                             continue;
                         }
-                        let out_row = out_base + y as usize * w;
-                        let col_row = col_base + ky * kw;
-                        for kx in 0..kw {
-                            let x = x0 + kx as isize;
-                            if x < 0 || x >= w as isize {
-                                continue;
-                            }
-                            out[out_row + x as usize] += data[col_row + kx];
-                        }
+                        out_plane[out_row + x as usize] += data[col_row + kx];
                     }
                 }
             }
         }
+    };
+
+    if cols_rows * cols_cols < PAR_WORK || rayon::current_num_threads() <= 1 {
+        for (pi, out_plane) in out.chunks_mut(h * w).enumerate() {
+            plane(pi, out_plane);
+        }
+    } else {
+        out.par_chunks_mut(h * w)
+            .enumerate()
+            .for_each(|(pi, p)| plane(pi, p));
     }
     Tensor::from_vec(out, input_dims)
 }
@@ -207,7 +296,8 @@ pub struct Conv2dGrads {
 /// * `weight`: `[F, C, KH, KW]`
 /// * `bias`:   optional `[F]`
 ///
-/// Returns `[N, F, OH, OW]`.
+/// Returns `[N, F, OH, OW]`. Uses this thread's shared [`Scratch`] pool;
+/// call [`conv2d_with_scratch`] to control workspace reuse explicitly.
 ///
 /// # Errors
 ///
@@ -218,6 +308,24 @@ pub fn conv2d(
     weight: &Tensor,
     bias: Option<&Tensor>,
     spec: ConvSpec,
+) -> Result<Tensor> {
+    Scratch::with_thread_local(|scratch| conv2d_with_scratch(input, weight, bias, spec, scratch))
+}
+
+/// [`conv2d`] with an explicit workspace pool: the im2col patch matrix, the
+/// packed (transposed) weight matrix and the GEMM product are all drawn from
+/// `scratch`, so repeated forward passes allocate nothing.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches or if the kernel does not fit
+/// the padded input.
+pub fn conv2d_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
 ) -> Result<Tensor> {
     let (n, c, h, w) = dims4(input)?;
     let (f, wc, kh, kw) = dims4(weight)?;
@@ -237,30 +345,38 @@ pub fn conv2d(
     }
     let oh = spec.output_extent(h, kh)?;
     let ow = spec.output_extent(w, kw)?;
-    let cols = im2col(input, kh, kw, spec)?;
-    let wmat = weight.reshape(&[f, c * kh * kw])?;
-    // [N*OH*OW, F]
-    let prod = matmul_transpose_b(&cols, &wmat)?;
-    let prod_data = prod.data();
+    let rows = n * oh * ow;
+    let kdim = c * kh * kw;
+
+    let mut cols = scratch.take(rows * kdim);
+    im2col_into(input, kh, kw, spec, oh, ow, &mut cols);
+    // Pack Wᵀ once: [F, C*KH*KW] -> [C*KH*KW, F] so the GEMM streams both
+    // operands stride-1.
+    let mut wt = scratch.take_dirty(kdim * f);
+    transpose_into(&mut wt, weight.data(), f, kdim);
+    // prod: [N*OH*OW, F]
+    let mut prod = scratch.take_dirty(rows * f);
+    gemm_into(&mut prod, &cols, &wt, rows, kdim, f);
+    scratch.put(cols);
+    scratch.put(wt);
+
     let mut out = vec![0.0f32; n * f * oh * ow];
+    let hw = oh * ow;
     for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * f;
-                for fi in 0..f {
-                    let mut v = prod_data[row + fi];
-                    if let Some(b) = bias {
-                        v += b.data()[fi];
-                    }
-                    out[((ni * f + fi) * oh + oy) * ow + ox] = v;
-                }
+        for fi in 0..f {
+            let b = bias.map_or(0.0, |b| b.data()[fi]);
+            let out_plane = &mut out[(ni * f + fi) * hw..(ni * f + fi + 1) * hw];
+            let src_base = ni * hw * f + fi;
+            for (pix, o) in out_plane.iter_mut().enumerate() {
+                *o = prod[src_base + pix * f] + b;
             }
         }
     }
+    scratch.put(prod);
     Tensor::from_vec(out, &[n, f, oh, ow])
 }
 
-/// Backward pass of [`conv2d`].
+/// Backward pass of [`conv2d`] using this thread's shared [`Scratch`] pool.
 ///
 /// `grad_output` must be `[N, F, OH, OW]` matching the forward output.
 ///
@@ -273,6 +389,23 @@ pub fn conv2d_backward(
     grad_output: &Tensor,
     spec: ConvSpec,
 ) -> Result<Conv2dGrads> {
+    Scratch::with_thread_local(|scratch| {
+        conv2d_backward_with_scratch(input, weight, grad_output, spec, scratch)
+    })
+}
+
+/// [`conv2d_backward`] with an explicit workspace pool.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches.
+pub fn conv2d_backward_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Conv2dGrads> {
     let (n, c, h, w) = dims4(input)?;
     let (f, _, kh, kw) = dims4(weight)?;
     let (gn, gf, oh, ow) = dims4(grad_output)?;
@@ -284,33 +417,49 @@ pub fn conv2d_backward(
             right: vec![n, f, exp_oh, exp_ow],
         });
     }
+    let rows = n * oh * ow;
+    let kdim = c * kh * kw;
+    let hw = oh * ow;
 
-    // Reorder grad_output [N,F,OH,OW] -> [N*OH*OW, F].
+    // Reorder grad_output [N,F,OH,OW] -> gmat [N*OH*OW, F]; accumulate bias.
     let g = grad_output.data();
-    let mut gmat = vec![0.0f32; n * oh * ow * f];
+    let mut gmat = scratch.take_dirty(rows * f);
     let mut d_bias = vec![0.0f32; f];
     for ni in 0..n {
         for fi in 0..f {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let v = g[((ni * f + fi) * oh + oy) * ow + ox];
-                    gmat[((ni * oh + oy) * ow + ox) * f + fi] = v;
-                    d_bias[fi] += v;
-                }
+            let src = &g[(ni * f + fi) * hw..(ni * f + fi + 1) * hw];
+            let dst_base = ni * hw * f + fi;
+            let mut acc = 0.0f32;
+            for (pix, &v) in src.iter().enumerate() {
+                gmat[dst_base + pix * f] = v;
+                acc += v;
             }
+            d_bias[fi] += acc;
         }
     }
-    let gmat = Tensor::from_vec(gmat, &[n * oh * ow, f])?;
-    let cols = im2col(input, kh, kw, spec)?;
-    // dW = gmatᵀ · cols : [F, C*KH*KW]
-    let d_weight = matmul_transpose_a(&gmat, &cols)?.reshape(&[f, c, kh, kw])?;
-    // dCols = gmat · wmat : [N*OH*OW, C*KH*KW]
-    let wmat = weight.reshape(&[f, c * kh * kw])?;
-    let d_cols = matmul(&gmat, &wmat)?;
-    let d_input = col2im(&d_cols, &[n, c, h, w], kh, kw, spec)?;
+
+    let mut cols = scratch.take(rows * kdim);
+    im2col_into(input, kh, kw, spec, oh, ow, &mut cols);
+
+    // dW = gmatᵀ (F×M) · cols (M×K): pack the transpose, then one GEMM.
+    let mut gt = scratch.take_dirty(f * rows);
+    transpose_into(&mut gt, &gmat, rows, f);
+    let mut d_weight = vec![0.0f32; f * kdim];
+    gemm_into(&mut d_weight, &gt, &cols, f, rows, kdim);
+    scratch.put(gt);
+    scratch.put(cols);
+
+    // dCols = gmat (M×F) · wmat (F×K), then fold back to the input shape.
+    let mut d_cols = scratch.take_dirty(rows * kdim);
+    gemm_into(&mut d_cols, &gmat, weight.data(), rows, f, kdim);
+    scratch.put(gmat);
+    let d_cols_t = Tensor::from_vec(std::mem::take(&mut d_cols), &[rows, kdim])?;
+    let d_input = col2im(&d_cols_t, &[n, c, h, w], kh, kw, spec)?;
+    scratch.put(d_cols_t.into_vec());
+
     Ok(Conv2dGrads {
         d_input,
-        d_weight,
+        d_weight: Tensor::from_vec(d_weight, &[f, c, kh, kw])?,
         d_bias: Tensor::from_vec(d_bias, &[f])?,
     })
 }
@@ -326,6 +475,92 @@ pub struct DepthwiseGrads {
     pub d_bias: Tensor,
 }
 
+/// Computes one stride-1 depthwise output plane as `KH·KW` shifted-row
+/// axpy passes — no im2col, no per-pixel bounds checks, and the same
+/// per-output-element accumulation order as the gather loop (so results are
+/// bit-identical to it).
+#[allow(clippy::too_many_arguments)]
+fn depthwise_plane_stride1(
+    out_plane: &mut [f32],
+    in_plane: &[f32],
+    kernel: &[f32],
+    bias: f32,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    kh: usize,
+    kw: usize,
+    pad: isize,
+) {
+    out_plane.fill(bias);
+    for ky in 0..kh {
+        let dy = ky as isize - pad;
+        let oy_lo = (-dy).max(0) as usize;
+        let oy_hi = ((h as isize - dy).min(oh as isize)).max(0) as usize;
+        for kx in 0..kw {
+            let weight = kernel[ky * kw + kx];
+            let dx = kx as isize - pad;
+            let ox_lo = (-dx).max(0) as usize;
+            let ox_hi = ((w as isize - dx).min(ow as isize)).max(0) as usize;
+            if ox_lo >= ox_hi {
+                continue;
+            }
+            for oy in oy_lo..oy_hi {
+                let in_row = ((oy as isize + dy) as usize) * w;
+                // dx + ox_lo >= 0 by construction of ox_lo.
+                let src_start = in_row + (dx + ox_lo as isize) as usize;
+                let src = &in_plane[src_start..src_start + (ox_hi - ox_lo)];
+                let dst = &mut out_plane[oy * ow + ox_lo..oy * ow + ox_hi];
+                for (o, &s) in dst.iter_mut().zip(src.iter()) {
+                    *o += weight * s;
+                }
+            }
+        }
+    }
+}
+
+/// General (any stride) depthwise output plane via the gather loop.
+#[allow(clippy::too_many_arguments)]
+fn depthwise_plane_general(
+    out_plane: &mut [f32],
+    in_plane: &[f32],
+    kernel: &[f32],
+    bias: f32,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) {
+    let pad = spec.padding as isize;
+    for oy in 0..oh {
+        let y0 = (oy * spec.stride) as isize - pad;
+        for ox in 0..ow {
+            let x0 = (ox * spec.stride) as isize - pad;
+            let mut acc = bias;
+            for ky in 0..kh {
+                let y = y0 + ky as isize;
+                if y < 0 || y >= h as isize {
+                    continue;
+                }
+                let in_row = y as usize * w;
+                let k_row = ky * kw;
+                for kx in 0..kw {
+                    let x = x0 + kx as isize;
+                    if x < 0 || x >= w as isize {
+                        continue;
+                    }
+                    acc += in_plane[in_row + x as usize] * kernel[k_row + kx];
+                }
+            }
+            out_plane[oy * ow + ox] = acc;
+        }
+    }
+}
+
 /// Depthwise 2-D convolution: each channel is convolved with its own kernel.
 ///
 /// * `input`:  `[N, C, H, W]`
@@ -333,7 +568,9 @@ pub struct DepthwiseGrads {
 /// * `bias`:   optional `[C]`
 ///
 /// Returns `[N, C, OH, OW]`. This is the filtering layer BlurNet inserts
-/// after the first convolution.
+/// after the first convolution; it runs im2col-free — stride-1 calls (the
+/// only configuration BlurNet uses) take a vectorised shifted-row fast path,
+/// and planes are processed rayon-parallel.
 ///
 /// # Errors
 ///
@@ -366,40 +603,35 @@ pub fn depthwise_conv2d(
     let data = input.data();
     let wdata = weight.data();
     let pad = spec.padding as isize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let in_base = (ni * c + ci) * h * w;
-            let k_base = ci * kh * kw;
-            let b = bias.map_or(0.0, |b| b.data()[ci]);
-            for oy in 0..oh {
-                let y0 = (oy * spec.stride) as isize - pad;
-                for ox in 0..ow {
-                    let x0 = (ox * spec.stride) as isize - pad;
-                    let mut acc = b;
-                    for ky in 0..kh {
-                        let y = y0 + ky as isize;
-                        if y < 0 || y >= h as isize {
-                            continue;
-                        }
-                        let in_row = in_base + y as usize * w;
-                        let k_row = k_base + ky * kw;
-                        for kx in 0..kw {
-                            let x = x0 + kx as isize;
-                            if x < 0 || x >= w as isize {
-                                continue;
-                            }
-                            acc += data[in_row + x as usize] * wdata[k_row + kx];
-                        }
-                    }
-                    out[((ni * c + ci) * oh + oy) * ow + ox] = acc;
-                }
-            }
+
+    let plane = |pi: usize, out_plane: &mut [f32]| {
+        let ci = pi % c;
+        let in_plane = &data[pi * h * w..(pi + 1) * h * w];
+        let kernel = &wdata[ci * kh * kw..(ci + 1) * kh * kw];
+        let b = bias.map_or(0.0, |b| b.data()[ci]);
+        if spec.stride == 1 {
+            depthwise_plane_stride1(out_plane, in_plane, kernel, b, h, w, oh, ow, kh, kw, pad);
+        } else {
+            depthwise_plane_general(out_plane, in_plane, kernel, b, h, w, oh, ow, kh, kw, spec);
         }
+    };
+
+    if n * c * oh * ow * kh * kw < PAR_WORK || rayon::current_num_threads() <= 1 {
+        for (pi, out_plane) in out.chunks_mut(oh * ow).enumerate() {
+            plane(pi, out_plane);
+        }
+    } else {
+        out.par_chunks_mut(oh * ow)
+            .enumerate()
+            .for_each(|(pi, p)| plane(pi, p));
     }
     Tensor::from_vec(out, &[n, c, oh, ow])
 }
 
 /// Backward pass of [`depthwise_conv2d`].
+///
+/// Runs as two parallel passes with disjoint writes: input gradients per
+/// `(image, channel)` plane, then weight/bias gradients per channel.
 ///
 /// # Errors
 ///
@@ -420,52 +652,179 @@ pub fn depthwise_conv2d_backward(
             right: vec![n, c, oh, ow],
         });
     }
-    let mut d_input = vec![0.0f32; n * c * h * w];
-    let mut d_weight = vec![0.0f32; c * kh * kw];
-    let mut d_bias = vec![0.0f32; c];
     let x = input.data();
     let wd = weight.data();
     let g = grad_output.data();
     let pad = spec.padding as isize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let in_base = (ni * c + ci) * h * w;
-            let k_base = ci * kh * kw;
+    let parallel = n * c * oh * ow * kh * kw >= PAR_WORK && rayon::current_num_threads() > 1;
+
+    // Pass 1 — d_input: every (image, channel) plane scatters only into
+    // itself.
+    let mut d_input = vec![0.0f32; n * c * h * w];
+    let input_plane = |pi: usize, d_in: &mut [f32]| {
+        let ci = pi % c;
+        let kernel = &wd[ci * kh * kw..(ci + 1) * kh * kw];
+        let g_plane = &g[pi * oh * ow..(pi + 1) * oh * ow];
+        for oy in 0..oh {
+            let y0 = (oy * spec.stride) as isize - pad;
+            for ox in 0..ow {
+                let go = g_plane[oy * ow + ox];
+                if go == 0.0 {
+                    continue;
+                }
+                let x0 = (ox * spec.stride) as isize - pad;
+                for ky in 0..kh {
+                    let y = y0 + ky as isize;
+                    if y < 0 || y >= h as isize {
+                        continue;
+                    }
+                    let d_row = y as usize * w;
+                    let k_row = ky * kw;
+                    for kx in 0..kw {
+                        let xp = x0 + kx as isize;
+                        if xp < 0 || xp >= w as isize {
+                            continue;
+                        }
+                        d_in[d_row + xp as usize] += go * kernel[k_row + kx];
+                    }
+                }
+            }
+        }
+    };
+    if parallel {
+        d_input
+            .par_chunks_mut(h * w)
+            .enumerate()
+            .for_each(|(pi, p)| input_plane(pi, p));
+    } else {
+        for (pi, p) in d_input.chunks_mut(h * w).enumerate() {
+            input_plane(pi, p);
+        }
+    }
+
+    // Pass 2 — d_weight/d_bias: each channel accumulates over the batch,
+    // with exclusive ownership of its kernel and bias slots.
+    let mut d_weight = vec![0.0f32; c * kh * kw];
+    let mut d_bias = vec![0.0f32; c];
+    let weight_channel = |ci: usize, (d_w, d_b): (&mut [f32], &mut [f32])| {
+        for ni in 0..n {
+            let base = (ni * c + ci) * h * w;
+            let g_plane = &g[(ni * c + ci) * oh * ow..(ni * c + ci + 1) * oh * ow];
             for oy in 0..oh {
                 let y0 = (oy * spec.stride) as isize - pad;
                 for ox in 0..ow {
-                    let x0 = (ox * spec.stride) as isize - pad;
-                    let go = g[((ni * c + ci) * oh + oy) * ow + ox];
+                    let go = g_plane[oy * ow + ox];
                     if go == 0.0 {
                         continue;
                     }
-                    d_bias[ci] += go;
+                    d_b[0] += go;
+                    let x0 = (ox * spec.stride) as isize - pad;
                     for ky in 0..kh {
                         let y = y0 + ky as isize;
                         if y < 0 || y >= h as isize {
                             continue;
                         }
-                        let in_row = in_base + y as usize * w;
-                        let k_row = k_base + ky * kw;
+                        let in_row = base + y as usize * w;
+                        let k_row = ky * kw;
                         for kx in 0..kw {
-                            let x_pos = x0 + kx as isize;
-                            if x_pos < 0 || x_pos >= w as isize {
+                            let xp = x0 + kx as isize;
+                            if xp < 0 || xp >= w as isize {
                                 continue;
                             }
-                            let xi = in_row + x_pos as usize;
-                            d_weight[k_row + kx] += go * x[xi];
-                            d_input[xi] += go * wd[k_row + kx];
+                            d_w[k_row + kx] += go * x[in_row + xp as usize];
                         }
                     }
                 }
             }
         }
+    };
+    if parallel {
+        d_weight
+            .par_chunks_mut(kh * kw)
+            .zip(d_bias.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(ci, pair)| weight_channel(ci, pair));
+    } else {
+        for (ci, pair) in d_weight
+            .chunks_mut(kh * kw)
+            .zip(d_bias.chunks_mut(1))
+            .enumerate()
+        {
+            weight_channel(ci, pair);
+        }
     }
+
     Ok(DepthwiseGrads {
         d_input: Tensor::from_vec(d_input, &[n, c, h, w])?,
         d_weight: Tensor::from_vec(d_weight, &[c, kh, kw])?,
         d_bias: Tensor::from_vec(d_bias, &[c])?,
     })
+}
+
+/// Seed (pre-optimisation) implementations for equivalence tests and
+/// benchmark baselines; see [`crate::reference`].
+pub mod reference {
+    use super::{dims4, ConvSpec};
+    use crate::{Result, Tensor, TensorError};
+
+    /// The seed `depthwise_conv2d`: per-pixel gather loop with bounds checks
+    /// in the innermost loops.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`super::depthwise_conv2d`].
+    pub fn depthwise_conv2d_naive(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: ConvSpec,
+    ) -> Result<Tensor> {
+        let (n, c, h, w) = dims4(input)?;
+        if weight.shape().rank() != 3 || weight.dims()[0] != c {
+            return Err(TensorError::ShapeMismatch {
+                left: weight.dims().to_vec(),
+                right: vec![c, 0, 0],
+            });
+        }
+        let (kh, kw) = (weight.dims()[1], weight.dims()[2]);
+        let oh = spec.output_extent(h, kh)?;
+        let ow = spec.output_extent(w, kw)?;
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let data = input.data();
+        let wdata = weight.data();
+        let pad = spec.padding as isize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let in_base = (ni * c + ci) * h * w;
+                let k_base = ci * kh * kw;
+                let b = bias.map_or(0.0, |b| b.data()[ci]);
+                for oy in 0..oh {
+                    let y0 = (oy * spec.stride) as isize - pad;
+                    for ox in 0..ow {
+                        let x0 = (ox * spec.stride) as isize - pad;
+                        let mut acc = b;
+                        for ky in 0..kh {
+                            let y = y0 + ky as isize;
+                            if y < 0 || y >= h as isize {
+                                continue;
+                            }
+                            let in_row = in_base + y as usize * w;
+                            let k_row = k_base + ky * kw;
+                            for kx in 0..kw {
+                                let x = x0 + kx as isize;
+                                if x < 0 || x >= w as isize {
+                                    continue;
+                                }
+                                acc += data[in_row + x as usize] * wdata[k_row + kx];
+                            }
+                        }
+                        out[((ni * c + ci) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
 }
 
 #[cfg(test)]
@@ -505,8 +864,10 @@ mod tests {
                         for ci in 0..c {
                             for ky in 0..kh {
                                 for kx in 0..kw {
-                                    let y = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                                    let x = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    let y =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let x =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
                                     if y < 0 || y >= h as isize || x < 0 || x >= w as isize {
                                         continue;
                                     }
@@ -527,10 +888,27 @@ mod tests {
     fn output_extent_math() {
         let s = ConvSpec::new(2, 1).unwrap();
         assert_eq!(s.output_extent(32, 5).unwrap(), 15);
-        assert_eq!(ConvSpec::same(5).output_extent(32, 5).unwrap(), 32);
+        assert_eq!(ConvSpec::same(5).unwrap().output_extent(32, 5).unwrap(), 32);
         assert_eq!(ConvSpec::valid().output_extent(32, 5).unwrap(), 28);
         assert!(ConvSpec::valid().output_extent(2, 5).is_err());
         assert!(ConvSpec::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn same_rejects_even_and_zero_kernels() {
+        // Regression: `same(4)` used to silently produce a spec whose output
+        // is one pixel short of the input.
+        for k in [0usize, 2, 4, 8] {
+            assert!(
+                matches!(ConvSpec::same(k), Err(TensorError::InvalidSpec(_))),
+                "kernel {k} must be rejected"
+            );
+        }
+        for k in [1usize, 3, 5, 7] {
+            let spec = ConvSpec::same(k).unwrap();
+            assert_eq!(spec.stride, 1);
+            assert_eq!(spec.output_extent(32, k).unwrap(), 32, "kernel {k}");
+        }
     }
 
     #[test]
@@ -560,9 +938,34 @@ mod tests {
     }
 
     #[test]
+    fn conv2d_scratch_reuse_is_deterministic() {
+        // Two identical calls through one scratch pool must agree exactly
+        // (buffer reuse must not leak state between calls).
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let input = Tensor::rand_uniform(&[2, 3, 12, 12], -1.0, 1.0, &mut rng);
+        let weight = Tensor::rand_uniform(&[5, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let spec = ConvSpec::same(3).unwrap();
+        let mut scratch = Scratch::new();
+        let first = conv2d_with_scratch(&input, &weight, None, spec, &mut scratch).unwrap();
+        assert!(scratch.pooled() > 0);
+        let second = conv2d_with_scratch(&input, &weight, None, spec, &mut scratch).unwrap();
+        assert_eq!(first, second);
+        // And a *different* problem through the same pool stays correct.
+        let small = Tensor::rand_uniform(&[1, 3, 5, 5], -1.0, 1.0, &mut rng);
+        let got = conv2d_with_scratch(&small, &weight, None, spec, &mut scratch).unwrap();
+        let expected = naive_conv2d(&small, &weight, None, spec);
+        for (a, b) in got.data().iter().zip(expected.data().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
     fn conv2d_backward_matches_numerical_gradient() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let spec = ConvSpec { stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            stride: 1,
+            padding: 1,
+        };
         let input = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
         let weight = Tensor::rand_uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
         let bias = Tensor::rand_uniform(&[3], -0.5, 0.5, &mut rng);
@@ -618,7 +1021,7 @@ mod tests {
         for c in 0..3 {
             weight.set(&[c, 1, 1], 1.0).unwrap();
         }
-        let out = depthwise_conv2d(&input, &weight, None, ConvSpec::same(3)).unwrap();
+        let out = depthwise_conv2d(&input, &weight, None, ConvSpec::same(3).unwrap()).unwrap();
         for (a, b) in out.data().iter().zip(input.data().iter()) {
             assert!((a - b).abs() < 1e-6);
         }
@@ -629,10 +1032,44 @@ mod tests {
         // Uniform input stays uniform under a normalized box kernel.
         let input = Tensor::full(&[1, 2, 5, 5], 3.0);
         let weight = Tensor::full(&[2, 3, 3], 1.0 / 9.0);
-        let out = depthwise_conv2d(&input, &weight, None, ConvSpec::same(3)).unwrap();
+        let out = depthwise_conv2d(&input, &weight, None, ConvSpec::same(3).unwrap()).unwrap();
         // Centre pixels keep the value; border pixels shrink due to zero padding.
         assert!((out.get(&[0, 0, 2, 2]).unwrap() - 3.0).abs() < 1e-5);
         assert!(out.get(&[0, 0, 0, 0]).unwrap() < 3.0);
+    }
+
+    #[test]
+    fn depthwise_fast_path_matches_naive_reference() {
+        // The stride-1 shifted-row fast path and the general path must both
+        // agree with the seed gather loop, including stride/padding edges.
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
+        for &(stride, padding, k) in &[
+            (1usize, 1usize, 3usize),
+            (1, 2, 5),
+            (1, 0, 3),
+            (1, 3, 3),
+            (2, 1, 3),
+            (2, 2, 5),
+            (3, 0, 3),
+        ] {
+            let spec = ConvSpec { stride, padding };
+            let input = Tensor::rand_uniform(&[2, 3, 11, 9], -1.0, 1.0, &mut rng);
+            let weight = Tensor::rand_uniform(&[3, k, k], -1.0, 1.0, &mut rng);
+            let bias = Tensor::rand_uniform(&[3], -0.5, 0.5, &mut rng);
+            if spec.output_extent(11, k).is_err() || spec.output_extent(9, k).is_err() {
+                continue;
+            }
+            let fast = depthwise_conv2d(&input, &weight, Some(&bias), spec).unwrap();
+            let slow =
+                reference::depthwise_conv2d_naive(&input, &weight, Some(&bias), spec).unwrap();
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "stride {stride} pad {padding} k {k}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -650,7 +1087,7 @@ mod tests {
                 }
             }
         }
-        let spec = ConvSpec::same(3);
+        let spec = ConvSpec::same(3).unwrap();
         let a = depthwise_conv2d(&input, &dw, None, spec).unwrap();
         let b = conv2d(&input, &full, None, spec).unwrap();
         for (x, y) in a.data().iter().zip(b.data().iter()) {
@@ -661,7 +1098,7 @@ mod tests {
     #[test]
     fn depthwise_backward_matches_numerical_gradient() {
         let mut rng = ChaCha8Rng::seed_from_u64(33);
-        let spec = ConvSpec::same(3);
+        let spec = ConvSpec::same(3).unwrap();
         let input = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
         let weight = Tensor::rand_uniform(&[2, 3, 3], -1.0, 1.0, &mut rng);
         let out = depthwise_conv2d(&input, &weight, None, spec).unwrap();
@@ -696,7 +1133,10 @@ mod tests {
     fn im2col_col2im_are_adjoint() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y.
         let mut rng = ChaCha8Rng::seed_from_u64(77);
-        let spec = ConvSpec { stride: 2, padding: 1 };
+        let spec = ConvSpec {
+            stride: 2,
+            padding: 1,
+        };
         let x = Tensor::rand_uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng);
         let cols = im2col(&x, 3, 3, spec).unwrap();
         let y = Tensor::rand_uniform(cols.dims(), -1.0, 1.0, &mut rng);
@@ -715,6 +1155,6 @@ mod tests {
         let weight = Tensor::zeros(&[2, 3, 3, 3]);
         assert!(conv2d(&input, &weight, Some(&bad_bias), ConvSpec::valid()).is_err());
         let dw_bad = Tensor::zeros(&[2, 3, 3]);
-        assert!(depthwise_conv2d(&input, &dw_bad, None, ConvSpec::same(3)).is_err());
+        assert!(depthwise_conv2d(&input, &dw_bad, None, ConvSpec::same(3).unwrap()).is_err());
     }
 }

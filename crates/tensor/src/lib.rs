@@ -24,17 +24,27 @@ mod error;
 mod init;
 mod matmul;
 mod pool;
+mod scratch;
 mod shape;
 mod tensor;
 
 pub use conv::{
-    col2im, conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, im2col,
-    Conv2dGrads, ConvSpec, DepthwiseGrads,
+    col2im, conv2d, conv2d_backward, conv2d_backward_with_scratch, conv2d_with_scratch,
+    depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dGrads, ConvSpec, DepthwiseGrads,
 };
 pub use error::TensorError;
 pub use init::{kaiming_uniform, xavier_uniform, Initializer};
 pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
+
+/// Seed (pre-optimisation) implementations, kept verbatim so equivalence
+/// tests and `substrate_micro` can pin the fast paths against them. Never
+/// use these on hot paths.
+pub mod reference {
+    pub use crate::conv::reference::depthwise_conv2d_naive;
+    pub use crate::matmul::reference::matmul_naive;
+}
 pub use pool::{max_pool2d, max_pool2d_backward, MaxPoolOutput, PoolSpec};
+pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,6 +1,10 @@
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::{Result, Tensor, TensorError};
+
+/// Output elements below which pooling stays sequential.
+const PAR_WORK: usize = 1 << 15;
 
 /// Window size and stride for 2-D max pooling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -70,30 +74,44 @@ pub fn max_pool2d(input: &Tensor, spec: PoolSpec) -> Result<MaxPoolOutput> {
     let mut out = vec![0.0f32; n * c * oh * ow];
     let mut argmax = vec![0usize; n * c * oh * ow];
     let data = input.data();
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = base;
-                    for ky in 0..spec.window {
-                        for kx in 0..spec.window {
-                            let y = oy * spec.stride + ky;
-                            let x = ox * spec.stride + kx;
-                            let idx = base + y * w + x;
-                            if data[idx] > best {
-                                best = data[idx];
-                                best_idx = idx;
-                            }
+
+    // One (image, channel) plane per task: the output and argmax chunks are
+    // disjoint, so planes pool rayon-parallel once the batch is large enough.
+    let plane = |pi: usize, (out_plane, arg_plane): (&mut [f32], &mut [usize])| {
+        let base = pi * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = base;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let y = oy * spec.stride + ky;
+                        let x = ox * spec.stride + kx;
+                        let idx = base + y * w + x;
+                        if data[idx] > best {
+                            best = data[idx];
+                            best_idx = idx;
                         }
                     }
-                    let o = ((ni * c + ci) * oh + oy) * ow + ox;
-                    out[o] = best;
-                    argmax[o] = best_idx;
                 }
+                out_plane[oy * ow + ox] = best;
+                arg_plane[oy * ow + ox] = best_idx;
             }
         }
+    };
+    if out.len() * spec.window * spec.window < PAR_WORK || rayon::current_num_threads() <= 1 {
+        for (pi, pair) in out
+            .chunks_mut(oh * ow)
+            .zip(argmax.chunks_mut(oh * ow))
+            .enumerate()
+        {
+            plane(pi, pair);
+        }
+    } else {
+        out.par_chunks_mut(oh * ow)
+            .zip(argmax.par_chunks_mut(oh * ow))
+            .enumerate()
+            .for_each(|(pi, pair)| plane(pi, pair));
     }
     Ok(MaxPoolOutput {
         output: Tensor::from_vec(out, &[n, c, oh, ow])?,

@@ -19,15 +19,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let defenses = [
         DefenseKind::Baseline,
-        DefenseKind::DepthwiseLinf { kernel: 5, alpha: 0.1 },
+        DefenseKind::DepthwiseLinf {
+            kernel: 5,
+            alpha: 0.1,
+        },
         DefenseKind::TotalVariation { alpha: 1e-4 },
-        DefenseKind::TikhonovHf { alpha: 1e-4, window: 3 },
+        DefenseKind::TikhonovHf {
+            alpha: 1e-4,
+            window: 3,
+        },
         DefenseKind::TikhonovPseudo { alpha: 1e-6 },
     ];
 
     let mut table = Table::new(
         "White-box RP2 against selected defenses",
-        &["Defense", "Legit acc.", "Avg success", "Worst success", "L2"],
+        &[
+            "Defense",
+            "Legit acc.",
+            "Avg success",
+            "Worst success",
+            "L2",
+        ],
     );
     for defense in &defenses {
         let row = table2::run_defense(&mut zoo, defense)?;

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use blurnet::{Scale, ModelZoo};
+use blurnet::{ModelZoo, Scale};
 use blurnet_attacks::{Rp2Attack, Rp2Config};
 use blurnet_defenses::DefenseKind;
 use blurnet_tensor::Tensor;

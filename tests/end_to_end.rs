@@ -20,8 +20,8 @@ fn quick_train_config(epochs: usize) -> TrainConfig {
 #[test]
 fn baseline_learns_above_chance_accuracy() {
     let dataset = SignDataset::generate(&DatasetConfig::smoke(), 7).unwrap();
-    let model = train_defended_model(&DefenseKind::Baseline, &dataset, &quick_train_config(4))
-        .unwrap();
+    let model =
+        train_defended_model(&DefenseKind::Baseline, &dataset, &quick_train_config(4)).unwrap();
     let accuracy = model.training_report().test_accuracy;
     // 18 classes -> chance is ~5.6%. Even a few smoke epochs should beat it
     // by a wide margin on the synthetic dataset.
@@ -43,9 +43,7 @@ fn rp2_succeeds_against_the_baseline_and_stays_on_the_sticker() {
     .unwrap();
     let image = dataset.stop_eval_images()[0].clone();
     let clean_pred = model.classify_one(&image).unwrap();
-    let result = attack
-        .generate(model.network_mut(), &image, 12)
-        .unwrap();
+    let result = attack.generate(model.network_mut(), &image, 12).unwrap();
     // The perturbation must be confined to the sticker mask and valid range.
     assert!(result.adversarial.min().unwrap() >= 0.0);
     assert!(result.adversarial.max().unwrap() <= 1.0);
@@ -144,8 +142,6 @@ fn trained_models_serialize_and_keep_their_predictions() {
     let before = model.classify_one(&image).unwrap();
     let bytes = model.network().to_bytes().unwrap();
     let mut restored = blurnet_nn::Sequential::from_bytes(&bytes).unwrap();
-    let after = restored
-        .predict(&Tensor::stack(&[image]).unwrap())
-        .unwrap()[0];
+    let after = restored.predict(&Tensor::stack(&[image]).unwrap()).unwrap()[0];
     assert_eq!(before, after);
 }

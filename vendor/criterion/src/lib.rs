@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the bench targets use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `criterion_group!`,
+//! `criterion_main!`) with a simple adaptive wall-clock measurement:
+//! batches are sized to at least ~1 ms, and the median batch is reported in
+//! a `name ... time/iter` line. No statistics beyond that — the point is
+//! honest relative numbers in an environment where real criterion cannot be
+//! downloaded.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by all groups.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (stand-in: accepts and ignores
+    /// the arguments cargo-bench forwards).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group `{name}`");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_count: 10,
+        }
+    }
+
+    /// Prints the final summary (stand-in: no-op; lines print eagerly).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A named collection of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Measures a closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Measures a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    sample_count: usize,
+    median_ns: Option<f64>,
+}
+
+/// Measures `f` adaptively: batch sizes grow until one batch takes at
+/// least `min_batch`; the per-iteration median over `samples` batches is
+/// returned in nanoseconds.
+pub fn measure_median_ns<O, F: FnMut() -> O>(mut f: F, samples: usize, min_batch: Duration) -> f64 {
+    // Warm-up and batch sizing.
+    let mut batch = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= min_batch || batch >= 1 << 24 {
+            break;
+        }
+        // Grow toward the target with a 2x safety factor.
+        let grow = (min_batch.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil() as usize;
+        batch = (batch * grow.clamp(2, 64)).min(1 << 24);
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(2) {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        per_iter.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_iter[per_iter.len() / 2]
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            sample_count,
+            median_ns: None,
+        }
+    }
+
+    /// Times the closure; call once per benchmark body.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.median_ns = Some(measure_median_ns(
+            f,
+            self.sample_count,
+            Duration::from_millis(1),
+        ));
+    }
+
+    fn report(&self, label: &str) {
+        match self.median_ns {
+            Some(ns) => {
+                let (value, unit) = if ns >= 1e9 {
+                    (ns / 1e9, "s")
+                } else if ns >= 1e6 {
+                    (ns / 1e6, "ms")
+                } else if ns >= 1e3 {
+                    (ns / 1e3, "µs")
+                } else {
+                    (ns, "ns")
+                };
+                println!("{label:<48} time: {value:10.3} {unit}/iter");
+            }
+            None => println!("{label:<48} time: (no measurement)"),
+        }
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,328 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the slice-parallelism subset the workspace uses —
+//! `par_chunks_mut` (+ `enumerate`/`zip`) and `join` — on top of
+//! `std::thread::scope`. Work is statically partitioned into contiguous
+//! runs of chunks, one per worker thread, which is a good fit for the
+//! uniform-cost loops (GEMM row blocks, image planes) this repo
+//! parallelizes.
+//!
+//! Thread count resolution order: `ThreadPool::install` override, then the
+//! `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(configured_threads)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("rayon stand-in: joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// Builder for a fixed-size pool (stand-in: only carries the thread count).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(configured_threads).max(1),
+        })
+    }
+}
+
+/// Error building a thread pool (never produced by the stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle that scopes parallel operations to a fixed thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing nested parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(self.num_threads)));
+        let result = f();
+        THREAD_OVERRIDE.with(|o| o.set(prev));
+        result
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Executes `tasks` (index, work) pairs across up to `current_num_threads()`
+/// scoped threads with static contiguous partitioning.
+fn run_partitioned<T, F>(mut items: Vec<T>, f: &F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let per = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut start = 0usize;
+        while !items.is_empty() {
+            let take = per.min(items.len());
+            let rest = items.split_off(take);
+            let batch = std::mem::replace(&mut items, rest);
+            let base = start;
+            start += take;
+            scope.spawn(move || {
+                for (offset, item) in batch.into_iter().enumerate() {
+                    f(base + offset, item);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel mutable chunk iterator (see [`prelude::ParallelSliceMut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+/// Enumerated wrapper produced by [`ParChunksMut::enumerate`] and
+/// [`Zip::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+/// Lock-step pair of two parallel chunk iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Iterates two chunk sequences in lock step.
+    pub fn zip<'b, U: Send>(self, other: ParChunksMut<'b, U>) -> Zip<Self, ParChunksMut<'b, U>> {
+        Zip { a: self, b: other }
+    }
+
+    /// Runs `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk_size.max(1)).collect();
+        run_partitioned(chunks, &|_, c| f(c));
+    }
+}
+
+impl<'a, T: Send> Enumerate<ParChunksMut<'a, T>> {
+    /// Runs `f` on every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let chunks: Vec<&mut [T]> = self
+            .inner
+            .slice
+            .chunks_mut(self.inner.chunk_size.max(1))
+            .collect();
+        run_partitioned(chunks, &|i, c| f((i, c)));
+    }
+}
+
+impl<'a, 'b, T: Send, U: Send> Zip<ParChunksMut<'a, T>, ParChunksMut<'b, U>> {
+    /// Pairs each zipped chunk pair with its index.
+    pub fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Runs `f` on every chunk pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&'a mut [T], &'b mut [U])) + Sync,
+    {
+        let pairs: Vec<(&mut [T], &mut [U])> = self
+            .a
+            .slice
+            .chunks_mut(self.a.chunk_size.max(1))
+            .zip(self.b.slice.chunks_mut(self.b.chunk_size.max(1)))
+            .collect();
+        run_partitioned(pairs, &|_, p| f(p));
+    }
+}
+
+impl<'a, 'b, T: Send, U: Send> Enumerate<Zip<ParChunksMut<'a, T>, ParChunksMut<'b, U>>> {
+    /// Runs `f` on every `(index, (chunk_a, chunk_b))`, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, (&'a mut [T], &'b mut [U]))) + Sync,
+    {
+        let pairs: Vec<(&mut [T], &mut [U])> = self
+            .inner
+            .a
+            .slice
+            .chunks_mut(self.inner.a.chunk_size.max(1))
+            .zip(
+                self.inner
+                    .b
+                    .slice
+                    .chunks_mut(self.inner.b.chunk_size.max(1)),
+            )
+            .collect();
+        run_partitioned(pairs, &|i, p| f((i, p)));
+    }
+}
+
+/// Traits users import to get parallel slice methods.
+pub mod prelude {
+    use super::ParChunksMut;
+
+    /// `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits into mutable chunks of `chunk_size` (last may be shorter),
+        /// processed in parallel by a terminal `for_each`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(17).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[17], 2);
+        assert_eq!(*data.last().unwrap(), 1003u32.div_ceil(17));
+    }
+
+    #[test]
+    fn zip_pairs_match() {
+        let mut a = vec![1i64; 64];
+        let mut b = [2i64; 16];
+        a.par_chunks_mut(16)
+            .zip(b.par_chunks_mut(4))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                ca[0] = 10 + i as i64;
+                cb[0] = 20 + i as i64;
+            });
+        assert_eq!(a[0], 10);
+        assert_eq!(a[48], 13);
+        assert_eq!(b[12], 23);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+        });
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

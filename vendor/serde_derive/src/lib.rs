@@ -1,0 +1,456 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` available in
+//! this build environment). Supports the item shapes that occur in the
+//! workspace: structs with named fields, tuple structs, and enums with unit,
+//! tuple and struct variants — plus the `#[serde(skip)]` field attribute.
+//! Generic parameters are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading `#[...]` attributes; returns whether any of them was
+/// `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                for t in args.stream() {
+                                    if let TokenTree::Ident(a) = t {
+                                        if a.to_string() == "skip" {
+                                            skip = true;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    *pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type expression up to (not including) a top-level comma,
+/// tracking `<`/`>` nesting depth.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth: i32 = 0;
+    while *pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*pos] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected ':' after field name, found {other}"),
+        }
+        skip_type(&tokens, &mut pos);
+        // Consume the separating comma if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0usize;
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        arity += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum keyword, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in does not support generic types ({name})");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the `serde::Serialize` stand-in trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                entries.push_str(&format!(
+                    "entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {entries}\
+                 ::serde::Value::Map(entries)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n}}\n"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Seq(vec![{}]) }}\n}}\n",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut entries = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            entries.push_str(&format!(
+                                "(\"{0}\".to_string(), ::serde::Serialize::to_value({0})), ",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives the `serde::Deserialize` stand-in trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::Deserialize::from_value(v.get_field(\"{0}\").ok_or_else(|| ::serde::Error::msg(\"missing field `{0}` in {name}\"))?)?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name} {{\n{inits}}})\n}}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n}}\n}}\n"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::msg(\"tuple struct too short\"))?)?"
+                    ))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     match v {{\n\
+                     ::serde::Value::Seq(items) => Ok({name}({})),\n\
+                     _ => Err(::serde::Error::msg(\"expected array for {name}\")),\n\
+                     }}\n}}\n}}\n",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!("Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?))")
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!(
+                                    "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::Error::msg(\"variant tuple too short\"))?)?"
+                                ))
+                                .collect();
+                            format!(
+                                "match inner {{ ::serde::Value::Seq(items) => Ok({name}::{vn}({})), _ => Err(::serde::Error::msg(\"expected array for variant {vn}\")) }}",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => {{ {body} }}\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::Deserialize::from_value(inner.get_field(\"{0}\").ok_or_else(|| ::serde::Error::msg(\"missing field `{0}` in {name}::{vn}\"))?)?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        tagged_arms
+                            .push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n{inits}}}),\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::msg(format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(::serde::Error::msg(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::msg(\"expected string or single-key object for enum {name}\")),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
