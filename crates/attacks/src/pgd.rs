@@ -108,6 +108,10 @@ impl PgdAttack {
     /// Attacks a set of images and reports the untargeted success rate (the
     /// fraction of predictions the attack changed) and dissimilarity.
     ///
+    /// Generation is per image (each needs its own gradient loop), but both
+    /// prediction sets — clean and adversarial — are judged with one
+    /// batch-parallel forward pass each.
+    ///
     /// # Errors
     ///
     /// Returns an error if `images` and `labels` are empty or mismatched.
@@ -124,17 +128,15 @@ impl PgdAttack {
                 labels.len()
             )));
         }
-        let mut clean_preds = Vec::with_capacity(images.len());
-        let mut adv_preds = Vec::with_capacity(images.len());
+        let clean_preds = net.predict_batch(&Tensor::stack(images)?)?;
+        let mut adversarial = Vec::with_capacity(images.len());
         let mut dissims = Vec::with_capacity(images.len());
         for (image, &label) in images.iter().zip(labels.iter()) {
-            let clean_pred = net.predict(&Tensor::stack(std::slice::from_ref(image))?)?[0];
             let adv = self.generate(net, image, label)?;
-            let adv_pred = net.predict(&Tensor::stack(std::slice::from_ref(&adv))?)?[0];
-            clean_preds.push(clean_pred);
-            adv_preds.push(adv_pred);
             dissims.push(l2_dissimilarity(image, &adv)?);
+            adversarial.push(adv);
         }
+        let adv_preds = net.predict_batch(&Tensor::stack(&adversarial)?)?;
         Ok(AttackEvaluation {
             success_rate: untargeted_success_rate(&clean_preds, &adv_preds)?,
             l2_dissimilarity: dissims.iter().sum::<f32>() / dissims.len() as f32,

@@ -230,14 +230,16 @@ impl Rp2Attack {
         if images.is_empty() {
             return Err(AttackError::BadInput("no images to attack".into()));
         }
-        let mut adv_preds = Vec::with_capacity(images.len());
+        // Generate per image (each optimization needs its own gradient
+        // loop), then judge the whole set with one batch-parallel pass.
+        let mut adversarial = Vec::with_capacity(images.len());
         let mut dissims = Vec::with_capacity(images.len());
         for image in images {
             let result = self.generate(net, image, target)?;
-            let pred = net.predict(&Tensor::stack(std::slice::from_ref(&result.adversarial))?)?[0];
-            adv_preds.push(pred);
             dissims.push(l2_dissimilarity(image, &result.adversarial)?);
+            adversarial.push(result.adversarial);
         }
+        let adv_preds = net.predict_batch(&Tensor::stack(&adversarial)?)?;
         let success_rate = targeted_success_rate(&adv_preds, target)?;
         Ok(AttackEvaluation {
             success_rate,

@@ -25,12 +25,36 @@ pub trait Classifier {
     ///
     /// Returns an error if the image shape is incompatible with the model.
     fn classify(&mut self, image: &Tensor) -> Result<usize>;
+
+    /// Predicts the class of every image in `images`.
+    ///
+    /// The default implementation loops [`Classifier::classify`]; models
+    /// backed by a network override it to ride the batch-parallel
+    /// inference engine (one sharded forward pass instead of per-image
+    /// passes). Every evaluation loop in this crate classifies through
+    /// this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any image is incompatible with the model.
+    fn classify_batch(&mut self, images: &[Tensor]) -> Result<Vec<usize>> {
+        images.iter().map(|image| self.classify(image)).collect()
+    }
 }
 
 impl Classifier for Sequential {
     fn classify(&mut self, image: &Tensor) -> Result<usize> {
         let batch = Tensor::stack(std::slice::from_ref(image))?;
         Ok(self.predict(&batch)?[0])
+    }
+
+    /// One batch-parallel forward pass over the whole set.
+    fn classify_batch(&mut self, images: &[Tensor]) -> Result<Vec<usize>> {
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = Tensor::stack(images)?;
+        Ok(self.predict_batch(&batch)?)
     }
 }
 
@@ -70,18 +94,20 @@ pub fn evaluate_transfer<C: Classifier + ?Sized>(
             labels.len()
         )));
     }
-    let mut clean_preds = Vec::with_capacity(clean.len());
-    let mut adv_preds = Vec::with_capacity(clean.len());
+    // Both prediction sets ride the victim's batched path (a single
+    // sharded forward pass for network-backed victims).
+    let clean_preds = victim.classify_batch(clean)?;
+    let adv_preds = victim.classify_batch(adversarial)?;
     let mut dissims = Vec::with_capacity(clean.len());
     let mut correct = 0usize;
-    for ((c, a), &label) in clean.iter().zip(adversarial.iter()).zip(labels.iter()) {
-        let cp = victim.classify(c)?;
-        let ap = victim.classify(a)?;
+    for ((c, a), (&cp, &label)) in clean
+        .iter()
+        .zip(adversarial.iter())
+        .zip(clean_preds.iter().zip(labels.iter()))
+    {
         if cp == label {
             correct += 1;
         }
-        clean_preds.push(cp);
-        adv_preds.push(ap);
         dissims.push(l2_dissimilarity(c, a)?);
     }
     Ok(TransferReport {
@@ -116,10 +142,11 @@ mod tests {
 
     #[test]
     fn report_reflects_scripted_predictions() {
-        // Victim alternates clean/adv predictions: clean=0 (correct),
-        // adv=1 (changed) for both images.
+        // The harness classifies the whole clean set, then the whole
+        // adversarial set: clean=0 (correct), adv=1 (changed) for both
+        // images.
         let mut victim = Scripted {
-            outputs: vec![0, 1, 0, 1],
+            outputs: vec![0, 0, 1, 1],
             cursor: 0,
         };
         let clean = images(2, 0.5);
@@ -170,5 +197,11 @@ mod tests {
         let image = Tensor::full(&[3, 16, 16], 0.5);
         let pred = net.classify(&image).unwrap();
         assert!(pred < 18);
+        // The batched override agrees with per-image classification.
+        let images = [image, Tensor::full(&[3, 16, 16], 0.1)];
+        let batched = net.classify_batch(&images).unwrap();
+        let singles: Vec<usize> = images.iter().map(|i| net.classify(i).unwrap()).collect();
+        assert_eq!(batched, singles);
+        assert!(net.classify_batch(&[]).unwrap().is_empty());
     }
 }

@@ -250,6 +250,19 @@ fn bench_substrates(c: &mut Criterion) {
     group.bench_function("lisacnn_forward_batch4", |bench| {
         bench.iter(|| net.forward(&batch, false).unwrap());
     });
+    // The batch-parallel inference engine over the same workload: packed
+    // weights reused across calls, batch sharded over rayon. The full
+    // thread-scaling sweep lives in the `batch_engine` bench
+    // (BENCH_batch.json).
+    {
+        let engine = net.batch_engine().unwrap();
+        group.bench_function("lisacnn_forward_batch4_engine", |bench| {
+            bench.iter(|| engine.forward(&batch).unwrap());
+        });
+    }
+    group.bench_function("lisacnn_forward_batch4_engine_fresh_pack", |bench| {
+        bench.iter(|| net.forward_batch(&batch).unwrap());
+    });
     group.bench_function("lisacnn_forward_backward_batch4", |bench| {
         bench.iter(|| {
             let out = net.forward(&batch, true).unwrap();

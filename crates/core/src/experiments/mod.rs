@@ -13,15 +13,12 @@ pub mod table4;
 pub mod table5;
 
 use blurnet_attacks::rp2::TargetSweep;
-use blurnet_attacks::{
-    l2_dissimilarity, targeted_success_rate, AdaptiveObjective, AttackEvaluation,
-    FeaturePenaltyKind, Rp2Attack, Rp2Config,
-};
+use blurnet_attacks::{AdaptiveObjective, FeaturePenaltyKind, Rp2Attack, Rp2Config};
 use blurnet_defenses::{DefendedModel, DefenseKind};
 use blurnet_signal::OperatorPenalty;
 use blurnet_tensor::Tensor;
 
-use crate::{BlurNetError, ModelZoo, Result, Scale};
+use crate::{BatchRunner, ModelZoo, Result, Scale};
 
 /// The stop-sign images attacked by an experiment at the given scale.
 pub(crate) fn attack_images(zoo: &ModelZoo) -> Vec<Tensor> {
@@ -37,37 +34,16 @@ pub(crate) fn attack_images(zoo: &ModelZoo) -> Vec<Tensor> {
 /// Runs a targeted RP2 sweep against a defended model, generating the
 /// adversarial examples white-box on the underlying network but judging
 /// success through the model's *defended* prediction path (input filters
-/// and randomized smoothing included).
+/// and randomized smoothing included). Delegates to
+/// [`BatchRunner::rp2_sweep`], so every sweep-based experiment (Tables II
+/// and III, Figures 3 and 5) classifies through the batch-parallel engine.
 pub(crate) fn sweep_defended(
     model: &mut DefendedModel,
     attack: &Rp2Attack,
     images: &[Tensor],
     targets: &[usize],
 ) -> Result<TargetSweep> {
-    if images.is_empty() || targets.is_empty() {
-        return Err(BlurNetError::BadConfig(
-            "sweep needs at least one image and one target".into(),
-        ));
-    }
-    let mut per_target = Vec::with_capacity(targets.len());
-    for &target in targets {
-        let adversarial = attack.generate_set(model.network_mut(), images, target)?;
-        let mut preds = Vec::with_capacity(images.len());
-        let mut dissims = Vec::with_capacity(images.len());
-        for (clean, adv) in images.iter().zip(adversarial.iter()) {
-            preds.push(model.classify_one(adv)?);
-            dissims.push(l2_dissimilarity(clean, adv)?);
-        }
-        per_target.push((
-            target,
-            AttackEvaluation {
-                success_rate: targeted_success_rate(&preds, target)?,
-                l2_dissimilarity: dissims.iter().sum::<f32>() / dissims.len() as f32,
-                count: images.len(),
-            },
-        ));
-    }
-    Ok(TargetSweep { per_target })
+    BatchRunner::new(model).rp2_sweep(attack, images, targets)
 }
 
 /// Builds the adaptive RP2 objective matching a defense (Section V).

@@ -8,7 +8,7 @@
 //! (especially 5×5) cuts the transfer success rate far more than input
 //! filtering at the same kernel size, at a modest accuracy cost.
 
-use blurnet_attacks::{evaluate_transfer, Rp2Attack};
+use blurnet_attacks::Rp2Attack;
 use blurnet_data::STOP_CLASS_ID;
 use blurnet_defenses::{DefendedModel, DefenseKind};
 use blurnet_nn::model::FilterLayer;
@@ -17,7 +17,7 @@ use blurnet_signal::box_kernel;
 use serde::{Deserialize, Serialize};
 
 use crate::report::pct;
-use crate::{ModelZoo, Result, Table};
+use crate::{BatchRunner, ModelZoo, Result, Table};
 
 /// Target class used when generating the transferred examples
 /// (speedLimit25 — an arbitrary non-stop class, as in the RP2 setup).
@@ -142,7 +142,7 @@ pub fn run(zoo: &mut ModelZoo) -> Result<Table1> {
 
     let mut rows = Vec::with_capacity(victims.len());
     for (label, victim) in victims.iter_mut() {
-        let report = evaluate_transfer(victim, &images, &adversarial, &labels)?;
+        let report = BatchRunner::new(victim).transfer(&images, &adversarial, &labels)?;
         rows.push(Table1Row {
             defense: label.clone(),
             accuracy: report.clean_accuracy,

@@ -12,7 +12,7 @@ use blurnet_defenses::DefenseKind;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{num3, pct};
-use crate::{ModelZoo, Result, Table};
+use crate::{BatchRunner, ModelZoo, Result, Table};
 
 /// One row of Table IV.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -79,7 +79,7 @@ pub fn run_defense(zoo: &mut ModelZoo, defense: &DefenseKind) -> Result<Table4Ro
     let images = super::attack_images(zoo);
     let labels = vec![STOP_CLASS_ID; images.len()];
     let attack = PgdAttack::new(scale.pgd_config())?;
-    let eval = attack.evaluate(model.network_mut(), &images, &labels)?;
+    let eval = BatchRunner::new(&mut model).pgd_evaluate(&attack, &images, &labels)?;
     Ok(Table4Row {
         defense: defense.label(),
         attack_success_rate: eval.success_rate,

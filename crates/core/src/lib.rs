@@ -36,11 +36,13 @@
 mod error;
 pub mod experiments;
 pub mod report;
+pub mod runner;
 pub mod scale;
 pub mod zoo;
 
 pub use error::BlurNetError;
 pub use report::Table;
+pub use runner::BatchRunner;
 pub use scale::Scale;
 pub use zoo::ModelZoo;
 

@@ -1,0 +1,218 @@
+//! The [`BatchRunner`]: one evaluation driver for every experiment.
+//!
+//! Each paper table is a grid of attack × defense evaluations, and each
+//! cell boils down to the same operations: classify a set of images
+//! through a defended model, or run an attack over a set and judge the
+//! results. `BatchRunner` funnels all of them through the batch-parallel
+//! inference engine ([`blurnet_nn::BatchEngine`]) so every experiment —
+//! Tables I–V and the figures — rides the same sharded, deterministic
+//! forward path instead of per-image loops.
+
+use blurnet_attacks::rp2::TargetSweep;
+use blurnet_attacks::{
+    evaluate_transfer, l2_dissimilarity, targeted_success_rate, AttackEvaluation, PgdAttack,
+    Rp2Attack, TransferReport,
+};
+use blurnet_data::Batch;
+use blurnet_defenses::DefendedModel;
+use blurnet_tensor::Tensor;
+
+use crate::{BlurNetError, Result};
+
+/// Drives attack and accuracy evaluations for one defended model through
+/// the batch-parallel inference path.
+///
+/// The runner borrows the model mutably for its lifetime: white-box
+/// attacks need gradient access to the underlying network, and the
+/// defended prediction path may consume randomness (smoothing).
+///
+/// ```
+/// use blurnet::BatchRunner;
+/// use blurnet_defenses::{DefendedModel, DefenseKind};
+/// use blurnet_defenses::model::TrainingReport;
+/// use blurnet_nn::LisaCnn;
+/// use blurnet_tensor::Tensor;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let builder = LisaCnn::new(18).input_size(16).conv1_filters(4);
+/// let net = builder.build(&mut rng)?;
+/// let mut model = DefendedModel::new(
+///     net,
+///     DefenseKind::Baseline,
+///     builder.config().clone(),
+///     TrainingReport { epoch_losses: vec![], test_accuracy: 0.0 },
+/// );
+/// let mut runner = BatchRunner::new(&mut model);
+/// let images = vec![Tensor::zeros(&[3, 16, 16]); 4];
+/// // One sharded forward pass classifies the whole set.
+/// let predictions = runner.classify(&images)?;
+/// assert_eq!(predictions.len(), 4);
+/// # Ok::<(), blurnet::BlurNetError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchRunner<'m> {
+    model: &'m mut DefendedModel,
+}
+
+impl<'m> BatchRunner<'m> {
+    /// Wraps a defended model for batched evaluation.
+    pub fn new(model: &'m mut DefendedModel) -> Self {
+        BatchRunner { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DefendedModel {
+        self.model
+    }
+
+    /// Mutable access to the wrapped model (attack generation needs the
+    /// underlying network's gradients).
+    pub fn model_mut(&mut self) -> &mut DefendedModel {
+        self.model
+    }
+
+    /// Classifies a set of images through the defended prediction path in
+    /// one batch-parallel pass (randomized smoothing falls back to
+    /// per-image voting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing and network errors.
+    pub fn classify(&mut self, images: &[Tensor]) -> Result<Vec<usize>> {
+        Ok(self.model.classify_set(images)?)
+    }
+
+    /// Accuracy of the defended prediction path on a labelled batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty batch.
+    pub fn accuracy(&mut self, batch: &Batch) -> Result<f32> {
+        Ok(self.model.accuracy(batch)?)
+    }
+
+    /// Runs a targeted RP2 sweep: adversarial examples are generated
+    /// white-box on the underlying network, while success is judged
+    /// through the model's **defended** prediction path (input filters and
+    /// randomized smoothing included), one batched classification per
+    /// target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlurNetError::BadConfig`] for empty image or target sets;
+    /// propagates attack errors.
+    pub fn rp2_sweep(
+        &mut self,
+        attack: &Rp2Attack,
+        images: &[Tensor],
+        targets: &[usize],
+    ) -> Result<TargetSweep> {
+        if images.is_empty() || targets.is_empty() {
+            return Err(BlurNetError::BadConfig(
+                "sweep needs at least one image and one target".into(),
+            ));
+        }
+        let mut per_target = Vec::with_capacity(targets.len());
+        for &target in targets {
+            let adversarial = attack.generate_set(self.model.network_mut(), images, target)?;
+            let preds = self.classify(&adversarial)?;
+            let mut dissims = Vec::with_capacity(images.len());
+            for (clean, adv) in images.iter().zip(adversarial.iter()) {
+                dissims.push(l2_dissimilarity(clean, adv)?);
+            }
+            per_target.push((
+                target,
+                AttackEvaluation {
+                    success_rate: targeted_success_rate(&preds, target)?,
+                    l2_dissimilarity: dissims.iter().sum::<f32>() / dissims.len() as f32,
+                    count: images.len(),
+                },
+            ));
+        }
+        Ok(TargetSweep { per_target })
+    }
+
+    /// Runs the ε-bounded PGD evaluation against the underlying network
+    /// (Table IV judges through the plain network, as the paper does);
+    /// clean and adversarial sets are each judged with one batched pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attack errors.
+    pub fn pgd_evaluate(
+        &mut self,
+        attack: &PgdAttack,
+        images: &[Tensor],
+        labels: &[usize],
+    ) -> Result<AttackEvaluation> {
+        Ok(attack.evaluate(self.model.network_mut(), images, labels)?)
+    }
+
+    /// Evaluates transferred adversarial examples against this model as
+    /// the black-box victim (Table I), classifying both sets batched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn transfer(
+        &mut self,
+        clean: &[Tensor],
+        adversarial: &[Tensor],
+        labels: &[usize],
+    ) -> Result<TransferReport> {
+        Ok(evaluate_transfer(self.model, clean, adversarial, labels)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blurnet_defenses::model::TrainingReport;
+    use blurnet_defenses::DefenseKind;
+    use blurnet_nn::LisaCnn;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn untrained(defense: DefenseKind) -> DefendedModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let builder = LisaCnn::new(18).input_size(16).conv1_filters(4);
+        let net = builder.build(&mut rng).unwrap();
+        DefendedModel::new(
+            net,
+            defense,
+            builder.config().clone(),
+            TrainingReport {
+                epoch_losses: vec![],
+                test_accuracy: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn classify_matches_per_image_path() {
+        let mut model = untrained(DefenseKind::InputFilter { kernel: 3 });
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::full(&[3, 16, 16], 0.3 + 0.2 * i as f32))
+            .collect();
+        let singles: Vec<usize> = images
+            .iter()
+            .map(|i| model.classify_one(i).unwrap())
+            .collect();
+        let mut runner = BatchRunner::new(&mut model);
+        assert_eq!(runner.classify(&images).unwrap(), singles);
+        assert!(runner.model().network().parameter_count() > 0);
+    }
+
+    #[test]
+    fn rp2_sweep_validates_inputs() {
+        let mut model = untrained(DefenseKind::Baseline);
+        let mut runner = BatchRunner::new(&mut model);
+        let attack = Rp2Attack::new(Default::default()).unwrap();
+        assert!(runner.rp2_sweep(&attack, &[], &[1]).is_err());
+        assert!(runner
+            .rp2_sweep(&attack, &[Tensor::zeros(&[3, 16, 16])], &[])
+            .is_err());
+    }
+}

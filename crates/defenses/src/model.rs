@@ -127,6 +127,36 @@ impl DefendedModel {
         }
     }
 
+    /// Classifies a set of `[C, H, W]` images through the defended
+    /// inference path, batched.
+    ///
+    /// Deterministic defenses (everything except randomized smoothing)
+    /// preprocess the whole set and run **one batch-parallel forward pass**
+    /// through the network's inference engine; randomized smoothing still
+    /// votes image by image because its Monte-Carlo sampling consumes the
+    /// model's RNG in per-image order. Predictions are identical to
+    /// looping [`DefendedModel::classify_one`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing and network errors.
+    pub fn classify_set(&mut self, images: &[Tensor]) -> Result<Vec<usize>> {
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        match &self.defense {
+            DefenseKind::RandomizedSmoothing { .. } => images
+                .iter()
+                .map(|image| self.classify_one(image))
+                .collect(),
+            DefenseKind::InputFilter { kernel } => {
+                let filtered = filter_images(&Tensor::stack(images)?, *kernel)?;
+                Ok(self.net.predict_batch(&filtered)?)
+            }
+            _ => Ok(self.net.predict_batch(&Tensor::stack(images)?)?),
+        }
+    }
+
     /// Accuracy of the defended prediction path on a labelled batch.
     ///
     /// Deterministic defenses classify the whole batch in one forward pass
@@ -153,7 +183,7 @@ impl DefendedModel {
             }
             DefenseKind::InputFilter { kernel } => {
                 let filtered = filter_images(&batch.images, *kernel)?;
-                let preds = self.net.predict(&filtered)?;
+                let preds = self.net.predict_batch(&filtered)?;
                 preds
                     .iter()
                     .zip(batch.labels.iter())
@@ -161,7 +191,7 @@ impl DefendedModel {
                     .count()
             }
             _ => {
-                let preds = self.net.predict(&batch.images)?;
+                let preds = self.net.predict_batch(&batch.images)?;
                 preds
                     .iter()
                     .zip(batch.labels.iter())
@@ -176,6 +206,11 @@ impl DefendedModel {
 impl Classifier for DefendedModel {
     fn classify(&mut self, image: &Tensor) -> blurnet_attacks::Result<usize> {
         self.classify_one(image)
+            .map_err(|e| blurnet_attacks::AttackError::BadInput(e.to_string()))
+    }
+
+    fn classify_batch(&mut self, images: &[Tensor]) -> blurnet_attacks::Result<Vec<usize>> {
+        self.classify_set(images)
             .map_err(|e| blurnet_attacks::AttackError::BadInput(e.to_string()))
     }
 }
@@ -255,6 +290,28 @@ mod tests {
             labels: vec![],
         };
         assert!(model.accuracy(&empty).is_err());
+    }
+
+    #[test]
+    fn classify_set_matches_per_image_classification() {
+        let images: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::full(&[3, 16, 16], 0.2 + 0.15 * i as f32))
+            .collect();
+        for defense in [
+            DefenseKind::Baseline,
+            DefenseKind::InputFilter { kernel: 3 },
+            DefenseKind::FeatureFilter { kernel: 5 },
+        ] {
+            let mut model = untrained(defense.clone());
+            let batched = model.classify_set(&images).unwrap();
+            let singles: Vec<usize> = images
+                .iter()
+                .map(|i| model.classify_one(i).unwrap())
+                .collect();
+            assert_eq!(batched, singles, "defense {defense:?}");
+        }
+        let mut model = untrained(DefenseKind::Baseline);
+        assert!(model.classify_set(&[]).unwrap().is_empty());
     }
 
     #[test]

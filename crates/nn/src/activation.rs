@@ -1,6 +1,6 @@
 //! Rectified linear activation.
 
-use blurnet_tensor::Tensor;
+use blurnet_tensor::{Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{Layer, NnError, Result};
@@ -26,6 +26,10 @@ impl Layer for Relu {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         self.cached_input = Some(input.clone());
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn infer(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor> {
         Ok(input.map(|v| v.max(0.0)))
     }
 

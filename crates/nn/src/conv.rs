@@ -1,7 +1,8 @@
 //! Standard 2-D convolution layer.
 
 use blurnet_tensor::{
-    conv2d_backward_with_scratch, conv2d_with_scratch, ConvSpec, Initializer, Scratch, Tensor,
+    conv2d_backward_with_scratch, conv2d_with_scratch, ConvSpec, Initializer, PackedConvWeights,
+    Scratch, Tensor,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -83,6 +84,17 @@ impl Conv2d {
     pub fn bias(&self) -> &Tensor {
         &self.bias
     }
+
+    /// Packs the filter weights into the GEMM-ready transposed layout used
+    /// by [`blurnet_tensor::conv2d_prepacked`]. The batch engine calls this
+    /// once per forward pass and shares the pack across batch shards.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a constructed layer (the weights are always rank 4).
+    pub fn packed_weights(&self) -> Result<PackedConvWeights> {
+        PackedConvWeights::pack(&self.weight).map_err(NnError::from)
+    }
 }
 
 impl Layer for Conv2d {
@@ -100,6 +112,16 @@ impl Layer for Conv2d {
         )?;
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
+        Ok(conv2d_with_scratch(
+            input,
+            &self.weight,
+            Some(&self.bias),
+            self.spec,
+            scratch,
+        )?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

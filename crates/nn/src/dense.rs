@@ -1,6 +1,9 @@
 //! Fully-connected (dense) layer.
 
-use blurnet_tensor::{matmul, matmul_transpose_a, matmul_transpose_b, Initializer, Tensor};
+use blurnet_tensor::{
+    matmul, matmul_transpose_a, matmul_transpose_b, matmul_transpose_b_with_scratch, Initializer,
+    Scratch, Tensor,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -55,14 +58,23 @@ impl Dense {
     pub fn bias(&self) -> &Tensor {
         &self.bias
     }
-}
 
-impl Layer for Dense {
-    fn name(&self) -> &'static str {
-        "dense"
+    /// The weight matrix pre-transposed to `[in, out]`, so inference is a
+    /// plain stride-1 [`matmul`]. The batch engine transposes once per
+    /// forward pass and shares the result across batch shards.
+    pub fn weight_transposed(&self) -> Tensor {
+        let (out_f, in_f) = (self.weight.dims()[0], self.weight.dims()[1]);
+        let mut data = vec![0.0f32; in_f * out_f];
+        let w = self.weight.data();
+        for o in 0..out_f {
+            for i in 0..in_f {
+                data[i * out_f + o] = w[o * in_f + i];
+            }
+        }
+        Tensor::from_vec(data, &[in_f, out_f]).expect("transpose preserves volume")
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+    pub(crate) fn check_input(&self, input: &Tensor) -> Result<()> {
         if input.shape().rank() != 2 || input.dims()[1] != self.weight.dims()[1] {
             return Err(NnError::BadConfig(format!(
                 "dense expects [N, {}], got {}",
@@ -70,8 +82,10 @@ impl Layer for Dense {
                 input.shape()
             )));
         }
-        // [N, in] · [out, in]ᵀ = [N, out]
-        let mut out = matmul_transpose_b(input, &self.weight)?;
+        Ok(())
+    }
+
+    pub(crate) fn add_bias(&self, out: &mut Tensor) {
         let (n, o) = (out.dims()[0], out.dims()[1]);
         let bias = self.bias.data().to_vec();
         let data = out.data_mut();
@@ -80,7 +94,27 @@ impl Layer for Dense {
                 data[i * o + j] += bias[j];
             }
         }
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.check_input(input)?;
+        // [N, in] · [out, in]ᵀ = [N, out]
+        let mut out = matmul_transpose_b(input, &self.weight)?;
+        self.add_bias(&mut out);
         self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
+        self.check_input(input)?;
+        let mut out = matmul_transpose_b_with_scratch(input, &self.weight, scratch)?;
+        self.add_bias(&mut out);
         Ok(out)
     }
 

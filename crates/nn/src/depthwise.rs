@@ -4,7 +4,7 @@
 //! channel. It can be *fixed* (a standard blur kernel, Section III of the
 //! paper) or *trainable* (learned under an L∞ penalty, Eq. 2).
 
-use blurnet_tensor::{depthwise_conv2d, depthwise_conv2d_backward, ConvSpec, Tensor};
+use blurnet_tensor::{depthwise_conv2d, depthwise_conv2d_backward, ConvSpec, Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{Layer, NnError, Result};
@@ -163,6 +163,15 @@ impl Layer for DepthwiseConv2d {
         let out = depthwise_conv2d(input, &self.weight, Some(&self.bias), self.spec)?;
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor> {
+        Ok(depthwise_conv2d(
+            input,
+            &self.weight,
+            Some(&self.bias),
+            self.spec,
+        )?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

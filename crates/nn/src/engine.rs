@@ -1,0 +1,317 @@
+//! The batch-parallel inference engine behind
+//! [`Sequential::forward_batch`].
+//!
+//! Training needs the stateful [`crate::Layer::forward`] path (every layer
+//! caches intermediates for backward), which serializes a network behind
+//! `&mut self`. Inference does not: a [`BatchEngine`] takes an immutable
+//! borrow of a [`Sequential`], pre-packs each convolution's weights into the
+//! GEMM-ready transposed layout (and each dense layer's weights into
+//! `[in, out]`) exactly once, and then evaluates **batch shards in
+//! parallel** — the batch dimension is split into fixed-size shards that
+//! rayon workers process independently, each worker owning a private
+//! [`Scratch`] pool that is reused across every layer of every shard it
+//! processes.
+//!
+//! # Determinism
+//!
+//! Outputs are **bit-identical** to running [`crate::Layer::forward`] with
+//! `train = false` over the same input, for every batch size, shard size
+//! and thread count:
+//!
+//! * shard boundaries depend only on the batch size, never on the thread
+//!   count;
+//! * every per-element accumulation (GEMM register tiles, im2col rows,
+//!   depthwise taps) runs in a fixed order that does not depend on how the
+//!   work is partitioned;
+//! * workers write disjoint output ranges, so there are no accumulation
+//!   races.
+//!
+//! `RAYON_NUM_THREADS=1` (or a 1-thread `rayon` pool) therefore reproduces
+//! the parallel results exactly; the property tests in
+//! `tests/forward_batch.rs` pin this.
+
+use blurnet_tensor::{conv2d_prepacked, matmul, PackedConvWeights, Scratch, Tensor};
+use rayon::prelude::*;
+
+use crate::{loss, Conv2d, Dense, Layer, LayerKind, NnError, Result, Sequential};
+
+/// One layer of a prepared inference plan: convolutions and dense layers
+/// carry their pre-packed weights, everything else runs its plain
+/// [`Layer::infer`] path.
+enum EngineLayer<'n> {
+    /// Convolution with the `[C·KH·KW, F]` weight pack.
+    Conv {
+        /// The borrowed layer (bias + spec).
+        layer: &'n Conv2d,
+        /// Weights packed once, shared read-only across shards and calls.
+        packed: PackedConvWeights,
+    },
+    /// Dense layer with the `[in, out]` transposed weights.
+    Dense {
+        /// The borrowed layer (bias + shape checks).
+        layer: &'n Dense,
+        /// Transposed weights, shared read-only across shards and calls.
+        weight_t: Tensor,
+    },
+    /// Any other layer, evaluated through [`Layer::infer`].
+    Plain(&'n LayerKind),
+}
+
+/// A reusable, shareable inference plan over a borrowed [`Sequential`].
+///
+/// Build it once with [`Sequential::batch_engine`] and call
+/// [`BatchEngine::forward`] as many times as needed — attack evaluation
+/// loops classify thousands of images against one frozen network, and the
+/// per-layer weight packing is paid exactly once for all of them.
+///
+/// ```
+/// use blurnet_nn::{LisaCnn, Sequential};
+/// use blurnet_tensor::Tensor;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let net = LisaCnn::new(18).build(&mut rng)?;
+/// let engine = net.batch_engine()?;
+/// let batch = Tensor::zeros(&[8, 3, 32, 32]);
+/// // Two calls share the packed weights; results are deterministic.
+/// assert_eq!(engine.forward(&batch)?, engine.forward(&batch)?);
+/// # Ok::<(), blurnet_nn::NnError>(())
+/// ```
+pub struct BatchEngine<'n> {
+    layers: Vec<EngineLayer<'n>>,
+    shard_size: usize,
+}
+
+/// Default images per shard: one. The finest sharding maximizes batch-level
+/// parallelism, and per-image GEMMs on this workload are already large
+/// enough to run the blocked core at full speed.
+const DEFAULT_SHARD_IMAGES: usize = 1;
+
+impl<'n> BatchEngine<'n> {
+    /// Prepares an inference plan: packs every convolution's weights into
+    /// the GEMM layout and transposes every dense layer's weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for an empty network.
+    pub fn new(net: &'n Sequential) -> Result<Self> {
+        if net.is_empty() {
+            return Err(NnError::BadConfig("network has no layers".into()));
+        }
+        let mut layers = Vec::with_capacity(net.len());
+        for kind in net.iter() {
+            layers.push(match kind {
+                LayerKind::Conv2d(layer) => EngineLayer::Conv {
+                    layer,
+                    packed: layer.packed_weights()?,
+                },
+                LayerKind::Dense(layer) => EngineLayer::Dense {
+                    layer,
+                    weight_t: layer.weight_transposed(),
+                },
+                other => EngineLayer::Plain(other),
+            });
+        }
+        Ok(BatchEngine {
+            layers,
+            shard_size: DEFAULT_SHARD_IMAGES,
+        })
+    }
+
+    /// Overrides the number of images per shard (clamped to at least 1).
+    ///
+    /// Sharding only affects how work is distributed, never the results;
+    /// the default of one image per shard is right for almost every
+    /// workload.
+    pub fn with_shard_size(mut self, images: usize) -> Self {
+        self.shard_size = images.max(1);
+        self
+    }
+
+    /// Images per shard.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Runs every layer over one shard, drawing workspace from `scratch`.
+    fn infer_shard(&self, shard: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
+        let mut x: Option<Tensor> = None;
+        for engine_layer in &self.layers {
+            let input = x.as_ref().unwrap_or(shard);
+            let out = match engine_layer {
+                EngineLayer::Conv { layer, packed } => {
+                    conv2d_prepacked(input, packed, Some(layer.bias()), layer.spec(), scratch)?
+                }
+                EngineLayer::Dense { layer, weight_t } => {
+                    layer.check_input(input)?;
+                    let mut out = matmul(input, weight_t)?;
+                    layer.add_bias(&mut out);
+                    out
+                }
+                EngineLayer::Plain(kind) => kind.infer(input, scratch)?,
+            };
+            x = Some(out);
+        }
+        Ok(x.expect("non-empty network produced an output"))
+    }
+
+    /// Runs the network over an `[N, ...]` batch, sharding the batch
+    /// dimension across rayon workers.
+    ///
+    /// Bit-identical to a per-sample [`Sequential::forward`] loop with
+    /// `train = false`, at every thread count (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty batch or a shape the first layer
+    /// rejects.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        if input.shape().rank() < 2 || input.dims()[0] == 0 {
+            return Err(NnError::BadConfig(format!(
+                "forward_batch expects a non-empty [N, ...] batch, got {}",
+                input.shape()
+            )));
+        }
+        let n = input.dims()[0];
+        let num_shards = n.div_ceil(self.shard_size);
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || num_shards == 1 {
+            // Sequential path: one scratch pool serves every shard.
+            let mut scratch = Scratch::new();
+            if num_shards == 1 {
+                return self.infer_shard(input, &mut scratch);
+            }
+            let mut parts = Vec::with_capacity(num_shards);
+            for s in 0..num_shards {
+                let start = s * self.shard_size;
+                let count = self.shard_size.min(n - start);
+                let shard = input.batch_slice(start, count)?;
+                parts.push(self.infer_shard(&shard, &mut scratch)?);
+            }
+            return Ok(Tensor::concat_batch(&parts)?);
+        }
+
+        // Parallel path: contiguous groups of shards go to rayon workers.
+        // Each worker owns one Scratch for its whole group and pins nested
+        // (intra-op) parallelism to one thread — batch-level parallelism
+        // replaces spatial fan-out, so the thread budget is spent once.
+        let group = num_shards.div_ceil(threads);
+        let mut slots: Vec<Option<Result<Tensor>>> = (0..num_shards).map(|_| None).collect();
+        slots
+            .par_chunks_mut(group)
+            .enumerate()
+            .for_each(|(g, slots_group)| {
+                let inner = rayon::ThreadPoolBuilder::new().num_threads(1).build();
+                let mut scratch = Scratch::new();
+                for (j, slot) in slots_group.iter_mut().enumerate() {
+                    let s = g * group + j;
+                    let start = s * self.shard_size;
+                    let count = self.shard_size.min(n - start);
+                    let result = input
+                        .batch_slice(start, count)
+                        .map_err(NnError::from)
+                        .and_then(|shard| match &inner {
+                            Ok(pool) => pool.install(|| self.infer_shard(&shard, &mut scratch)),
+                            Err(_) => self.infer_shard(&shard, &mut scratch),
+                        });
+                    *slot = Some(result);
+                }
+            });
+        let parts = slots
+            .into_iter()
+            .map(|slot| slot.expect("every shard slot is filled"))
+            .collect::<Result<Vec<Tensor>>>()?;
+        Ok(Tensor::concat_batch(&parts)?)
+    }
+
+    /// Class predictions (argmax of the logits) for a batch, through the
+    /// batch-parallel path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatchEngine::forward`] errors.
+    pub fn predict(&self, input: &Tensor) -> Result<Vec<usize>> {
+        loss::predictions(&self.forward(input)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LisaCnn;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn lisa_net(seed: u64) -> Sequential {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        LisaCnn::new(18)
+            .input_size(16)
+            .conv1_filters(4)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_matches_stateful_forward_bitwise() {
+        let mut net = lisa_net(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let batch = Tensor::rand_uniform(&[5, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let reference = net.forward(&batch, false).unwrap();
+        let engine = BatchEngine::new(&net).unwrap();
+        assert_eq!(engine.forward(&batch).unwrap(), reference);
+        // A second call through the same engine (reused packs) agrees too.
+        assert_eq!(engine.forward(&batch).unwrap(), reference);
+    }
+
+    #[test]
+    fn shard_size_does_not_change_results() {
+        let net = lisa_net(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let batch = Tensor::rand_uniform(&[7, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let base = BatchEngine::new(&net).unwrap().forward(&batch).unwrap();
+        for shard in [2usize, 3, 7, 16] {
+            let engine = BatchEngine::new(&net).unwrap().with_shard_size(shard);
+            assert_eq!(engine.shard_size(), shard);
+            assert_eq!(engine.forward(&batch).unwrap(), base, "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let net = lisa_net(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let batch = Tensor::rand_uniform(&[6, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let engine = BatchEngine::new(&net).unwrap();
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            outputs.push(pool.install(|| engine.forward(&batch).unwrap()));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn predict_matches_stateful_predict() {
+        let mut net = lisa_net(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let batch = Tensor::rand_uniform(&[4, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let expected = net.predict(&batch).unwrap();
+        let engine = BatchEngine::new(&net).unwrap();
+        assert_eq!(engine.predict(&batch).unwrap(), expected);
+    }
+
+    #[test]
+    fn rejects_empty_networks_and_batches() {
+        let empty = Sequential::new();
+        assert!(BatchEngine::new(&empty).is_err());
+        let net = lisa_net(9);
+        let engine = BatchEngine::new(&net).unwrap();
+        assert!(engine.forward(&Tensor::zeros(&[0, 3, 16, 16])).is_err());
+        assert!(engine.forward(&Tensor::zeros(&[4])).is_err());
+    }
+}

@@ -1,6 +1,6 @@
 //! Flattening layer between convolutional and dense parts of the network.
 
-use blurnet_tensor::Tensor;
+use blurnet_tensor::{Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{Layer, NnError, Result};
@@ -35,6 +35,17 @@ impl Layer for Flatten {
         let features = input.len() / n;
         self.cached_dims = Some(input.dims().to_vec());
         Ok(input.reshape(&[n, features])?)
+    }
+
+    fn infer(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor> {
+        if input.shape().rank() < 2 {
+            return Err(NnError::BadConfig(format!(
+                "flatten expects at least rank 2, got {}",
+                input.shape()
+            )));
+        }
+        let n = input.dims()[0];
+        Ok(input.reshape(&[n, input.len() / n])?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

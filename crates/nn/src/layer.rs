@@ -1,7 +1,7 @@
 //! The [`Layer`] abstraction and the serializable [`LayerKind`] enum used by
 //! [`crate::Sequential`].
 
-use blurnet_tensor::Tensor;
+use blurnet_tensor::{Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{Conv2d, Dense, DepthwiseConv2d, Flatten, MaxPool2d, Relu, Result};
@@ -24,6 +24,19 @@ pub trait Layer: std::fmt::Debug {
     ///
     /// Returns an error if the input shape is incompatible with the layer.
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Runs the layer in pure inference mode: no backward cache is written,
+    /// so the receiver stays immutable and the same layer can serve many
+    /// batch shards concurrently. Workspace buffers are drawn from the
+    /// caller's `scratch` pool.
+    ///
+    /// Produces bit-identical outputs to [`Layer::forward`] with
+    /// `train = false` on the same input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor>;
 
     /// Propagates `grad_output` back through the layer, accumulating
     /// parameter gradients and returning the gradient with respect to the
@@ -93,6 +106,10 @@ impl Layer for LayerKind {
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         dispatch!(self, l => l.forward(input, train))
+    }
+
+    fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
+        dispatch!(self, l => l.infer(input, scratch))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

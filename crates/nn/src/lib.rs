@@ -19,6 +19,13 @@
 //! head) at a CPU-friendly scale, with an optional fixed blur layer after
 //! the first convolution.
 //!
+//! Inference-heavy workloads (the attack×defense evaluation grids behind
+//! every table of the paper) go through the **batch-parallel engine**:
+//! [`Sequential::forward_batch`] / [`BatchEngine`] shard the batch
+//! dimension across rayon workers with per-worker scratch pools and
+//! once-per-pass weight packing, producing outputs bit-identical to the
+//! per-sample path at every thread count.
+//!
 //! # Example
 //!
 //! ```
@@ -37,12 +44,13 @@
 //! # Ok::<(), blurnet_nn::NnError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod activation;
 pub mod conv;
 pub mod dense;
 pub mod depthwise;
+pub mod engine;
 mod error;
 pub mod flatten;
 pub mod layer;
@@ -55,6 +63,7 @@ pub mod pool;
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use depthwise::DepthwiseConv2d;
+pub use engine::BatchEngine;
 pub use error::NnError;
 pub use flatten::Flatten;
 pub use layer::{Layer, LayerKind};

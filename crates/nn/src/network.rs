@@ -3,7 +3,7 @@
 use blurnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-use crate::{loss, Layer, LayerKind, NnError, Result};
+use crate::{loss, BatchEngine, Layer, LayerKind, NnError, Result};
 
 /// A feed-forward stack of layers.
 ///
@@ -89,6 +89,65 @@ impl Sequential {
             x = Some(out);
         }
         Ok(x.expect("non-empty network produced an output"))
+    }
+
+    /// Runs the network over an `[N, ...]` batch in pure inference mode,
+    /// sharding the batch dimension across rayon workers (see
+    /// [`BatchEngine`]).
+    ///
+    /// Unlike [`Sequential::forward`], the receiver stays immutable: no
+    /// backward caches are written, so one network can serve concurrent
+    /// callers. The output is **bit-identical** to a per-sample `forward`
+    /// loop with `train = false`, at every `RAYON_NUM_THREADS` setting.
+    ///
+    /// This builds a fresh [`BatchEngine`] per call (packing each layer's
+    /// weights once); loops that evaluate many batches against a frozen
+    /// network should hold a [`Sequential::batch_engine`] instead.
+    ///
+    /// ```
+    /// use blurnet_nn::LisaCnn;
+    /// use blurnet_tensor::Tensor;
+    /// use rand::SeedableRng;
+    /// use rand_chacha::ChaCha8Rng;
+    ///
+    /// let mut rng = ChaCha8Rng::seed_from_u64(0);
+    /// let mut net = LisaCnn::new(18).build(&mut rng)?;
+    /// let batch = Tensor::zeros(&[4, 3, 32, 32]);
+    /// let logits = net.forward_batch(&batch)?;
+    /// assert_eq!(logits.dims(), &[4, 18]);
+    /// // Identical to the stateful forward pass, bit for bit.
+    /// assert_eq!(logits, net.forward(&batch, false)?);
+    /// # Ok::<(), blurnet_nn::NnError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty network or batch, or a shape the
+    /// first layer rejects.
+    pub fn forward_batch(&self, input: &Tensor) -> Result<Tensor> {
+        BatchEngine::new(self)?.forward(input)
+    }
+
+    /// Class predictions (argmax of the logits) for a batch through the
+    /// batch-parallel inference path, without mutating the network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Sequential::forward_batch`] errors.
+    pub fn predict_batch(&self, input: &Tensor) -> Result<Vec<usize>> {
+        loss::predictions(&self.forward_batch(input)?)
+    }
+
+    /// Builds a reusable [`BatchEngine`] over this network: every
+    /// convolution and dense layer's weights are packed into their
+    /// GEMM-ready layouts exactly once and shared across all subsequent
+    /// [`BatchEngine::forward`] calls and batch shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for an empty network.
+    pub fn batch_engine(&self) -> Result<BatchEngine<'_>> {
+        BatchEngine::new(self)
     }
 
     /// Runs the network and returns the final output together with the

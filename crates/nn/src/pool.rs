@@ -1,6 +1,6 @@
 //! 2-D max-pooling layer.
 
-use blurnet_tensor::{max_pool2d, max_pool2d_backward, PoolSpec, Tensor};
+use blurnet_tensor::{max_pool2d, max_pool2d_backward, PoolSpec, Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{Layer, NnError, Result};
@@ -41,6 +41,11 @@ impl Layer for MaxPool2d {
         // Move the argmax table into the cache instead of cloning it.
         self.cache = Some((pooled.argmax, input.dims().to_vec()));
         Ok(pooled.output)
+    }
+
+    fn infer(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor> {
+        // The argmax table exists only for backward; inference drops it.
+        Ok(max_pool2d(input, self.spec)?.output)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

@@ -1,0 +1,92 @@
+//! Property tests pinning the batch-parallel inference engine to the
+//! per-sample forward path.
+//!
+//! The contract under test (see `engine.rs`): `forward_batch` is
+//! **bit-identical** — not merely close — to stacking the results of
+//! per-sample `forward` calls, across batch sizes {1, 3, 8} and rayon
+//! thread counts {1, 4}. Equality is checked with `==` on the raw `f32`
+//! buffers; any reordering of a floating-point accumulation would fail.
+
+use blurnet_nn::{LisaCnn, Sequential};
+use blurnet_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Batch sizes the acceptance criteria name explicitly.
+const BATCH_SIZES: [usize; 3] = [1, 3, 8];
+/// Thread counts the acceptance criteria name explicitly.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn lisa_net(seed: u64) -> Sequential {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    LisaCnn::new(18)
+        .input_size(16)
+        .conv1_filters(4)
+        .build(&mut rng)
+        .expect("tiny LisaCnn builds")
+}
+
+/// Per-sample reference: forward each image alone and stack the logits.
+fn per_sample_forward(net: &mut Sequential, batch: &Tensor) -> Tensor {
+    let n = batch.dims()[0];
+    let mut parts = Vec::with_capacity(n);
+    for i in 0..n {
+        let image = batch.batch_slice(i, 1).expect("index in range");
+        parts.push(net.forward(&image, false).expect("forward succeeds"));
+    }
+    Tensor::concat_batch(&parts).expect("uniform logit shapes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// forward_batch == per-sample forward loop, bitwise, for every batch
+    /// size and thread count combination.
+    #[test]
+    fn forward_batch_is_bit_identical_to_per_sample_loops(
+        net_seed in 0u64..1000,
+        data_seed in 0u64..1000,
+    ) {
+        let mut net = lisa_net(net_seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(data_seed);
+        for &batch_size in &BATCH_SIZES {
+            let batch = Tensor::rand_uniform(&[batch_size, 3, 16, 16], 0.0, 1.0, &mut rng);
+            let reference = per_sample_forward(&mut net, &batch);
+            for &threads in &THREAD_COUNTS {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool builds");
+                let batched = pool.install(|| net.forward_batch(&batch).expect("forward_batch"));
+                // Bitwise equality on the raw buffers, not a tolerance.
+                prop_assert_eq!(
+                    batched.data(),
+                    reference.data(),
+                    "batch {} threads {}",
+                    batch_size,
+                    threads
+                );
+                prop_assert_eq!(batched.dims(), reference.dims());
+            }
+        }
+    }
+
+    /// predict_batch agrees with the stateful predict path under both
+    /// thread counts (argmax on bit-identical logits can never diverge).
+    #[test]
+    fn predict_batch_matches_stateful_predict(seed in 0u64..1000) {
+        let mut net = lisa_net(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBADC0DE);
+        let batch = Tensor::rand_uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let expected = net.predict(&batch).expect("predict succeeds");
+        for &threads in &THREAD_COUNTS {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool builds");
+            let got = pool.install(|| net.predict_batch(&batch).expect("predict_batch"));
+            prop_assert_eq!(&got, &expected, "threads {}", threads);
+        }
+    }
+}

@@ -312,37 +312,74 @@ pub fn conv2d(
     Scratch::with_thread_local(|scratch| conv2d_with_scratch(input, weight, bias, spec, scratch))
 }
 
-/// [`conv2d`] with an explicit workspace pool: the im2col patch matrix, the
-/// packed (transposed) weight matrix and the GEMM product are all drawn from
-/// `scratch`, so repeated forward passes allocate nothing.
+/// Convolution filter weights pre-transposed into the layout the GEMM core
+/// consumes: `[C·KH·KW, F]`, i.e. `Wᵀ` of the `[F, C·KH·KW]` filter matrix.
 ///
-/// # Errors
-///
-/// Returns an error on rank/shape mismatches or if the kernel does not fit
-/// the padded input.
-pub fn conv2d_with_scratch(
+/// [`conv2d_with_scratch`] re-derives this layout on every call; packing it
+/// once with [`PackedConvWeights::pack`] and running
+/// [`conv2d_prepacked`] amortises the transpose across every forward pass
+/// that shares the weights — the batch-inference engine packs each layer
+/// once and shares the pack read-only across batch shards and calls.
+#[derive(Debug, Clone)]
+pub struct PackedConvWeights {
+    wt: Tensor,
+    f: usize,
+    c: usize,
+    kh: usize,
+    kw: usize,
+}
+
+impl PackedConvWeights {
+    /// Packs an `[F, C, KH, KW]` filter tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weight` is not rank 4.
+    pub fn pack(weight: &Tensor) -> Result<Self> {
+        let (f, c, kh, kw) = dims4(weight)?;
+        let kdim = c * kh * kw;
+        let mut wt = vec![0.0f32; kdim * f];
+        transpose_into(&mut wt, weight.data(), f, kdim);
+        Ok(PackedConvWeights {
+            wt: Tensor::from_vec(wt, &[kdim, f])?,
+            f,
+            c,
+            kh,
+            kw,
+        })
+    }
+
+    /// Number of filters `F`.
+    pub fn filters(&self) -> usize {
+        self.f
+    }
+
+    /// Expected input channels `C`.
+    pub fn in_channels(&self) -> usize {
+        self.c
+    }
+
+    /// Kernel extents `(KH, KW)`.
+    pub fn kernel(&self) -> (usize, usize) {
+        (self.kh, self.kw)
+    }
+}
+
+/// Shared core of [`conv2d_with_scratch`] / [`conv2d_prepacked`]: im2col,
+/// one GEMM against the pre-transposed weights `wt` (`[C·KH·KW, F]`), then
+/// the `[N·OH·OW, F]` → `[N, F, OH, OW]` reorder with bias.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_core(
     input: &Tensor,
-    weight: &Tensor,
+    wt: &[f32],
+    f: usize,
+    kh: usize,
+    kw: usize,
     bias: Option<&Tensor>,
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Result<Tensor> {
     let (n, c, h, w) = dims4(input)?;
-    let (f, wc, kh, kw) = dims4(weight)?;
-    if wc != c {
-        return Err(TensorError::ShapeMismatch {
-            left: vec![f, wc, kh, kw],
-            right: vec![f, c, kh, kw],
-        });
-    }
-    if let Some(b) = bias {
-        if b.dims() != [f] {
-            return Err(TensorError::ShapeMismatch {
-                left: b.dims().to_vec(),
-                right: vec![f],
-            });
-        }
-    }
     let oh = spec.output_extent(h, kh)?;
     let ow = spec.output_extent(w, kw)?;
     let rows = n * oh * ow;
@@ -350,15 +387,10 @@ pub fn conv2d_with_scratch(
 
     let mut cols = scratch.take(rows * kdim);
     im2col_into(input, kh, kw, spec, oh, ow, &mut cols);
-    // Pack Wᵀ once: [F, C*KH*KW] -> [C*KH*KW, F] so the GEMM streams both
-    // operands stride-1.
-    let mut wt = scratch.take_dirty(kdim * f);
-    transpose_into(&mut wt, weight.data(), f, kdim);
     // prod: [N*OH*OW, F]
     let mut prod = scratch.take_dirty(rows * f);
-    gemm_into(&mut prod, &cols, &wt, rows, kdim, f);
+    gemm_into(&mut prod, &cols, wt, rows, kdim, f);
     scratch.put(cols);
-    scratch.put(wt);
 
     let mut out = vec![0.0f32; n * f * oh * ow];
     let hw = oh * ow;
@@ -374,6 +406,87 @@ pub fn conv2d_with_scratch(
     }
     scratch.put(prod);
     Tensor::from_vec(out, &[n, f, oh, ow])
+}
+
+fn check_conv_bias(bias: Option<&Tensor>, f: usize) -> Result<()> {
+    if let Some(b) = bias {
+        if b.dims() != [f] {
+            return Err(TensorError::ShapeMismatch {
+                left: b.dims().to_vec(),
+                right: vec![f],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// [`conv2d`] with an explicit workspace pool: the im2col patch matrix, the
+/// packed (transposed) weight matrix and the GEMM product are all drawn from
+/// `scratch`, so repeated forward passes allocate nothing.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches or if the kernel does not fit
+/// the padded input.
+pub fn conv2d_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    let (_, c, _, _) = dims4(input)?;
+    let (f, wc, kh, kw) = dims4(weight)?;
+    if wc != c {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![f, wc, kh, kw],
+            right: vec![f, c, kh, kw],
+        });
+    }
+    check_conv_bias(bias, f)?;
+    let kdim = c * kh * kw;
+    // Pack Wᵀ once per call: [F, C*KH*KW] -> [C*KH*KW, F] so the GEMM
+    // streams both operands stride-1.
+    let mut wt = scratch.take_dirty(kdim * f);
+    transpose_into(&mut wt, weight.data(), f, kdim);
+    let out = conv2d_core(input, &wt, f, kh, kw, bias, spec, scratch);
+    scratch.put(wt);
+    out
+}
+
+/// [`conv2d`] against weights packed once with [`PackedConvWeights::pack`],
+/// skipping the per-call weight transpose. Produces bit-identical results
+/// to [`conv2d`] / [`conv2d_with_scratch`] on the same operands.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches or if the kernel does not fit
+/// the padded input.
+pub fn conv2d_prepacked(
+    input: &Tensor,
+    weights: &PackedConvWeights,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    let (_, c, _, _) = dims4(input)?;
+    if c != weights.c {
+        return Err(TensorError::ShapeMismatch {
+            left: input.dims().to_vec(),
+            right: vec![0, weights.c, 0, 0],
+        });
+    }
+    check_conv_bias(bias, weights.f)?;
+    conv2d_core(
+        input,
+        weights.wt.data(),
+        weights.f,
+        weights.kh,
+        weights.kw,
+        bias,
+        spec,
+        scratch,
+    )
 }
 
 /// Backward pass of [`conv2d`] using this thread's shared [`Scratch`] pool.
@@ -957,6 +1070,44 @@ mod tests {
         for (a, b) in got.data().iter().zip(expected.data().iter()) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn conv2d_prepacked_is_bit_identical_to_conv2d() {
+        let mut rng = ChaCha8Rng::seed_from_u64(53);
+        for &(stride, padding) in &[(1usize, 1usize), (2, 2), (1, 0)] {
+            let spec = ConvSpec { stride, padding };
+            let input = Tensor::rand_uniform(&[3, 4, 10, 9], -1.0, 1.0, &mut rng);
+            let weight = Tensor::rand_uniform(&[6, 4, 3, 3], -1.0, 1.0, &mut rng);
+            let bias = Tensor::rand_uniform(&[6], -0.5, 0.5, &mut rng);
+            let packed = PackedConvWeights::pack(&weight).unwrap();
+            assert_eq!(packed.filters(), 6);
+            assert_eq!(packed.in_channels(), 4);
+            assert_eq!(packed.kernel(), (3, 3));
+            let mut scratch = Scratch::new();
+            let plain = conv2d(&input, &weight, Some(&bias), spec).unwrap();
+            let fast = conv2d_prepacked(&input, &packed, Some(&bias), spec, &mut scratch).unwrap();
+            // Same accumulation order everywhere: bit identity, not tolerance.
+            assert_eq!(plain, fast, "stride {stride} pad {padding}");
+        }
+        // Channel mismatch and bad bias are rejected.
+        let packed = PackedConvWeights::pack(&Tensor::zeros(&[2, 3, 3, 3])).unwrap();
+        let mut scratch = Scratch::new();
+        let wrong_c = Tensor::zeros(&[1, 4, 8, 8]);
+        assert!(
+            conv2d_prepacked(&wrong_c, &packed, None, ConvSpec::valid(), &mut scratch).is_err()
+        );
+        let input = Tensor::zeros(&[1, 3, 8, 8]);
+        let bad_bias = Tensor::zeros(&[3]);
+        assert!(conv2d_prepacked(
+            &input,
+            &packed,
+            Some(&bad_bias),
+            ConvSpec::valid(),
+            &mut scratch
+        )
+        .is_err());
+        assert!(PackedConvWeights::pack(&Tensor::zeros(&[2, 3, 3])).is_err());
     }
 
     #[test]

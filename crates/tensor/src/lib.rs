@@ -17,7 +17,7 @@
 //! # Ok::<(), blurnet_tensor::TensorError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod conv;
 mod error;
@@ -29,12 +29,13 @@ mod shape;
 mod tensor;
 
 pub use conv::{
-    col2im, conv2d, conv2d_backward, conv2d_backward_with_scratch, conv2d_with_scratch,
-    depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dGrads, ConvSpec, DepthwiseGrads,
+    col2im, conv2d, conv2d_backward, conv2d_backward_with_scratch, conv2d_prepacked,
+    conv2d_with_scratch, depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dGrads,
+    ConvSpec, DepthwiseGrads, PackedConvWeights,
 };
 pub use error::TensorError;
 pub use init::{kaiming_uniform, xavier_uniform, Initializer};
-pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b, matmul_transpose_b_with_scratch};
 
 /// Seed (pre-optimisation) implementations, kept verbatim so equivalence
 /// tests and `substrate_micro` can pin the fast paths against them. Never

@@ -334,6 +334,22 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns an error if either argument is not rank 2 or the shared trailing
 /// dimension disagrees.
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    Scratch::with_thread_local(|scratch| matmul_transpose_b_with_scratch(a, b, scratch))
+}
+
+/// [`matmul_transpose_b`] with an explicit workspace pool for the packed
+/// `bᵀ`, for callers that already hold a [`Scratch`] (layer inference paths
+/// must not re-enter the shared thread-local pool).
+///
+/// # Errors
+///
+/// Returns an error if either argument is not rank 2 or the shared trailing
+/// dimension disagrees.
+pub fn matmul_transpose_b_with_scratch(
+    a: &Tensor,
+    b: &Tensor,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
     let (m, k) = dims2(a)?;
     let (n, k2) = dims2(b)?;
     if k != k2 {
@@ -343,12 +359,10 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    Scratch::with_thread_local(|scratch| {
-        let mut bt = scratch.take_dirty(k * n);
-        transpose_into(&mut bt, b.data(), n, k);
-        gemm_into(&mut out, a.data(), &bt, m, k, n);
-        scratch.put(bt);
-    });
+    let mut bt = scratch.take_dirty(k * n);
+    transpose_into(&mut bt, b.data(), n, k);
+    gemm_into(&mut out, a.data(), &bt, m, k, n);
+    scratch.put(bt);
     Tensor::from_vec(out, &[m, n])
 }
 

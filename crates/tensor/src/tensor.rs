@@ -347,6 +347,74 @@ impl Tensor {
         Tensor::from_vec(self.data[start..start + item_len].to_vec(), &item_dims)
     }
 
+    /// Extracts `count` consecutive batch elements starting at `start` from
+    /// an `[N, ...]` tensor, preserving the remaining dimensions.
+    ///
+    /// This is the zero-logic slicing primitive behind batch sharding: the
+    /// data is contiguous per batch element, so the slice is one `memcpy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor has rank 0, `count` is zero, or
+    /// `start + count` exceeds the batch dimension.
+    pub fn batch_slice(&self, start: usize, count: usize) -> Result<Tensor> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let batch = self.shape.dim(0);
+        if count == 0 || start + count > batch {
+            return Err(TensorError::IndexOutOfBounds {
+                index: start + count,
+                len: batch,
+            });
+        }
+        let mut dims: Vec<usize> = self.shape.dims().to_vec();
+        dims[0] = count;
+        let item_len: usize = self.shape.dims()[1..].iter().product();
+        let lo = start * item_len;
+        let hi = (start + count) * item_len;
+        Tensor::from_vec(self.data[lo..hi].to_vec(), &dims)
+    }
+
+    /// Concatenates tensors along their existing leading batch dimension
+    /// (the inverse of [`Tensor::batch_slice`] over a partition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] for an empty slice and
+    /// [`TensorError::ShapeMismatch`] if the non-batch dimensions disagree.
+    pub fn concat_batch(parts: &[Tensor]) -> Result<Tensor> {
+        let first = parts.first().ok_or(TensorError::EmptyTensor)?;
+        if first.shape.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let mut total = 0usize;
+        for part in parts {
+            if part.shape.rank() != first.shape.rank()
+                || part.shape.dims()[1..] != first.shape.dims()[1..]
+            {
+                return Err(TensorError::ShapeMismatch {
+                    left: part.dims().to_vec(),
+                    right: first.dims().to_vec(),
+                });
+            }
+            total += part.shape.dim(0);
+        }
+        let mut data = Vec::with_capacity(first.len() / first.shape.dim(0).max(1) * total);
+        for part in parts {
+            data.extend_from_slice(&part.data);
+        }
+        let mut dims: Vec<usize> = first.dims().to_vec();
+        dims[0] = total;
+        Tensor::from_vec(data, &dims)
+    }
+
     /// Stacks equally-shaped tensors along a new leading batch dimension.
     ///
     /// # Errors
@@ -518,5 +586,35 @@ mod tests {
         assert_eq!(r.dims(), &[3, 2]);
         assert_eq!(r.data(), t.data());
         assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn batch_slice_extracts_contiguous_ranges() {
+        let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[4, 2, 3]).unwrap();
+        let mid = t.batch_slice(1, 2).unwrap();
+        assert_eq!(mid.dims(), &[2, 2, 3]);
+        assert_eq!(mid.data(), &t.data()[6..18]);
+        // A width-1 slice agrees with batch_item modulo the kept batch axis.
+        let one = t.batch_slice(3, 1).unwrap();
+        assert_eq!(one.dims(), &[1, 2, 3]);
+        assert_eq!(one.data(), t.batch_item(3).unwrap().data());
+        assert!(t.batch_slice(3, 2).is_err());
+        assert!(t.batch_slice(0, 0).is_err());
+    }
+
+    #[test]
+    fn concat_batch_inverts_a_slice_partition() {
+        let t = Tensor::from_vec((0..30).map(|v| v as f32).collect(), &[5, 3, 2]).unwrap();
+        let parts = [
+            t.batch_slice(0, 2).unwrap(),
+            t.batch_slice(2, 1).unwrap(),
+            t.batch_slice(3, 2).unwrap(),
+        ];
+        let rebuilt = Tensor::concat_batch(&parts).unwrap();
+        assert_eq!(rebuilt, t);
+        // Mismatched trailing dims are rejected.
+        let bad = [Tensor::zeros(&[1, 3, 2]), Tensor::zeros(&[1, 2, 3])];
+        assert!(Tensor::concat_batch(&bad).is_err());
+        assert!(Tensor::concat_batch(&[]).is_err());
     }
 }
