@@ -139,10 +139,10 @@ mod tests {
 
     #[test]
     fn low_frequency_attack_produces_low_frequency_perturbations() {
-        let (mut net, _) = tiny_net();
+        let (net, _) = tiny_net();
         let image = tiny_image();
         let attack = low_frequency_attack(fast_config(), 4).unwrap();
-        let result = attack.generate(&mut net, &image, 2).unwrap();
+        let result = attack.generate(&net, &image, 2).unwrap();
         // Every channel of the perturbation must be (numerically) invariant
         // under the same low-frequency projection.
         for ch in 0..3 {
@@ -159,31 +159,31 @@ mod tests {
 
     #[test]
     fn tv_aware_attack_runs_and_stays_masked() {
-        let (mut net, feature_layer) = tiny_net();
+        let (net, feature_layer) = tiny_net();
         let image = tiny_image();
         let attack = tv_aware_attack(fast_config(), feature_layer).unwrap();
-        let result = attack.generate(&mut net, &image, 5).unwrap();
+        let result = attack.generate(&net, &image, 5).unwrap();
         assert_eq!(result.adversarial.dims(), image.dims());
         assert!(result.loss_trace.iter().all(|l| l.is_finite()));
     }
 
     #[test]
     fn tikhonov_aware_attack_runs() {
-        let (mut net, feature_layer) = tiny_net();
+        let (net, feature_layer) = tiny_net();
         let image = tiny_image();
         // Feature maps are 8x8 for a 16x16 input with stride-2 conv1.
         let penalty = OperatorPenalty::high_frequency(8, 3).unwrap();
         let attack = tikhonov_aware_attack(fast_config(), feature_layer, penalty).unwrap();
-        let result = attack.generate(&mut net, &image, 7).unwrap();
+        let result = attack.generate(&net, &image, 7).unwrap();
         assert!(result.loss_trace.iter().all(|l| l.is_finite()));
     }
 
     #[test]
     fn bad_feature_layer_index_is_reported() {
-        let (mut net, _) = tiny_net();
+        let (net, _) = tiny_net();
         let image = tiny_image();
         let attack = tv_aware_attack(fast_config(), 99).unwrap();
-        assert!(attack.generate(&mut net, &image, 1).is_err());
+        assert!(attack.generate(&net, &image, 1).is_err());
     }
 
     #[test]

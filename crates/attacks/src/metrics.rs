@@ -81,6 +81,114 @@ pub fn mean_l2_dissimilarity(clean: &[Tensor], adversarial: &[Tensor]) -> Result
     Ok(acc / clean.len() as f32)
 }
 
+/// Per-image relative L2 dissimilarities between two index-aligned
+/// `[N, ...]` batches, computed directly on row slices of the batched
+/// tensors — no per-image tensor subtractions or allocations.
+///
+/// Each entry equals [`l2_dissimilarity`] on the corresponding pair of
+/// batch items.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadInput`] for mismatched shapes, an empty
+/// batch, or a zero-norm clean image.
+pub fn batch_l2_dissimilarity(clean: &Tensor, adversarial: &Tensor) -> Result<Vec<f32>> {
+    if clean.dims() != adversarial.dims() || clean.shape().rank() < 2 || clean.dims()[0] == 0 {
+        return Err(AttackError::BadInput(format!(
+            "mismatched or empty batches: {} vs {}",
+            clean.shape(),
+            adversarial.shape()
+        )));
+    }
+    let n = clean.dims()[0];
+    let stride = clean.len() / n;
+    let c = clean.data();
+    let a = adversarial.data();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (mut diff_sq, mut clean_sq) = (0.0f32, 0.0f32);
+        for (x, y) in c[i * stride..(i + 1) * stride]
+            .iter()
+            .zip(a[i * stride..(i + 1) * stride].iter())
+        {
+            let d = x - y;
+            diff_sq += d * d;
+            clean_sq += x * x;
+        }
+        if clean_sq == 0.0 {
+            return Err(AttackError::BadInput(
+                "clean image has zero norm; dissimilarity undefined".into(),
+            ));
+        }
+        out.push(diff_sq.sqrt() / clean_sq.sqrt());
+    }
+    Ok(out)
+}
+
+/// Argmax of one logits row, first maximum winning ties — the same rule as
+/// `blurnet_nn::loss::predictions`, applied to a slice.
+fn argmax_row(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (j, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = j;
+        }
+    }
+    best
+}
+
+/// Untargeted success rate straight from two batched `[N, classes]` logits
+/// tensors: argmax per row slice, then the fraction of rows where the two
+/// predictions differ. Avoids materializing prediction vectors between the
+/// batched forward pass and the metric.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadInput`] for empty or mismatched logit sets.
+pub fn untargeted_success_from_logits(clean_logits: &Tensor, adv_logits: &Tensor) -> Result<f32> {
+    if clean_logits.dims() != adv_logits.dims()
+        || clean_logits.shape().rank() != 2
+        || clean_logits.dims()[0] == 0
+    {
+        return Err(AttackError::BadInput(format!(
+            "mismatched or empty logit sets: {} vs {}",
+            clean_logits.shape(),
+            adv_logits.shape()
+        )));
+    }
+    let (n, classes) = (clean_logits.dims()[0], clean_logits.dims()[1]);
+    let c = clean_logits.data();
+    let a = adv_logits.data();
+    let changed = (0..n)
+        .filter(|&i| {
+            argmax_row(&c[i * classes..(i + 1) * classes])
+                != argmax_row(&a[i * classes..(i + 1) * classes])
+        })
+        .count();
+    Ok(changed as f32 / n as f32)
+}
+
+/// Targeted success rate straight from a batched `[N, classes]` logits
+/// tensor: the fraction of rows whose argmax equals `target`.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadInput`] for an empty logit set.
+pub fn targeted_success_from_logits(adv_logits: &Tensor, target: usize) -> Result<f32> {
+    if adv_logits.shape().rank() != 2 || adv_logits.dims()[0] == 0 {
+        return Err(AttackError::BadInput(format!(
+            "expected non-empty [N, classes] logits, got {}",
+            adv_logits.shape()
+        )));
+    }
+    let (n, classes) = (adv_logits.dims()[0], adv_logits.dims()[1]);
+    let a = adv_logits.data();
+    let hits = (0..n)
+        .filter(|&i| argmax_row(&a[i * classes..(i + 1) * classes]) == target)
+        .count();
+    Ok(hits as f32 / n as f32)
+}
+
 /// Untargeted attack success rate: the fraction of predictions that the
 /// attack changed, `1/N Σ 1[F(x) ≠ F(x_adv)]`.
 ///
@@ -167,6 +275,64 @@ mod tests {
         assert!(untargeted_success_rate(&[], &[]).is_err());
         assert!(untargeted_success_rate(&[1], &[1, 2]).is_err());
         assert!(targeted_success_rate(&[], 0).is_err());
+    }
+
+    #[test]
+    fn batch_dissimilarity_matches_per_image_metric() {
+        let clean = Tensor::from_vec(
+            (0..24).map(|v| 0.2 + 0.03 * v as f32).collect(),
+            &[2, 3, 2, 2],
+        )
+        .unwrap();
+        let adv = clean.map(|v| (v + 0.05).min(1.0));
+        let batched = batch_l2_dissimilarity(&clean, &adv).unwrap();
+        assert_eq!(batched.len(), 2);
+        for (i, &d) in batched.iter().enumerate() {
+            let c = clean.batch_item(i).unwrap();
+            let a = adv.batch_item(i).unwrap();
+            let reference = l2_dissimilarity(&c, &a).unwrap();
+            assert!(
+                (d - reference).abs() < 1e-6,
+                "image {i}: {d} vs {reference}"
+            );
+        }
+        // Shape and zero-norm validation.
+        assert!(batch_l2_dissimilarity(&clean, &Tensor::zeros(&[2, 3, 2, 3])).is_err());
+        let zero = Tensor::zeros(&[1, 4]);
+        assert!(batch_l2_dissimilarity(&zero, &zero).is_err());
+    }
+
+    #[test]
+    fn logit_success_rates_match_prediction_based_rates() {
+        // Row argmaxes: clean = [0, 2, 1], adv = [0, 1, 1].
+        let clean = Tensor::from_vec(
+            vec![
+                3.0, 1.0, 2.0, /* row 1 */ 0.0, 1.0, 5.0, /* row 2 */ 0.0, 2.0, 1.0,
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        let adv = Tensor::from_vec(
+            vec![
+                9.0, 1.0, 2.0, /* row 1 */ 0.0, 7.0, 5.0, /* row 2 */ 0.0, 2.0, 1.0,
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        let from_logits = untargeted_success_from_logits(&clean, &adv).unwrap();
+        assert!((from_logits - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(
+            untargeted_success_rate(&[0, 2, 1], &[0, 1, 1]).unwrap(),
+            from_logits
+        );
+        let targeted = targeted_success_from_logits(&adv, 1).unwrap();
+        assert!((targeted - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(targeted_success_rate(&[0, 1, 1], 1).unwrap(), targeted);
+        // Ties go to the first maximum, like loss::predictions.
+        let tied = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        assert_eq!(targeted_success_from_logits(&tied, 0).unwrap(), 1.0);
+        assert!(untargeted_success_from_logits(&clean, &tied).is_err());
+        assert!(targeted_success_from_logits(&Tensor::zeros(&[3]), 0).is_err());
     }
 
     #[test]

@@ -11,9 +11,22 @@
 //!
 //! The same optimizer loop also powers the adaptive variants of
 //! [`crate::adaptive`] through [`AdaptiveObjective`].
+//!
+//! Generation is **batched**: [`Rp2Attack::generate_batch`] optimizes the
+//! stickers for a whole image set at once — one `[N, C, H, W]` perturbation
+//! tensor, one Adam state (Adam is elementwise, so the batched update is
+//! identical to per-image updates), and per iteration one recorded forward
+//! plus one tape-driven backward through the immutable
+//! [`blurnet_nn::BatchEngine`], with the adaptive feature penalties riding
+//! the engine's per-shard gradient-injection hook. The objective is
+//! equivalent to the historical per-image optimizer loop — every image sees
+//! the same transform schedule its own seeded run would have sampled, and
+//! Adam updates are elementwise — up to float regrouping in the NPS term
+//! (the batched form scales each palette contribution as it accumulates),
+//! and results are bit-identical at every rayon thread count.
 
 use blurnet_data::{sample_transforms, StickerLayout, Transform};
-use blurnet_nn::{softmax_cross_entropy, Adam, Optimizer, Sequential};
+use blurnet_nn::{softmax_cross_entropy, Adam, NnError, Optimizer, Sequential, ShardGrad};
 use blurnet_signal::low_frequency_project;
 use blurnet_tensor::Tensor;
 use rand::SeedableRng;
@@ -21,7 +34,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::adaptive::{AdaptiveObjective, FeaturePenaltyKind};
-use crate::metrics::{l2_dissimilarity, targeted_success_rate, AttackEvaluation};
+use crate::metrics::{batch_l2_dissimilarity, targeted_success_from_logits, AttackEvaluation};
 use crate::{AttackError, Result};
 
 /// A small palette of printable colours used by the non-printability score
@@ -96,10 +109,6 @@ pub struct Rp2Attack {
     config: Rp2Config,
 }
 
-/// Logits, per-layer gradient injections and total penalty value from one
-/// objective-aware forward pass (Eq. 9–11).
-type ObjectiveForward = (Tensor, Vec<(usize, Tensor)>, f32);
-
 impl Rp2Attack {
     /// Creates an attack from a configuration.
     ///
@@ -134,22 +143,64 @@ impl Rp2Attack {
         &self.config
     }
 
-    /// Generates an adversarial example for one `[3, H, W]` image targeting
-    /// class `target`.
+    /// Generates adversarial examples for a whole image set targeting class
+    /// `target`, optimizing every sticker simultaneously: the perturbation
+    /// is one `[N, C, H, W]` tensor updated by a single (elementwise, hence
+    /// per-image-identical) Adam state, and each iteration runs one batched
+    /// recorded forward + tape-driven backward through the immutable
+    /// engine. Adaptive feature penalties (Eq. 9–11) are computed per
+    /// shard and injected at the feature layer's output inside the engine's
+    /// backward; the low-frequency DCT projection (Eq. 8) is applied to
+    /// every image's channels.
+    ///
+    /// Each returned [`Rp2Result`] matches what a single-image
+    /// [`Rp2Attack::generate`] call produces for that image: the transform
+    /// schedule is sampled once from the configured seed, exactly as every
+    /// per-image run would sample it.
     ///
     /// # Errors
     ///
-    /// Returns an error for malformed inputs or if the victim network
-    /// rejects the image shape.
-    pub fn generate(
+    /// Returns an error for an empty set, malformed images, or if the
+    /// victim network rejects the image shape.
+    pub fn generate_batch(
         &self,
-        net: &mut Sequential,
-        image: &Tensor,
+        net: &Sequential,
+        images: &[Tensor],
         target: usize,
-    ) -> Result<Rp2Result> {
-        let (c, h, w) = image_dims(image)?;
+    ) -> Result<Vec<Rp2Result>> {
+        let (adversarial, perturbation, loss_traces) =
+            self.generate_batch_tensors(net, images, target)?;
+        loss_traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, loss_trace)| {
+                Ok(Rp2Result {
+                    adversarial: adversarial.batch_item(i)?,
+                    perturbation: perturbation.batch_item(i)?,
+                    loss_trace,
+                })
+            })
+            .collect()
+    }
+
+    /// The batched optimizer core behind [`Rp2Attack::generate_batch`]:
+    /// returns the whole adversarial batch, the perturbation batch and the
+    /// per-image loss traces without splitting into per-image tensors, so
+    /// [`Rp2Attack::evaluate`] can judge the batch without re-stacking it.
+    fn generate_batch_tensors(
+        &self,
+        net: &Sequential,
+        images: &[Tensor],
+        target: usize,
+    ) -> Result<(Tensor, Tensor, Vec<Vec<f32>>)> {
+        if images.is_empty() {
+            return Err(AttackError::BadInput("no images to attack".into()));
+        }
+        let (c, h, w) = image_dims(&images[0])?;
+        let clean = Tensor::stack(images)?;
+        let n = images.len();
         let mask = blurnet_data::sticker_mask(h, w, self.config.layout)?;
-        let mask3 = broadcast_mask(&mask, c)?;
+        let mask_batch = broadcast_mask(&mask, n * c)?.reshape(&[n, c, h, w])?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let transforms = sample_transforms(
             self.config.num_transforms,
@@ -158,115 +209,187 @@ impl Rp2Attack {
             &mut rng,
         );
 
-        let mut delta = Tensor::zeros(image.dims());
+        // One image per shard, pinned explicitly: the per-shard loss
+        // closure below relies on per-image cross-entropy normalization,
+        // per-image feature penalties, and per-image shard losses.
+        let engine = net.batch_engine()?.with_shard_size(1);
+        let (feature_layer, penalty) = match &self.config.objective {
+            AdaptiveObjective::FeaturePenalty {
+                layer_index,
+                kind,
+                weight,
+            } => {
+                if *layer_index >= net.len() {
+                    return Err(AttackError::BadConfig(format!(
+                        "feature layer index {layer_index} out of range"
+                    )));
+                }
+                (Some(*layer_index), Some((kind, *weight)))
+            }
+            _ => (None, None),
+        };
+
+        let mut delta = Tensor::zeros(clean.dims());
         let mut adam = Adam::new(self.config.learning_rate)?;
-        let mut loss_trace = Vec::with_capacity(self.config.iterations);
+        let mut loss_traces: Vec<Vec<f32>> = vec![Vec::with_capacity(self.config.iterations); n];
+        let plane = c * h * w;
 
         for iter in 0..self.config.iterations {
             let transform = transforms[iter % transforms.len()];
-            let masked = delta.mul(&mask3)?;
+            let masked = delta.mul(&mask_batch)?;
             let effective = self.project_perturbation(&masked)?;
             let transformed = transform_perturbation(&effective, transform)?;
-            let raw = image.add(&transformed)?;
+            let raw = clean.add(&transformed)?;
             let x_adv = raw.clamp(0.0, 1.0);
-            let batch = Tensor::stack(std::slice::from_ref(&x_adv))?;
 
-            // Forward pass; adaptive feature penalties need the activations.
-            let (logits, injections, penalty_value) = self.forward_with_objective(net, &batch)?;
-            let (ce_loss, d_logits) = softmax_cross_entropy(&logits, &[target])?;
-            loss_trace.push(ce_loss + penalty_value);
+            // One batched forward + backward; the loss closure sees one
+            // shard (default: one image) at a time and mirrors the
+            // per-image objective exactly.
+            let step =
+                engine.forward_backward_with(&x_adv, feature_layer, |_, logits, feature| {
+                    let count = logits.dims()[0];
+                    let (ce_loss, d_logits) = softmax_cross_entropy(logits, &vec![target; count])?;
+                    let (injection, penalty_value) = match (&penalty, feature) {
+                        (Some((kind, weight)), Some(feature)) => {
+                            let (value, grad) = feature_penalty(kind, feature)
+                                .map_err(|e| NnError::BadConfig(e.to_string()))?;
+                            (Some(grad.scale(*weight)), value * weight)
+                        }
+                        _ => (None, 0.0),
+                    };
+                    Ok(ShardGrad {
+                        d_logits,
+                        injection,
+                        loss: ce_loss + penalty_value,
+                    })
+                })?;
+            if step.shard_losses.len() != n {
+                return Err(AttackError::BadConfig(format!(
+                    "expected {n} per-image shard losses, got {}",
+                    step.shard_losses.len()
+                )));
+            }
+            for (trace, &loss) in loss_traces.iter_mut().zip(step.shard_losses.iter()) {
+                trace.push(loss);
+            }
 
-            let grad_batch = net.backward_with_injection(&d_logits, &injections)?;
-            let mut grad = grad_batch.batch_item(0)?;
-            // Gradient does not flow through the [0, 1] clamp.
-            grad = grad.zip_map(&raw, |g, v| if (0.0..=1.0).contains(&v) { g } else { 0.0 })?;
+            let mut grad = step.input_grad;
+            // Gradient does not flow through the [0, 1] clamp — mask it in
+            // place on the batch buffer.
+            for (g, &v) in grad.data_mut().iter_mut().zip(raw.data()) {
+                if !(0.0..=1.0).contains(&v) {
+                    *g = 0.0;
+                }
+            }
             // Adjoint of the alignment transform.
             grad = transform_perturbation_adjoint(&grad, transform)?;
             // Adjoint of the DCT projection (it is an orthogonal projector,
             // hence self-adjoint).
             grad = self.project_perturbation(&grad)?;
             // Restrict to the mask.
-            let mut total_grad = grad.mul(&mask3)?;
+            let mut total_grad = grad.mul(&mask_batch)?;
 
-            // λ‖M·δ‖₂ term.
+            // λ‖M·δ‖₂ term, normalized per image.
             if self.config.lambda > 0.0 {
-                let norm = masked.l2_norm().max(1e-6);
-                total_grad.add_scaled(&masked, self.config.lambda / norm)?;
+                let m = masked.data();
+                let tg = total_grad.data_mut();
+                for i in 0..n {
+                    let rows = &m[i * plane..(i + 1) * plane];
+                    let norm = rows.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+                    let scale = self.config.lambda / norm;
+                    for (g, &v) in tg[i * plane..(i + 1) * plane].iter_mut().zip(rows) {
+                        *g += scale * v;
+                    }
+                }
             }
-            // Non-printability score on the sticker colours.
+            // Non-printability score on the sticker colours, per image.
             if self.config.nps_weight > 0.0 {
-                let nps_grad = nps_gradient(&x_adv, &mask)?;
-                total_grad.add_scaled(&nps_grad.mul(&mask3)?, self.config.nps_weight)?;
+                let x = x_adv.data();
+                let tg = total_grad.data_mut();
+                for i in 0..n {
+                    nps_gradient_into(
+                        &mut tg[i * plane..(i + 1) * plane],
+                        &x[i * plane..(i + 1) * plane],
+                        &mask,
+                        c,
+                        h,
+                        w,
+                        self.config.nps_weight,
+                    )?;
+                }
             }
 
             let mut pairs = vec![(&mut delta, &total_grad)];
             adam.step(&mut pairs)?;
         }
 
-        let masked = delta.mul(&mask3)?;
+        let masked = delta.mul(&mask_batch)?;
         let effective = self.project_perturbation(&masked)?;
-        let adversarial = image.add(&effective)?.clamp(0.0, 1.0);
-        let perturbation = adversarial.sub(image)?;
-        Ok(Rp2Result {
-            adversarial,
-            perturbation,
-            loss_trace,
-        })
+        let adversarial = clean.add(&effective)?.clamp(0.0, 1.0);
+        let perturbation = adversarial.sub(&clean)?;
+        Ok((adversarial, perturbation, loss_traces))
+    }
+
+    /// Generates an adversarial example for one `[3, H, W]` image targeting
+    /// class `target` (a batch-of-one [`Rp2Attack::generate_batch`]; the
+    /// network stays immutable).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed inputs or if the victim network
+    /// rejects the image shape.
+    pub fn generate(&self, net: &Sequential, image: &Tensor, target: usize) -> Result<Rp2Result> {
+        let mut results = self.generate_batch(net, std::slice::from_ref(image), target)?;
+        Ok(results.remove(0))
     }
 
     /// Generates adversarial examples for a set of images against one target
     /// class and summarizes the targeted success rate and dissimilarity on
     /// the victim network itself (white-box evaluation).
     ///
+    /// Generation optimizes the whole set at once
+    /// ([`Rp2Attack::generate_batch`]) and the set is judged with one
+    /// batch-parallel pass, with metrics computed straight from the batched
+    /// logits and image buffers.
+    ///
     /// # Errors
     ///
     /// Returns an error if `images` is empty or generation fails.
     pub fn evaluate(
         &self,
-        net: &mut Sequential,
+        net: &Sequential,
         images: &[Tensor],
         target: usize,
     ) -> Result<AttackEvaluation> {
-        if images.is_empty() {
-            return Err(AttackError::BadInput("no images to attack".into()));
-        }
-        // Generate per image (each optimization needs its own gradient
-        // loop), then judge the whole set with one batch-parallel pass.
-        let mut adversarial = Vec::with_capacity(images.len());
-        let mut dissims = Vec::with_capacity(images.len());
-        for image in images {
-            let result = self.generate(net, image, target)?;
-            dissims.push(l2_dissimilarity(image, &result.adversarial)?);
-            adversarial.push(result.adversarial);
-        }
-        let adv_preds = net.predict_batch(&Tensor::stack(&adversarial)?)?;
-        let success_rate = targeted_success_rate(&adv_preds, target)?;
+        let (adv, _, _) = self.generate_batch_tensors(net, images, target)?;
+        let clean = Tensor::stack(images)?;
+        let adv_logits = net.batch_engine()?.forward(&adv)?;
+        let dissims = batch_l2_dissimilarity(&clean, &adv)?;
         Ok(AttackEvaluation {
-            success_rate,
+            success_rate: targeted_success_from_logits(&adv_logits, target)?,
             l2_dissimilarity: dissims.iter().sum::<f32>() / dissims.len() as f32,
             count: images.len(),
         })
     }
 
     /// Generates adversarial examples without evaluating them (used by the
-    /// black-box transfer harness).
+    /// black-box transfer harness), batched like
+    /// [`Rp2Attack::generate_batch`].
     ///
     /// # Errors
     ///
     /// Returns an error if `images` is empty or generation fails.
     pub fn generate_set(
         &self,
-        net: &mut Sequential,
+        net: &Sequential,
         images: &[Tensor],
         target: usize,
     ) -> Result<Vec<Tensor>> {
-        if images.is_empty() {
-            return Err(AttackError::BadInput("no images to attack".into()));
-        }
-        images
-            .iter()
-            .map(|img| self.generate(net, img, target).map(|r| r.adversarial))
-            .collect()
+        Ok(self
+            .generate_batch(net, images, target)?
+            .into_iter()
+            .map(|r| r.adversarial)
+            .collect())
     }
 
     /// Runs [`Rp2Attack::evaluate`] for every target class in `targets` and
@@ -278,7 +401,7 @@ impl Rp2Attack {
     /// Returns an error if `targets` is empty or any evaluation fails.
     pub fn sweep_targets(
         &self,
-        net: &mut Sequential,
+        net: &Sequential,
         images: &[Tensor],
         targets: &[usize],
     ) -> Result<TargetSweep> {
@@ -292,51 +415,26 @@ impl Rp2Attack {
         Ok(TargetSweep { per_target })
     }
 
-    /// Applies the adaptive low-frequency projection to a perturbation (a
-    /// no-op for the other objectives).
+    /// Applies the adaptive low-frequency projection to every `[H, W]`
+    /// channel plane of a perturbation — rank 3 (`[C, H, W]`) or rank 4
+    /// (`[N, C, H, W]`) — a no-op clone for the other objectives.
     fn project_perturbation(&self, perturbation: &Tensor) -> Result<Tensor> {
         match &self.config.objective {
             AdaptiveObjective::LowFrequencyDct { dim } => {
-                let (c, h, w) = image_dims(perturbation)?;
+                let (h, w) = spatial_dims(perturbation)?;
+                let planes = perturbation.len() / (h * w);
                 let mut out = Vec::with_capacity(perturbation.len());
-                for ch in 0..c {
-                    let map = perturbation.channel(ch)?;
+                for p in 0..planes {
+                    let map = Tensor::from_vec(
+                        perturbation.data()[p * h * w..(p + 1) * h * w].to_vec(),
+                        &[h, w],
+                    )?;
                     let projected = low_frequency_project(&map, *dim)?;
                     out.extend_from_slice(projected.data());
                 }
-                Ok(Tensor::from_vec(out, &[c, h, w])?)
+                Ok(Tensor::from_vec(out, perturbation.dims())?)
             }
             _ => Ok(perturbation.clone()),
-        }
-    }
-
-    /// Forward pass plus, for feature-penalty objectives, the activation
-    /// gradient injection and penalty value that implement Eq. 9–11.
-    fn forward_with_objective(
-        &self,
-        net: &mut Sequential,
-        batch: &Tensor,
-    ) -> Result<ObjectiveForward> {
-        match &self.config.objective {
-            AdaptiveObjective::FeaturePenalty {
-                layer_index,
-                kind,
-                weight,
-            } => {
-                let (logits, activations) = net.forward_collect(batch, false)?;
-                let feature = activations.get(*layer_index).ok_or_else(|| {
-                    AttackError::BadConfig(format!(
-                        "feature layer index {layer_index} out of range"
-                    ))
-                })?;
-                let (value, grad) = feature_penalty(kind, feature)?;
-                Ok((
-                    logits,
-                    vec![(*layer_index, grad.scale(*weight))],
-                    value * weight,
-                ))
-            }
-            _ => Ok((net.forward(batch, false)?, Vec::new(), 0.0)),
         }
     }
 }
@@ -409,6 +507,18 @@ fn image_dims(image: &Tensor) -> Result<(usize, usize, usize)> {
     Ok((image.dims()[0], image.dims()[1], image.dims()[2]))
 }
 
+/// Trailing spatial extents of a `[..., H, W]` tensor of rank ≥ 3.
+fn spatial_dims(t: &Tensor) -> Result<(usize, usize)> {
+    let rank = t.shape().rank();
+    if rank < 3 {
+        return Err(AttackError::BadInput(format!(
+            "expected a [..., H, W] tensor of rank >= 3, got {}",
+            t.shape()
+        )));
+    }
+    Ok((t.dims()[rank - 2], t.dims()[rank - 1]))
+}
+
 fn broadcast_mask(mask: &Tensor, channels: usize) -> Result<Tensor> {
     let (h, w) = (mask.dims()[0], mask.dims()[1]);
     let mut data = Vec::with_capacity(channels * h * w);
@@ -420,13 +530,15 @@ fn broadcast_mask(mask: &Tensor, channels: usize) -> Result<Tensor> {
 
 /// Applies an alignment transform to a perturbation: integer shift with
 /// zero fill plus brightness scaling (no clamping — the perturbation is a
-/// signed quantity).
+/// signed quantity). Accepts a single `[C, H, W]` image or a whole
+/// `[N, C, H, W]` batch (every leading plane is shifted identically).
 pub(crate) fn transform_perturbation(perturbation: &Tensor, t: Transform) -> Result<Tensor> {
-    let (c, h, w) = image_dims(perturbation)?;
-    let mut out = Tensor::zeros(&[c, h, w]);
+    let (h, w) = spatial_dims(perturbation)?;
+    let planes = perturbation.len() / (h * w);
+    let mut out = Tensor::zeros(perturbation.dims());
     let src = perturbation.data();
     let dst = out.data_mut();
-    for ch in 0..c {
+    for ch in 0..planes {
         for y in 0..h {
             let sy = y as i32 - t.dy;
             if sy < 0 || sy >= h as i32 {
@@ -459,26 +571,34 @@ pub(crate) fn transform_perturbation_adjoint(grad: &Tensor, t: Transform) -> Res
     )
 }
 
-/// Gradient of the non-printability score with respect to the image pixels
-/// inside the mask.
-fn nps_gradient(image: &Tensor, mask: &Tensor) -> Result<Tensor> {
-    let (c, h, w) = image_dims(image)?;
+/// Accumulates `scale ×` the gradient of the non-printability score for one
+/// image directly into `grad` (a `[C·H·W]` slice of the batched gradient
+/// buffer) — no per-image tensor allocations. Contributions are multiplied
+/// by the mask value, matching the historical `nps_grad · M` restriction.
+fn nps_gradient_into(
+    grad: &mut [f32],
+    image: &[f32],
+    mask: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    scale: f32,
+) -> Result<()> {
     if c != 3 {
         // NPS is defined over RGB triples; for other channel counts skip it.
-        return Ok(Tensor::zeros(image.dims()));
+        return Ok(());
     }
-    let mut grad = Tensor::zeros(image.dims());
-    let data = image.data();
-    let g = grad.data_mut();
+    let m = mask.data();
     for y in 0..h {
         for x in 0..w {
-            if mask.get(&[y, x])? < 0.5 {
+            let mask_val = m[y * w + x];
+            if mask_val < 0.5 {
                 continue;
             }
             let pixel = [
-                data[y * w + x],
-                data[h * w + y * w + x],
-                data[2 * h * w + y * w + x],
+                image[y * w + x],
+                image[h * w + y * w + x],
+                image[2 * h * w + y * w + x],
             ];
             // distances to every printable colour
             let dists: Vec<f32> = PRINTABLE_PALETTE
@@ -495,12 +615,12 @@ fn nps_gradient(image: &Tensor, mask: &Tensor) -> Result<Tensor> {
             for (j, p) in PRINTABLE_PALETTE.iter().enumerate() {
                 let coeff = product / dists[j] / dists[j];
                 for ch in 0..3 {
-                    g[ch * h * w + y * w + x] += coeff * (pixel[ch] - p[ch]);
+                    grad[ch * h * w + y * w + x] += scale * mask_val * coeff * (pixel[ch] - p[ch]);
                 }
             }
         }
     }
-    Ok(grad)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -549,14 +669,14 @@ mod tests {
 
     #[test]
     fn perturbation_stays_inside_the_mask() {
-        let (mut net, data) = tiny_net_and_data();
+        let (net, data) = tiny_net_and_data();
         let attack = Rp2Attack::new(Rp2Config {
             iterations: 5,
             ..Rp2Config::default()
         })
         .unwrap();
         let image = &data.stop_eval_images()[0];
-        let result = attack.generate(&mut net, image, 0).unwrap();
+        let result = attack.generate(&net, image, 0).unwrap();
         assert_eq!(result.adversarial.dims(), image.dims());
         assert_eq!(result.loss_trace.len(), 5);
         // All perturbed pixels must lie within the sticker mask.
@@ -578,7 +698,7 @@ mod tests {
 
     #[test]
     fn attack_reduces_target_loss() {
-        let (mut net, data) = tiny_net_and_data();
+        let (net, data) = tiny_net_and_data();
         let attack = Rp2Attack::new(Rp2Config {
             iterations: 40,
             nps_weight: 0.0,
@@ -589,7 +709,7 @@ mod tests {
         .unwrap();
         let image = &data.stop_eval_images()[0];
         let target = 3usize;
-        let result = attack.generate(&mut net, image, target).unwrap();
+        let result = attack.generate(&net, image, target).unwrap();
         let first = result.loss_trace.first().copied().unwrap();
         let last = result.loss_trace.last().copied().unwrap();
         assert!(
@@ -600,24 +720,24 @@ mod tests {
 
     #[test]
     fn evaluate_and_sweep_produce_bounded_rates() {
-        let (mut net, data) = tiny_net_and_data();
+        let (net, data) = tiny_net_and_data();
         let attack = Rp2Attack::new(Rp2Config {
             iterations: 3,
             ..Rp2Config::default()
         })
         .unwrap();
         let images: Vec<Tensor> = data.stop_eval_images()[..2].to_vec();
-        let eval = attack.evaluate(&mut net, &images, 1).unwrap();
+        let eval = attack.evaluate(&net, &images, 1).unwrap();
         assert!((0.0..=1.0).contains(&eval.success_rate));
         assert!(eval.l2_dissimilarity >= 0.0);
         assert_eq!(eval.count, 2);
 
-        let sweep = attack.sweep_targets(&mut net, &images, &[0, 1]).unwrap();
+        let sweep = attack.sweep_targets(&net, &images, &[0, 1]).unwrap();
         assert_eq!(sweep.per_target.len(), 2);
         assert!(sweep.worst_success_rate() >= sweep.average_success_rate());
         assert!(sweep.mean_l2_dissimilarity() >= 0.0);
-        assert!(attack.sweep_targets(&mut net, &images, &[]).is_err());
-        assert!(attack.evaluate(&mut net, &[], STOP_CLASS_ID).is_err());
+        assert!(attack.sweep_targets(&net, &images, &[]).is_err());
+        assert!(attack.evaluate(&net, &[], STOP_CLASS_ID).is_err());
     }
 
     #[test]
@@ -643,14 +763,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_image_rank() {
-        let (mut net, _) = tiny_net_and_data();
+        let (net, _) = tiny_net_and_data();
         let attack = Rp2Attack::new(Rp2Config {
             iterations: 1,
             ..Rp2Config::default()
         })
         .unwrap();
-        assert!(attack
-            .generate(&mut net, &Tensor::zeros(&[16, 16]), 0)
-            .is_err());
+        assert!(attack.generate(&net, &Tensor::zeros(&[16, 16]), 0).is_err());
     }
 }

@@ -12,7 +12,7 @@ use rand_chacha::ChaCha8Rng;
 
 fn bench_fig5(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(10);
-    let mut net = LisaCnn::new(18)
+    let net = LisaCnn::new(18)
         .input_size(16)
         .conv1_filters(4)
         .build(&mut rng)
@@ -32,9 +32,9 @@ fn bench_fig5(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("per_target_scatter_point", |b| {
         b.iter(|| {
-            let result = attack.generate(&mut net, &image, 4).unwrap();
+            let result = attack.generate(&net, &image, 4).unwrap();
             let pred = net
-                .predict(&Tensor::stack(std::slice::from_ref(&result.adversarial)).unwrap())
+                .predict_batch(&Tensor::stack(std::slice::from_ref(&result.adversarial)).unwrap())
                 .unwrap()[0];
             let dissim = l2_dissimilarity(&image, &result.adversarial).unwrap();
             (pred, dissim)

@@ -14,7 +14,7 @@ fn bench_table1(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let builder = LisaCnn::new(18).input_size(16).conv1_filters(4);
     let net = builder.build(&mut rng).unwrap();
-    let mut surrogate = net.clone();
+    let surrogate = net.clone();
     let mut cfg = DatasetConfig::tiny();
     cfg.image_size = 16;
     let data = SignDataset::generate(&cfg, 1).unwrap();
@@ -30,10 +30,10 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     group.bench_function("rp2_generate_surrogate", |b| {
-        b.iter(|| attack.generate_set(&mut surrogate, &images, 12).unwrap());
+        b.iter(|| attack.generate_set(&surrogate, &images, 12).unwrap());
     });
 
-    let adversarial = attack.generate_set(&mut surrogate, &images, 12).unwrap();
+    let adversarial = attack.generate_set(&surrogate, &images, 12).unwrap();
     let report = TrainingReport {
         epoch_losses: vec![],
         test_accuracy: 0.0,

@@ -27,7 +27,7 @@ fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     group.bench_function("whitebox_rp2_single_image", |b| {
-        b.iter(|| attack.generate(&mut net, &image, 3).unwrap());
+        b.iter(|| attack.generate(&net, &image, 3).unwrap());
     });
 
     // One TV-regularized training step (the extra cost every Table II row

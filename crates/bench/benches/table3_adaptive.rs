@@ -12,7 +12,7 @@ use rand_chacha::ChaCha8Rng;
 fn bench_table3(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let builder = LisaCnn::new(18).input_size(16).conv1_filters(4);
-    let mut net = builder.build(&mut rng).unwrap();
+    let net = builder.build(&mut rng).unwrap();
     let mut cfg = DatasetConfig::tiny();
     cfg.image_size = 16;
     let data = SignDataset::generate(&cfg, 3).unwrap();
@@ -27,11 +27,11 @@ fn bench_table3(c: &mut Criterion) {
     group.sample_size(10);
     let tv_attack = tv_aware_attack(base.clone(), builder.config().feature_layer_index()).unwrap();
     group.bench_function("tv_aware_rp2", |b| {
-        b.iter(|| tv_attack.generate(&mut net, &image, 2).unwrap());
+        b.iter(|| tv_attack.generate(&net, &image, 2).unwrap());
     });
     let lf_attack = low_frequency_attack(base, 8).unwrap();
     group.bench_function("low_frequency_rp2", |b| {
-        b.iter(|| lf_attack.generate(&mut net, &image, 2).unwrap());
+        b.iter(|| lf_attack.generate(&net, &image, 2).unwrap());
     });
     group.finish();
 }

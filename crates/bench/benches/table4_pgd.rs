@@ -10,7 +10,7 @@ use rand_chacha::ChaCha8Rng;
 
 fn bench_table4(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(4);
-    let mut net = LisaCnn::new(18)
+    let net = LisaCnn::new(18)
         .input_size(16)
         .conv1_filters(4)
         .build(&mut rng)
@@ -24,7 +24,7 @@ fn bench_table4(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4");
     group.sample_size(10);
     group.bench_function("pgd_10_steps_single_image", |b| {
-        b.iter(|| attack.generate(&mut net, &image, STOP_CLASS_ID).unwrap());
+        b.iter(|| attack.generate(&net, &image, STOP_CLASS_ID).unwrap());
     });
     group.finish();
 }

@@ -94,10 +94,11 @@ impl<'m> BatchRunner<'m> {
     }
 
     /// Runs a targeted RP2 sweep: adversarial examples are generated
-    /// white-box on the underlying network, while success is judged
-    /// through the model's **defended** prediction path (input filters and
-    /// randomized smoothing included), one batched classification per
-    /// target.
+    /// white-box on the underlying network — the whole image set optimized
+    /// at once through the batched gradient engine, the network staying
+    /// immutable — while success is judged through the model's **defended**
+    /// prediction path (input filters and randomized smoothing included),
+    /// one batched classification per target.
     ///
     /// # Errors
     ///
@@ -116,7 +117,7 @@ impl<'m> BatchRunner<'m> {
         }
         let mut per_target = Vec::with_capacity(targets.len());
         for &target in targets {
-            let adversarial = attack.generate_set(self.model.network_mut(), images, target)?;
+            let adversarial = attack.generate_set(self.model.network(), images, target)?;
             let preds = self.classify(&adversarial)?;
             let mut dissims = Vec::with_capacity(images.len());
             for (clean, adv) in images.iter().zip(adversarial.iter()) {
@@ -135,8 +136,10 @@ impl<'m> BatchRunner<'m> {
     }
 
     /// Runs the ε-bounded PGD evaluation against the underlying network
-    /// (Table IV judges through the plain network, as the paper does);
-    /// clean and adversarial sets are each judged with one batched pass.
+    /// (Table IV judges through the plain network, as the paper does):
+    /// generation runs every PGD step on the whole batch through the
+    /// batched gradient engine, and clean and adversarial sets are each
+    /// judged with one batched pass.
     ///
     /// # Errors
     ///
@@ -147,7 +150,7 @@ impl<'m> BatchRunner<'m> {
         images: &[Tensor],
         labels: &[usize],
     ) -> Result<AttackEvaluation> {
-        Ok(attack.evaluate(self.model.network_mut(), images, labels)?)
+        Ok(attack.evaluate(self.model.network(), images, labels)?)
     }
 
     /// Evaluates transferred adversarial examples against this model as

@@ -148,7 +148,7 @@ pub fn train_defended_model(
                 defense,
                 &batch.images,
                 &batch.labels,
-                &mut net,
+                &net,
                 pgd.as_ref(),
                 &mut rng,
             )?;
@@ -200,7 +200,7 @@ fn prepare_batch_inputs(
     defense: &DefenseKind,
     images: &Tensor,
     labels: &[usize],
-    net: &mut Sequential,
+    net: &Sequential,
     pgd: Option<&PgdAttack>,
     rng: &mut ChaCha8Rng,
 ) -> Result<Tensor> {
@@ -211,18 +211,25 @@ fn prepare_batch_inputs(
         DefenseKind::AdversarialTraining { .. } => {
             let attack = pgd.expect("PGD attack configured for adversarial training");
             // Half the batch is replaced with adversarial examples (the
-            // paper trains 50% clean / 50% adversarial).
+            // paper trains 50% clean / 50% adversarial). The even-index
+            // half is gathered into one sub-batch so every PGD step runs
+            // as a single batched gradient pass through the immutable
+            // engine, then scattered back over the clean images.
             let n = images.dims()[0];
-            let mut out = Vec::with_capacity(n);
-            for (i, &label) in labels.iter().enumerate().take(n) {
-                let image = images.batch_item(i)?;
-                if i % 2 == 0 {
-                    out.push(attack.generate(net, &image, label)?);
-                } else {
-                    out.push(image);
-                }
+            let adv_indices: Vec<usize> = (0..n).step_by(2).collect();
+            let sub_images: Vec<Tensor> = adv_indices
+                .iter()
+                .map(|&i| images.batch_item(i))
+                .collect::<std::result::Result<_, _>>()?;
+            let sub_labels: Vec<usize> = adv_indices.iter().map(|&i| labels[i]).collect();
+            let adversarial = attack.perturb(net, &Tensor::stack(&sub_images)?, &sub_labels)?;
+            let mut out = images.clone();
+            let plane = images.len() / n;
+            for (j, &i) in adv_indices.iter().enumerate() {
+                out.data_mut()[i * plane..(i + 1) * plane]
+                    .copy_from_slice(&adversarial.data()[j * plane..(j + 1) * plane]);
             }
-            Ok(Tensor::stack(&out)?)
+            Ok(out)
         }
         _ => Ok(images.clone()),
     }

@@ -3,7 +3,7 @@
 use blurnet_tensor::{Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
-use crate::{Layer, NnError, Result};
+use crate::{Layer, NnError, Result, TapeSlot};
 
 /// Elementwise `max(0, x)` activation.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -31,6 +31,40 @@ impl Layer for Relu {
 
     fn infer(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor> {
         Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn infer_recording(
+        &self,
+        input: &Tensor,
+        tape: &mut TapeSlot,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        // One pass produces both the activation and the sign mask the
+        // backward needs; the input itself is never kept.
+        let data = input.data();
+        let mut out = vec![0.0f32; data.len()];
+        let mut mask = vec![0.0f32; data.len()];
+        for (i, &v) in data.iter().enumerate() {
+            if v > 0.0 {
+                out[i] = v;
+                mask[i] = 1.0;
+            }
+        }
+        *tape = TapeSlot::ReluMask(Tensor::from_vec(mask, input.dims())?);
+        Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
+    fn input_grad(
+        &self,
+        tape: &TapeSlot,
+        grad_output: &Tensor,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let TapeSlot::ReluMask(mask) = tape else {
+            return Err(TapeSlot::mismatch(self.name()));
+        };
+        // `m > 0.0` reproduces the stateful `x > 0.0` gate bit for bit.
+        Ok(mask.zip_map(grad_output, |m, g| if m > 0.0 { g } else { 0.0 })?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

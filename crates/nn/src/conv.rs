@@ -1,13 +1,13 @@
 //! Standard 2-D convolution layer.
 
 use blurnet_tensor::{
-    conv2d_backward_with_scratch, conv2d_with_scratch, ConvSpec, Initializer, PackedConvWeights,
-    Scratch, Tensor,
+    conv2d_backward_with_scratch, conv2d_input_grad_with_scratch, conv2d_with_scratch, ConvSpec,
+    Initializer, PackedConvWeights, Scratch, Tensor,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Layer, NnError, Result};
+use crate::{Layer, NnError, Result, TapeSlot};
 
 /// A trainable 2-D convolution layer with bias.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -119,6 +119,37 @@ impl Layer for Conv2d {
             input,
             &self.weight,
             Some(&self.bias),
+            self.spec,
+            scratch,
+        )?)
+    }
+
+    fn infer_recording(
+        &self,
+        input: &Tensor,
+        tape: &mut TapeSlot,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let out = self.infer(input, scratch)?;
+        // The input gradient `col2im(g · W)` never reads the input itself —
+        // only its shape.
+        *tape = TapeSlot::InputDims(input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn input_grad(
+        &self,
+        tape: &TapeSlot,
+        grad_output: &Tensor,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let TapeSlot::InputDims(dims) = tape else {
+            return Err(TapeSlot::mismatch(self.name()));
+        };
+        Ok(conv2d_input_grad_with_scratch(
+            &self.weight,
+            grad_output,
+            dims,
             self.spec,
             scratch,
         )?)

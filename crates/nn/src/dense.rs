@@ -7,7 +7,7 @@ use blurnet_tensor::{
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Layer, NnError, Result};
+use crate::{Layer, NnError, Result, TapeSlot};
 
 /// A fully-connected layer computing `x · Wᵀ + b` for `x: [N, in]`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -116,6 +116,27 @@ impl Layer for Dense {
         let mut out = matmul_transpose_b_with_scratch(input, &self.weight, scratch)?;
         self.add_bias(&mut out);
         Ok(out)
+    }
+
+    fn infer_recording(
+        &self,
+        input: &Tensor,
+        tape: &mut TapeSlot,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        // `dx = g · W` needs no forward state at all.
+        *tape = TapeSlot::Empty;
+        self.infer(input, scratch)
+    }
+
+    fn input_grad(
+        &self,
+        _tape: &TapeSlot,
+        grad_output: &Tensor,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        // dx = g · W : [N, in]
+        Ok(matmul(grad_output, &self.weight)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

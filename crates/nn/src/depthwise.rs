@@ -4,10 +4,12 @@
 //! channel. It can be *fixed* (a standard blur kernel, Section III of the
 //! paper) or *trainable* (learned under an L∞ penalty, Eq. 2).
 
-use blurnet_tensor::{depthwise_conv2d, depthwise_conv2d_backward, ConvSpec, Scratch, Tensor};
+use blurnet_tensor::{
+    depthwise_conv2d, depthwise_conv2d_backward, depthwise_input_grad, ConvSpec, Scratch, Tensor,
+};
 use serde::{Deserialize, Serialize};
 
-use crate::{Layer, NnError, Result};
+use crate::{Layer, NnError, Result, TapeSlot};
 
 /// A depthwise convolution layer with per-channel `[C, K, K]` kernels.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -170,6 +172,34 @@ impl Layer for DepthwiseConv2d {
             input,
             &self.weight,
             Some(&self.bias),
+            self.spec,
+        )?)
+    }
+
+    fn infer_recording(
+        &self,
+        input: &Tensor,
+        tape: &mut TapeSlot,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let out = self.infer(input, scratch)?;
+        *tape = TapeSlot::InputDims(input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn input_grad(
+        &self,
+        tape: &TapeSlot,
+        grad_output: &Tensor,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let TapeSlot::InputDims(dims) = tape else {
+            return Err(TapeSlot::mismatch(self.name()));
+        };
+        Ok(depthwise_input_grad(
+            &self.weight,
+            grad_output,
+            dims,
             self.spec,
         )?)
     }

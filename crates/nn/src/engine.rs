@@ -1,5 +1,5 @@
-//! The batch-parallel inference engine behind
-//! [`Sequential::forward_batch`].
+//! The batch-parallel inference **and gradient** engine behind
+//! [`Sequential::forward_batch`] and [`Sequential::input_grad_batch`].
 //!
 //! Training needs the stateful [`crate::Layer::forward`] path (every layer
 //! caches intermediates for backward), which serializes a network behind
@@ -12,28 +12,43 @@
 //! [`Scratch`] pool that is reused across every layer of every shard it
 //! processes.
 //!
+//! The gradient path works the same way: a recorded forward pass writes
+//! what backward needs into a caller-owned tape (one [`TapeSlot`] per
+//! layer, owned by the worker, never by the network), then
+//! [`BatchEngine::forward_backward_batch`] / [`BatchEngine::input_grad`]
+//! walk the tape backwards through each layer's immutable
+//! [`crate::Layer::input_grad`]. Only **input** gradients are produced —
+//! exactly what PGD/RP2/adaptive attack generation needs — so the
+//! weight-gradient GEMMs of the training backward are skipped entirely,
+//! and all `steps × images` gradient iterations of an attack run as
+//! `steps` batched passes.
+//!
 //! # Determinism
 //!
-//! Outputs are **bit-identical** to running [`crate::Layer::forward`] with
-//! `train = false` over the same input, for every batch size, shard size
-//! and thread count:
+//! Forward outputs are **bit-identical** to running
+//! [`crate::Layer::forward`] with `train = false` over the same input, and
+//! input gradients are bit-identical to the per-image stateful
+//! [`Sequential::backward`] loop, for every batch size, shard size and
+//! thread count:
 //!
 //! * shard boundaries depend only on the batch size, never on the thread
 //!   count;
 //! * every per-element accumulation (GEMM register tiles, im2col rows,
-//!   depthwise taps) runs in a fixed order that does not depend on how the
-//!   work is partitioned;
+//!   depthwise taps, col2im folds) runs in a fixed order that does not
+//!   depend on how the work is partitioned;
 //! * workers write disjoint output ranges, so there are no accumulation
 //!   races.
 //!
 //! `RAYON_NUM_THREADS=1` (or a 1-thread `rayon` pool) therefore reproduces
 //! the parallel results exactly; the property tests in
-//! `tests/forward_batch.rs` pin this.
+//! `tests/forward_batch.rs` and `tests/input_grad_batch.rs` pin this.
 
-use blurnet_tensor::{conv2d_prepacked, matmul, PackedConvWeights, Scratch, Tensor};
+use blurnet_tensor::{
+    conv2d_input_grad_prepacked, conv2d_prepacked, matmul, PackedConvWeights, Scratch, Tensor,
+};
 use rayon::prelude::*;
 
-use crate::{loss, Conv2d, Dense, Layer, LayerKind, NnError, Result, Sequential};
+use crate::{loss, Conv2d, Dense, Layer, LayerKind, NnError, Result, Sequential, TapeSlot};
 
 /// One layer of a prepared inference plan: convolutions and dense layers
 /// carry their pre-packed weights, everything else runs its plain
@@ -55,6 +70,34 @@ enum EngineLayer<'n> {
     },
     /// Any other layer, evaluated through [`Layer::infer`].
     Plain(&'n LayerKind),
+}
+
+/// Backward directive for one shard, produced by the loss closure passed
+/// to [`BatchEngine::forward_backward_with`].
+#[derive(Debug)]
+pub struct ShardGrad {
+    /// Gradient of the shard loss with respect to the shard logits.
+    pub d_logits: Tensor,
+    /// Extra gradient injected at the collected feature layer's output
+    /// while back-propagating (adaptive feature penalties, Eq. 9–11).
+    /// Ignored when no feature layer was requested.
+    pub injection: Option<Tensor>,
+    /// Scalar loss of this shard (diagnostics; the engine only forwards
+    /// it into [`GradBatch::shard_losses`]).
+    pub loss: f32,
+}
+
+/// Result of a batched forward + backward pass through a [`BatchEngine`].
+#[derive(Debug)]
+pub struct GradBatch {
+    /// Logits for the whole batch, `[N, classes]`.
+    pub logits: Tensor,
+    /// Gradient of the loss with respect to the batch input, same shape as
+    /// the input.
+    pub input_grad: Tensor,
+    /// Per-shard loss values, in shard order. With the default shard size
+    /// of one image this is one loss per image.
+    pub shard_losses: Vec<f32>,
 }
 
 /// A reusable, shareable inference plan over a borrowed [`Sequential`].
@@ -121,9 +164,14 @@ impl<'n> BatchEngine<'n> {
 
     /// Overrides the number of images per shard (clamped to at least 1).
     ///
-    /// Sharding only affects how work is distributed, never the results;
-    /// the default of one image per shard is right for almost every
-    /// workload.
+    /// For **forward** evaluation, sharding only affects how work is
+    /// distributed, never the results. The **gradient** path is different:
+    /// [`BatchEngine::forward_backward_batch`] normalizes its per-shard
+    /// cross-entropy over the shard, so a larger shard scales the logit
+    /// (and therefore input) gradients by `1/shard_count` and makes
+    /// [`GradBatch::shard_losses`] shard means instead of per-image
+    /// losses. Sign-based consumers (PGD) are unaffected; magnitude-based
+    /// consumers should keep the default of one image per shard.
     pub fn with_shard_size(mut self, images: usize) -> Self {
         self.shard_size = images.max(1);
         self
@@ -156,6 +204,304 @@ impl<'n> BatchEngine<'n> {
         Ok(x.expect("non-empty network produced an output"))
     }
 
+    /// Runs every layer over one shard while recording each layer's
+    /// backward needs into `tapes` (resized to the network depth), and
+    /// optionally cloning out the activation after layer `feature_layer`.
+    fn infer_shard_recorded(
+        &self,
+        shard: &Tensor,
+        feature_layer: Option<usize>,
+        tapes: &mut Vec<TapeSlot>,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, Option<Tensor>)> {
+        tapes.clear();
+        tapes.resize_with(self.layers.len(), TapeSlot::default);
+        let mut feature = None;
+        let mut x: Option<Tensor> = None;
+        for (i, engine_layer) in self.layers.iter().enumerate() {
+            let input = x.as_ref().unwrap_or(shard);
+            let out = match engine_layer {
+                EngineLayer::Conv { layer, packed } => {
+                    let out =
+                        conv2d_prepacked(input, packed, Some(layer.bias()), layer.spec(), scratch)?;
+                    // Conv input gradients only need the recorded shape.
+                    tapes[i] = TapeSlot::InputDims(input.dims().to_vec());
+                    out
+                }
+                EngineLayer::Dense { layer, weight_t } => {
+                    layer.check_input(input)?;
+                    let mut out = matmul(input, weight_t)?;
+                    layer.add_bias(&mut out);
+                    out
+                }
+                EngineLayer::Plain(kind) => kind.infer_recording(input, &mut tapes[i], scratch)?,
+            };
+            if feature_layer == Some(i) {
+                feature = Some(out.clone());
+            }
+            x = Some(out);
+        }
+        let logits = x.expect("non-empty network produced an output");
+        Ok((logits, feature))
+    }
+
+    /// Walks one shard's tape backwards through every layer's immutable
+    /// input-gradient path, adding `injection` at `feature_layer`'s output
+    /// on the way (mirroring [`Sequential::backward_with_injection`]).
+    fn input_grad_shard(
+        &self,
+        tapes: &[TapeSlot],
+        d_logits: Tensor,
+        injection: Option<(usize, &Tensor)>,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let mut grad = d_logits;
+        for (i, engine_layer) in self.layers.iter().enumerate().rev() {
+            if let Some((idx, extra)) = injection {
+                if idx == i {
+                    grad.add_scaled(extra, 1.0)?;
+                }
+            }
+            grad = match engine_layer {
+                EngineLayer::Conv { layer, packed } => {
+                    // The pack carries the pre-flipped taps for the direct
+                    // transposed kernel — built once per engine, shared
+                    // read-only across shards (bit-identical to the
+                    // per-call layer path).
+                    let TapeSlot::InputDims(dims) = &tapes[i] else {
+                        return Err(NnError::MissingForwardCache("conv2d".to_string()));
+                    };
+                    conv2d_input_grad_prepacked(packed, &grad, dims, layer.spec(), scratch)?
+                }
+                EngineLayer::Dense { layer, .. } => layer.input_grad(&tapes[i], &grad, scratch)?,
+                EngineLayer::Plain(kind) => kind.input_grad(&tapes[i], &grad, scratch)?,
+            };
+        }
+        Ok(grad)
+    }
+
+    /// Forward + backward for one shard: recorded forward, caller's loss
+    /// closure, then the tape-driven input gradient.
+    fn run_shard_backward<F>(
+        &self,
+        shard: &Tensor,
+        start: usize,
+        feature_layer: Option<usize>,
+        grad_fn: &F,
+        tapes: &mut Vec<TapeSlot>,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, Tensor, f32)>
+    where
+        F: Fn(usize, &Tensor, Option<&Tensor>) -> Result<ShardGrad> + Sync,
+    {
+        let (logits, feature) = self.infer_shard_recorded(shard, feature_layer, tapes, scratch)?;
+        let shard_grad = grad_fn(start, &logits, feature.as_ref())?;
+        if shard_grad.d_logits.dims() != logits.dims() {
+            return Err(NnError::BadConfig(format!(
+                "shard gradient shape {:?} does not match logits {:?}",
+                shard_grad.d_logits.dims(),
+                logits.dims()
+            )));
+        }
+        let injection = match (feature_layer, shard_grad.injection.as_ref()) {
+            (Some(idx), Some(extra)) => Some((idx, extra)),
+            _ => None,
+        };
+        let d_input = self.input_grad_shard(tapes, shard_grad.d_logits, injection, scratch)?;
+        Ok((logits, d_input, shard_grad.loss))
+    }
+
+    /// Runs a recorded forward pass and a tape-driven backward pass over an
+    /// `[N, ...]` batch, sharding the batch dimension across rayon workers
+    /// exactly like [`BatchEngine::forward`] (same shard boundaries, same
+    /// per-worker [`Scratch`] pools and tape vectors, bit-identical results
+    /// at every thread count).
+    ///
+    /// For every shard, `grad_fn(start, logits, feature)` receives the
+    /// index of the shard's first image, the shard logits, and (when
+    /// `feature_layer` is `Some(i)`) the activation after layer `i`; it
+    /// returns the shard's loss gradient, an optional gradient to inject at
+    /// that activation, and a diagnostic loss value. With the default shard
+    /// size of one image the closure sees exactly what a per-image attack
+    /// loop would — per-image logits and per-image losses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty batch, an out-of-range
+    /// `feature_layer`, a shape the first layer rejects, or any `grad_fn`
+    /// failure.
+    pub fn forward_backward_with<F>(
+        &self,
+        input: &Tensor,
+        feature_layer: Option<usize>,
+        grad_fn: F,
+    ) -> Result<GradBatch>
+    where
+        F: Fn(usize, &Tensor, Option<&Tensor>) -> Result<ShardGrad> + Sync,
+    {
+        if input.shape().rank() < 2 || input.dims()[0] == 0 {
+            return Err(NnError::BadConfig(format!(
+                "forward_backward expects a non-empty [N, ...] batch, got {}",
+                input.shape()
+            )));
+        }
+        if let Some(idx) = feature_layer {
+            if idx >= self.layers.len() {
+                return Err(NnError::BadConfig(format!(
+                    "feature layer index {idx} out of range for {} layers",
+                    self.layers.len()
+                )));
+            }
+        }
+        let results = self.run_sharded(
+            input,
+            || (Scratch::new(), Vec::new()),
+            |state, start, shard| {
+                let (scratch, tapes) = state;
+                self.run_shard_backward(shard, start, feature_layer, &grad_fn, tapes, scratch)
+            },
+        )?;
+        let mut logits = Vec::with_capacity(results.len());
+        let mut grads = Vec::with_capacity(results.len());
+        let mut losses = Vec::with_capacity(results.len());
+        for (l, g, loss) in results {
+            logits.push(l);
+            grads.push(g);
+            losses.push(loss);
+        }
+        Ok(GradBatch {
+            logits: Tensor::concat_batch(&logits)?,
+            input_grad: Tensor::concat_batch(&grads)?,
+            shard_losses: losses,
+        })
+    }
+
+    /// The one shard scheduler behind [`BatchEngine::forward`] and
+    /// [`BatchEngine::forward_backward_with`]: runs `run_shard` over every
+    /// shard of `input`, sequentially on a single worker state when the
+    /// thread budget is one (or there is only one shard), otherwise in
+    /// contiguous shard groups across rayon workers — each worker owns one
+    /// `make_state()` for its whole group and pins nested (intra-op)
+    /// parallelism to one thread, so the thread budget is spent on the
+    /// batch dimension exactly once.
+    ///
+    /// Shard boundaries depend only on the batch size and shard size —
+    /// never on the thread count — which is what makes every engine result
+    /// bit-identical at any `RAYON_NUM_THREADS`. Both entry points share
+    /// this scheduler, so their partitioning can never drift apart.
+    fn run_sharded<T, S, MkS, F>(
+        &self,
+        input: &Tensor,
+        make_state: MkS,
+        run_shard: F,
+    ) -> Result<Vec<T>>
+    where
+        T: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &Tensor) -> Result<T> + Sync,
+    {
+        let n = input.dims()[0];
+        let num_shards = n.div_ceil(self.shard_size);
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || num_shards == 1 {
+            let mut state = make_state();
+            let mut out = Vec::with_capacity(num_shards);
+            for s in 0..num_shards {
+                let start = s * self.shard_size;
+                let count = self.shard_size.min(n - start);
+                let shard = input.batch_slice(start, count)?;
+                out.push(run_shard(&mut state, start, &shard)?);
+            }
+            return Ok(out);
+        }
+        let group = num_shards.div_ceil(threads);
+        let mut slots: Vec<Option<Result<T>>> = (0..num_shards).map(|_| None).collect();
+        slots
+            .par_chunks_mut(group)
+            .enumerate()
+            .for_each(|(g, slots_group)| {
+                let inner = rayon::ThreadPoolBuilder::new().num_threads(1).build();
+                let mut state = make_state();
+                for (j, slot) in slots_group.iter_mut().enumerate() {
+                    let s = g * group + j;
+                    let start = s * self.shard_size;
+                    let count = self.shard_size.min(n - start);
+                    let result = input
+                        .batch_slice(start, count)
+                        .map_err(NnError::from)
+                        .and_then(|shard| match &inner {
+                            Ok(pool) => pool.install(|| run_shard(&mut state, start, &shard)),
+                            Err(_) => run_shard(&mut state, start, &shard),
+                        });
+                    *slot = Some(result);
+                }
+            });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every shard slot is filled"))
+            .collect()
+    }
+
+    /// Gradient of a caller-supplied output gradient with respect to the
+    /// batch input: one recorded forward plus one tape-driven backward,
+    /// sharded like [`BatchEngine::forward`].
+    ///
+    /// `grad_output` must be `[N, classes]` aligned with `input`'s batch
+    /// dimension. Bit-identical at every thread count, and identical to a
+    /// per-image stateful `forward`/`backward` loop over the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty batch or mismatched shapes.
+    pub fn input_grad(&self, input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
+        if grad_output.shape().rank() < 2 || grad_output.dims()[0] != input.dims()[0] {
+            return Err(NnError::BadConfig(format!(
+                "grad_output {} does not align with input batch {}",
+                grad_output.shape(),
+                input.shape()
+            )));
+        }
+        let out = self.forward_backward_with(input, None, |start, logits, _| {
+            Ok(ShardGrad {
+                d_logits: grad_output.batch_slice(start, logits.dims()[0])?,
+                injection: None,
+                loss: 0.0,
+            })
+        })?;
+        Ok(out.input_grad)
+    }
+
+    /// Batched softmax cross-entropy forward + backward: the gradient-loop
+    /// workhorse of PGD-style attacks. Losses and logit gradients are
+    /// computed **per shard** (default: per image), so with the default
+    /// shard size the result matches a per-image attack loop exactly —
+    /// `shard_losses[i]` is image `i`'s loss and the input gradient rows
+    /// are per-image cross-entropy gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty batch or a label count that does not
+    /// match the batch size.
+    pub fn forward_backward_batch(&self, input: &Tensor, labels: &[usize]) -> Result<GradBatch> {
+        if labels.len() != input.dims().first().copied().unwrap_or(0) {
+            return Err(NnError::BadLabels(format!(
+                "{} labels for a batch of {}",
+                labels.len(),
+                input.dims().first().copied().unwrap_or(0)
+            )));
+        }
+        self.forward_backward_with(input, None, |start, logits, _| {
+            let count = logits.dims()[0];
+            let (loss, d_logits) =
+                loss::softmax_cross_entropy(logits, &labels[start..start + count])?;
+            Ok(ShardGrad {
+                d_logits,
+                injection: None,
+                loss,
+            })
+        })
+    }
+
     /// Runs the network over an `[N, ...]` batch, sharding the batch
     /// dimension across rayon workers.
     ///
@@ -173,55 +519,13 @@ impl<'n> BatchEngine<'n> {
                 input.shape()
             )));
         }
-        let n = input.dims()[0];
-        let num_shards = n.div_ceil(self.shard_size);
-        let threads = rayon::current_num_threads();
-        if threads <= 1 || num_shards == 1 {
-            // Sequential path: one scratch pool serves every shard.
-            let mut scratch = Scratch::new();
-            if num_shards == 1 {
-                return self.infer_shard(input, &mut scratch);
-            }
-            let mut parts = Vec::with_capacity(num_shards);
-            for s in 0..num_shards {
-                let start = s * self.shard_size;
-                let count = self.shard_size.min(n - start);
-                let shard = input.batch_slice(start, count)?;
-                parts.push(self.infer_shard(&shard, &mut scratch)?);
-            }
-            return Ok(Tensor::concat_batch(&parts)?);
+        // Single-shard fast path: no slicing or concatenation to pay.
+        if input.dims()[0].div_ceil(self.shard_size) == 1 {
+            return self.infer_shard(input, &mut Scratch::new());
         }
-
-        // Parallel path: contiguous groups of shards go to rayon workers.
-        // Each worker owns one Scratch for its whole group and pins nested
-        // (intra-op) parallelism to one thread — batch-level parallelism
-        // replaces spatial fan-out, so the thread budget is spent once.
-        let group = num_shards.div_ceil(threads);
-        let mut slots: Vec<Option<Result<Tensor>>> = (0..num_shards).map(|_| None).collect();
-        slots
-            .par_chunks_mut(group)
-            .enumerate()
-            .for_each(|(g, slots_group)| {
-                let inner = rayon::ThreadPoolBuilder::new().num_threads(1).build();
-                let mut scratch = Scratch::new();
-                for (j, slot) in slots_group.iter_mut().enumerate() {
-                    let s = g * group + j;
-                    let start = s * self.shard_size;
-                    let count = self.shard_size.min(n - start);
-                    let result = input
-                        .batch_slice(start, count)
-                        .map_err(NnError::from)
-                        .and_then(|shard| match &inner {
-                            Ok(pool) => pool.install(|| self.infer_shard(&shard, &mut scratch)),
-                            Err(_) => self.infer_shard(&shard, &mut scratch),
-                        });
-                    *slot = Some(result);
-                }
-            });
-        let parts = slots
-            .into_iter()
-            .map(|slot| slot.expect("every shard slot is filled"))
-            .collect::<Result<Vec<Tensor>>>()?;
+        let parts = self.run_sharded(input, Scratch::new, |scratch, _start, shard| {
+            self.infer_shard(shard, scratch)
+        })?;
         Ok(Tensor::concat_batch(&parts)?)
     }
 
@@ -313,5 +617,104 @@ mod tests {
         let engine = BatchEngine::new(&net).unwrap();
         assert!(engine.forward(&Tensor::zeros(&[0, 3, 16, 16])).is_err());
         assert!(engine.forward(&Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn input_grad_matches_stateful_backward_per_image() {
+        let mut net = lisa_net(11);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let batch = Tensor::rand_uniform(&[5, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let logits = net.forward(&batch, false).unwrap();
+        let grad_out = Tensor::rand_uniform(logits.dims(), -1.0, 1.0, &mut rng);
+        // Per-image mutable reference.
+        let mut parts = Vec::new();
+        for i in 0..5 {
+            let image = batch.batch_slice(i, 1).unwrap();
+            net.forward(&image, true).unwrap();
+            parts.push(net.backward(&grad_out.batch_slice(i, 1).unwrap()).unwrap());
+        }
+        let reference = Tensor::concat_batch(&parts).unwrap();
+        let engine = BatchEngine::new(&net).unwrap();
+        let got = engine.input_grad(&batch, &grad_out).unwrap();
+        assert_eq!(got, reference, "tape backward diverged from stateful");
+        // Misaligned grad_output is rejected.
+        assert!(engine.input_grad(&batch, &Tensor::zeros(&[4, 18])).is_err());
+    }
+
+    #[test]
+    fn forward_backward_batch_is_thread_invariant() {
+        let net = lisa_net(13);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let batch = Tensor::rand_uniform(&[6, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let labels = [0usize, 3, 7, 11, 14, 17];
+        let engine = BatchEngine::new(&net).unwrap();
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            outputs.push(pool.install(|| engine.forward_backward_batch(&batch, &labels).unwrap()));
+        }
+        for other in &outputs[1..] {
+            assert_eq!(outputs[0].logits, other.logits);
+            assert_eq!(outputs[0].input_grad, other.input_grad);
+            assert_eq!(outputs[0].shard_losses, other.shard_losses);
+        }
+        // Logits agree with the plain forward path.
+        assert_eq!(outputs[0].logits, engine.forward(&batch).unwrap());
+        // Per-image losses (default shard size 1).
+        assert_eq!(outputs[0].shard_losses.len(), 6);
+        // Label count validation.
+        assert!(engine.forward_backward_batch(&batch, &labels[..3]).is_err());
+    }
+
+    #[test]
+    fn feature_collection_and_injection_match_stateful_path() {
+        let mut net = lisa_net(15);
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let image = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let feature_layer = 0usize;
+
+        // Stateful reference: collect activations, inject ones at conv1's
+        // output with a zero loss gradient.
+        let (logits, activations) = net.forward_collect(&image, true).unwrap();
+        let injection = Tensor::ones(activations[feature_layer].dims());
+        let reference = net
+            .backward_with_injection(&Tensor::zeros(logits.dims()), &[(0, injection.clone())])
+            .unwrap();
+
+        let engine = BatchEngine::new(&net).unwrap();
+        let out = engine
+            .forward_backward_with(&image, Some(feature_layer), |_, shard_logits, feature| {
+                let feature = feature.expect("feature activation collected");
+                assert_eq!(feature.dims(), activations[feature_layer].dims());
+                assert_eq!(feature, &activations[feature_layer]);
+                Ok(ShardGrad {
+                    d_logits: Tensor::zeros(shard_logits.dims()),
+                    injection: Some(Tensor::ones(feature.dims())),
+                    loss: 0.5,
+                })
+            })
+            .unwrap();
+        assert_eq!(out.input_grad, reference);
+        assert_eq!(out.shard_losses, vec![0.5]);
+
+        // Out-of-range feature layer is rejected up front.
+        assert!(engine
+            .forward_backward_with(&image, Some(99), |_, l, _| Ok(ShardGrad {
+                d_logits: Tensor::zeros(l.dims()),
+                injection: None,
+                loss: 0.0,
+            }))
+            .is_err());
+        // A wrong-shaped shard gradient is rejected.
+        assert!(engine
+            .forward_backward_with(&image, None, |_, _, _| Ok(ShardGrad {
+                d_logits: Tensor::zeros(&[1, 3]),
+                injection: None,
+                loss: 0.0,
+            }))
+            .is_err());
     }
 }

@@ -3,7 +3,7 @@
 use blurnet_tensor::{Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
-use crate::{Layer, NnError, Result};
+use crate::{Layer, NnError, Result, TapeSlot};
 
 /// Flattens an `[N, ...]` tensor to `[N, features]`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -46,6 +46,29 @@ impl Layer for Flatten {
         }
         let n = input.dims()[0];
         Ok(input.reshape(&[n, input.len() / n])?)
+    }
+
+    fn infer_recording(
+        &self,
+        input: &Tensor,
+        tape: &mut TapeSlot,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let out = self.infer(input, scratch)?;
+        *tape = TapeSlot::InputDims(input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn input_grad(
+        &self,
+        tape: &TapeSlot,
+        grad_output: &Tensor,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let TapeSlot::InputDims(dims) = tape else {
+            return Err(TapeSlot::mismatch(self.name()));
+        };
+        Ok(grad_output.reshape(dims)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

@@ -4,13 +4,55 @@
 use blurnet_tensor::{Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
-use crate::{Conv2d, Dense, DepthwiseConv2d, Flatten, MaxPool2d, Relu, Result};
+use crate::{Conv2d, Dense, DepthwiseConv2d, Flatten, MaxPool2d, NnError, Relu, Result};
+
+/// A caller-owned backward record for one layer, written by
+/// [`Layer::infer_recording`] and consumed by [`Layer::input_grad`].
+///
+/// The mutable [`Layer::forward`]/[`Layer::backward`] path stores its cache
+/// *inside* the layer, which serializes a network behind `&mut self`. The
+/// tape moves that cache out to the caller: the layer stays immutable, so
+/// one frozen network can run many recorded forward/backward passes
+/// concurrently (one tape vector per batch shard). Slots are deliberately
+/// minimal — the input-gradient backward never needs the forward input
+/// itself, only the ReLU sign mask, the max-pool argmax table and input
+/// shapes.
+#[derive(Debug, Default, Clone)]
+pub enum TapeSlot {
+    /// Nothing recorded (layers whose input gradient needs no forward
+    /// state, e.g. dense: `dx = g · W`), and the initial state of a slot.
+    #[default]
+    Empty,
+    /// The forward input's dimensions (convolutions fold `g · W` back into
+    /// this shape; flatten reshapes into it).
+    InputDims(Vec<usize>),
+    /// ReLU sign mask: `1.0` where the forward input was positive.
+    ReluMask(Tensor),
+    /// Max-pool argmax table plus the input dimensions it indexes into.
+    PoolArgmax {
+        /// Flat input index of the maximum for every output element.
+        argmax: Vec<usize>,
+        /// Dimensions of the pooled input.
+        input_dims: Vec<usize>,
+    },
+}
+
+impl TapeSlot {
+    /// The error raised when a slot does not hold `layer`'s record — the
+    /// immutable analogue of calling `backward` before `forward`.
+    pub(crate) fn mismatch(layer: &'static str) -> NnError {
+        NnError::MissingForwardCache(layer.to_string())
+    }
+}
 
 /// A single differentiable network layer.
 ///
 /// `forward` caches whatever it needs so that a subsequent `backward` call
 /// can compute the gradient with respect to the layer input and accumulate
-/// parameter gradients internally.
+/// parameter gradients internally. The [`Layer::infer_recording`] /
+/// [`Layer::input_grad`] pair is the immutable counterpart used by the
+/// batched gradient engine: the backward record lives in a caller-owned
+/// [`TapeSlot`] instead of the layer.
 pub trait Layer: std::fmt::Debug {
     /// Human-readable layer name used in error messages and summaries.
     fn name(&self) -> &'static str;
@@ -37,6 +79,45 @@ pub trait Layer: std::fmt::Debug {
     ///
     /// Returns an error if the input shape is incompatible with the layer.
     fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor>;
+
+    /// Runs the layer immutably like [`Layer::infer`], additionally
+    /// recording into the caller-owned `tape` exactly what a subsequent
+    /// [`Layer::input_grad`] call needs. Workspace buffers come from the
+    /// caller's `scratch` pool.
+    ///
+    /// Produces bit-identical outputs to [`Layer::forward`] with
+    /// `train = false` on the same input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn infer_recording(
+        &self,
+        input: &Tensor,
+        tape: &mut TapeSlot,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor>;
+
+    /// Propagates `grad_output` back through the layer **immutably**,
+    /// consuming the record a prior [`Layer::infer_recording`] call wrote
+    /// into `tape` and returning the gradient with respect to the layer
+    /// input. No parameter gradients are accumulated — this is the
+    /// attack-generation backward, where only the input gradient matters.
+    ///
+    /// Produces the same input gradient as the stateful
+    /// [`Layer::backward`] on the same operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::MissingForwardCache`] if `tape` does not
+    /// hold this layer's record, or a shape error if `grad_output` does
+    /// not match the recorded forward output.
+    fn input_grad(
+        &self,
+        tape: &TapeSlot,
+        grad_output: &Tensor,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor>;
 
     /// Propagates `grad_output` back through the layer, accumulating
     /// parameter gradients and returning the gradient with respect to the
@@ -110,6 +191,24 @@ impl Layer for LayerKind {
 
     fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         dispatch!(self, l => l.infer(input, scratch))
+    }
+
+    fn infer_recording(
+        &self,
+        input: &Tensor,
+        tape: &mut TapeSlot,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        dispatch!(self, l => l.infer_recording(input, tape, scratch))
+    }
+
+    fn input_grad(
+        &self,
+        tape: &TapeSlot,
+        grad_output: &Tensor,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        dispatch!(self, l => l.input_grad(tape, grad_output, scratch))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

@@ -63,10 +63,10 @@ pub mod pool;
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use depthwise::DepthwiseConv2d;
-pub use engine::BatchEngine;
+pub use engine::{BatchEngine, GradBatch, ShardGrad};
 pub use error::NnError;
 pub use flatten::Flatten;
-pub use layer::{Layer, LayerKind};
+pub use layer::{Layer, LayerKind, TapeSlot};
 pub use loss::{accuracy, softmax, softmax_cross_entropy};
 pub use model::{LisaCnn, LisaCnnConfig};
 pub use network::Sequential;

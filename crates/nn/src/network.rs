@@ -138,6 +138,31 @@ impl Sequential {
         loss::predictions(&self.forward_batch(input)?)
     }
 
+    /// Gradient of `grad_output` with respect to the network input over an
+    /// `[N, ...]` batch, computed **immutably** through the batched
+    /// gradient engine: a recorded forward pass (per-layer tapes owned by
+    /// the workers, not the network) followed by a tape-driven backward,
+    /// sharded across rayon workers like [`Sequential::forward_batch`].
+    ///
+    /// No layer caches are written and no parameter gradients are
+    /// accumulated — this is the attack-generation backward. The result is
+    /// bit-identical at every `RAYON_NUM_THREADS` setting and matches a
+    /// per-image [`Sequential::forward`] + [`Sequential::backward`] loop
+    /// over the same rows (pinned by `tests/input_grad_batch.rs`).
+    ///
+    /// This builds a fresh [`BatchEngine`] per call; gradient loops (PGD
+    /// steps, RP2 iterations) should hold a [`Sequential::batch_engine`]
+    /// and call [`BatchEngine::input_grad`] /
+    /// [`BatchEngine::forward_backward_batch`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty network or batch, or mismatched
+    /// shapes.
+    pub fn input_grad_batch(&self, input: &Tensor, grad_output: &Tensor) -> Result<Tensor> {
+        BatchEngine::new(self)?.input_grad(input, grad_output)
+    }
+
     /// Builds a reusable [`BatchEngine`] over this network: every
     /// convolution and dense layer's weights are packed into their
     /// GEMM-ready layouts exactly once and shared across all subsequent

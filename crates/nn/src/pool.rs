@@ -3,7 +3,7 @@
 use blurnet_tensor::{max_pool2d, max_pool2d_backward, PoolSpec, Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
-use crate::{Layer, NnError, Result};
+use crate::{Layer, NnError, Result, TapeSlot};
 
 /// 2-D max pooling over square windows.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,6 +46,32 @@ impl Layer for MaxPool2d {
     fn infer(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor> {
         // The argmax table exists only for backward; inference drops it.
         Ok(max_pool2d(input, self.spec)?.output)
+    }
+
+    fn infer_recording(
+        &self,
+        input: &Tensor,
+        tape: &mut TapeSlot,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let pooled = max_pool2d(input, self.spec)?;
+        *tape = TapeSlot::PoolArgmax {
+            argmax: pooled.argmax,
+            input_dims: input.dims().to_vec(),
+        };
+        Ok(pooled.output)
+    }
+
+    fn input_grad(
+        &self,
+        tape: &TapeSlot,
+        grad_output: &Tensor,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let TapeSlot::PoolArgmax { argmax, input_dims } = tape else {
+            return Err(TapeSlot::mismatch(self.name()));
+        };
+        Ok(max_pool2d_backward(grad_output, argmax, input_dims)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

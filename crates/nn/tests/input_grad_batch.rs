@@ -1,0 +1,130 @@
+//! Property tests pinning the batched gradient engine to the per-image
+//! mutable backward path.
+//!
+//! The contract under test (see `engine.rs`): `input_grad_batch` is
+//! **bit-identical across thread counts** — the shard partition depends
+//! only on the batch size — and agrees with the per-image stateful
+//! `forward(train)` + `backward` reference to ≤ 1e-6 per element (in
+//! practice the two paths share every kernel and accumulation order, so
+//! they are bitwise equal; the tolerance is the acceptance criterion).
+
+use blurnet_nn::{LisaCnn, Sequential};
+use blurnet_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Batch sizes the acceptance criteria name explicitly.
+const BATCH_SIZES: [usize; 3] = [1, 3, 8];
+/// Thread counts the acceptance criteria name explicitly.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn lisa_net(seed: u64) -> Sequential {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    LisaCnn::new(18)
+        .input_size(16)
+        .conv1_filters(4)
+        .build(&mut rng)
+        .expect("tiny LisaCnn builds")
+}
+
+/// Per-image mutable reference: forward each image alone with the caching
+/// path, back-propagate its grad_output row, stack the input gradients.
+fn per_image_backward(net: &mut Sequential, batch: &Tensor, grad_output: &Tensor) -> Tensor {
+    let n = batch.dims()[0];
+    let mut parts = Vec::with_capacity(n);
+    for i in 0..n {
+        let image = batch.batch_slice(i, 1).expect("index in range");
+        net.forward(&image, true).expect("forward succeeds");
+        let row = grad_output.batch_slice(i, 1).expect("index in range");
+        parts.push(net.backward(&row).expect("backward succeeds"));
+    }
+    Tensor::concat_batch(&parts).expect("uniform gradient shapes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// input_grad_batch: bitwise equal across thread counts, ≤ 1e-6 vs the
+    /// per-image mutable backward, for every batch size.
+    #[test]
+    fn input_grad_batch_matches_mutable_backward(
+        net_seed in 0u64..1000,
+        data_seed in 0u64..1000,
+    ) {
+        let mut net = lisa_net(net_seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(data_seed);
+        for &batch_size in &BATCH_SIZES {
+            let batch = Tensor::rand_uniform(&[batch_size, 3, 16, 16], 0.0, 1.0, &mut rng);
+            let grad_output = Tensor::rand_uniform(&[batch_size, 18], -1.0, 1.0, &mut rng);
+            let reference = per_image_backward(&mut net, &batch, &grad_output);
+
+            let mut per_thread = Vec::new();
+            for &threads in &THREAD_COUNTS {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool builds");
+                per_thread.push(pool.install(|| {
+                    net.input_grad_batch(&batch, &grad_output)
+                        .expect("input_grad_batch")
+                }));
+            }
+            // Bitwise equality across thread counts, not a tolerance.
+            prop_assert_eq!(
+                per_thread[0].data(),
+                per_thread[1].data(),
+                "batch {} threads {:?}",
+                batch_size,
+                THREAD_COUNTS
+            );
+            prop_assert_eq!(per_thread[0].dims(), reference.dims());
+            // ≤ 1e-6 vs the per-image mutable backward.
+            for (i, (a, b)) in per_thread[0]
+                .data()
+                .iter()
+                .zip(reference.data().iter())
+                .enumerate()
+            {
+                prop_assert!(
+                    (a - b).abs() <= 1e-6,
+                    "batch {} element {}: batched {} vs mutable {}",
+                    batch_size,
+                    i,
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    /// The cross-entropy convenience wrapper agrees with composing the
+    /// stateful forward with softmax_cross_entropy per image.
+    #[test]
+    fn forward_backward_batch_matches_per_image_cross_entropy(seed in 0u64..1000) {
+        let mut net = lisa_net(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
+        let batch = Tensor::rand_uniform(&[4, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let labels = [1usize, 5, 9, 17];
+        let engine = net.batch_engine().expect("engine builds");
+        let got = engine
+            .forward_backward_batch(&batch, &labels)
+            .expect("forward_backward_batch");
+        for i in 0..4 {
+            let image = batch.batch_slice(i, 1).expect("index in range");
+            let logits = net.forward(&image, true).expect("forward succeeds");
+            let (loss, d_logits) =
+                blurnet_nn::softmax_cross_entropy(&logits, &labels[i..i + 1])
+                    .expect("cross entropy");
+            let reference = net.backward(&d_logits).expect("backward succeeds");
+            prop_assert!((got.shard_losses[i] - loss).abs() <= 1e-6);
+            let row = got
+                .input_grad
+                .batch_slice(i, 1)
+                .expect("index in range");
+            for (a, b) in row.data().iter().zip(reference.data().iter()) {
+                prop_assert!((a - b).abs() <= 1e-6, "{} vs {}", a, b);
+            }
+        }
+    }
+}

@@ -1,7 +1,7 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::matmul::{gemm_into, transpose_into};
+use crate::matmul::{gemm_into, gemm_into_src, transpose_into, ARows};
 use crate::{Result, Scratch, Tensor, TensorError};
 
 /// Work (in multiply-adds) below which spatial loops stay sequential;
@@ -95,8 +95,27 @@ fn dims4(t: &Tensor) -> Result<(usize, usize, usize, usize)> {
     Ok((d[0], d[1], d[2], d[3]))
 }
 
+/// Output-column split for one spatial row: `[0, interior_lo)` and
+/// `[interior_hi, ow)` need per-tap horizontal bounds checks, while every
+/// `ox` in `[interior_lo, interior_hi)` keeps the full kernel width inside
+/// the image.
+fn interior_cols(w: usize, kw: usize, ow: usize, spec: ConvSpec) -> (usize, usize) {
+    let lo = spec.padding.div_ceil(spec.stride).min(ow);
+    let hi = if w + spec.padding >= kw {
+        ((w + spec.padding - kw) / spec.stride + 1).min(ow)
+    } else {
+        0
+    };
+    (lo, hi.max(lo))
+}
+
 /// Fills one im2col row group (all patches of one input image row `oy` of
 /// image `ni`) into `cols`. `cols` rows must be pre-zeroed (padding taps).
+///
+/// The vertical kernel range is hoisted per call and the output columns are
+/// split into border/interior ranges, so the interior — almost every patch —
+/// runs without any per-tap bounds arithmetic. The values and write order
+/// are exactly those of the naive bounds-checked loop.
 #[allow(clippy::too_many_arguments)]
 fn im2col_rows(
     cols: &mut [f32],
@@ -114,28 +133,52 @@ fn im2col_rows(
     let cols_cols = c * kh * kw;
     let pad = spec.padding as isize;
     let y0 = (oy * spec.stride) as isize - pad;
-    for ox in 0..ow {
+    // Valid kernel rows for this output row (y = y0 + ky must be in [0, h)).
+    let ky_lo = (-y0).max(0) as usize;
+    let ky_hi = ((h as isize - y0).min(kh as isize)).max(0) as usize;
+    if ky_lo >= ky_hi {
+        return;
+    }
+    let (ilo, ihi) = interior_cols(w, kw, ow, spec);
+
+    let mut border = |ox: usize| {
         let row = ox * cols_cols;
         let x0 = (ox * spec.stride) as isize - pad;
+        let x_lo = (-x0).max(0) as usize;
+        let x_hi = ((w as isize - x0).min(kw as isize)).max(0) as usize;
+        if x_lo >= x_hi {
+            return;
+        }
         for ci in 0..c {
             let in_base = (ni * c + ci) * h * w;
             let col_base = row + ci * kh * kw;
-            for ky in 0..kh {
-                let y = y0 + ky as isize;
-                if y < 0 || y >= h as isize {
-                    continue;
-                }
-                let in_row = in_base + y as usize * w;
+            for ky in ky_lo..ky_hi {
+                let in_row = in_base + (y0 + ky as isize) as usize * w;
                 let col_row = col_base + ky * kw;
-                let x_lo = (-x0).max(0) as usize;
-                let x_hi = ((w as isize - x0).min(kw as isize)).max(0) as usize;
-                if x_lo >= x_hi {
-                    continue;
-                }
                 // x0 + x_lo >= 0 by construction of x_lo.
                 let src_start = in_row + (x0 + x_lo as isize) as usize;
                 let src = &data[src_start..src_start + (x_hi - x_lo)];
                 cols[col_row + x_lo..col_row + x_hi].copy_from_slice(src);
+            }
+        }
+    };
+    for ox in 0..ilo {
+        border(ox);
+    }
+    for ox in ihi..ow {
+        border(ox);
+    }
+    for ox in ilo..ihi {
+        let row = ox * cols_cols;
+        // Interior: x0 >= 0 and x0 + kw <= w, full-width copies only.
+        let x0 = ox * spec.stride - spec.padding;
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w + x0;
+            let col_base = row + ci * kh * kw;
+            for ky in ky_lo..ky_hi {
+                let src_start = in_base + (y0 + ky as isize) as usize * w;
+                cols[col_base + ky * kw..col_base + (ky + 1) * kw]
+                    .copy_from_slice(&data[src_start..src_start + kw]);
             }
         }
     }
@@ -184,6 +227,83 @@ fn im2col_into(
             .for_each(|(g, chunk)| {
                 im2col_rows(chunk, data, g / oh, g % oh, c, h, w, kh, kw, ow, spec);
             });
+    }
+}
+
+/// The fused-im2col `A` operand for the convolution GEMM: patch rows are
+/// generated on demand, straight into the GEMM's L1-resident pack buffers,
+/// so the `[N·OH·OW, C·KH·KW]` patch matrix is never written to (or read
+/// back from) memory. Row values are exactly those [`im2col`] would have
+/// materialized, so the GEMM result is bit-identical.
+struct Im2colRows<'a> {
+    data: &'a [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ow: usize,
+    hw_out: usize,
+    spec: ConvSpec,
+}
+
+impl ARows for Im2colRows<'_> {
+    fn fill(&self, row: usize, kk: usize, dst: &mut [f32]) {
+        let (h, w, kh, kw) = (self.h, self.w, self.kh, self.kw);
+        let (ni, rem) = (row / self.hw_out, row % self.hw_out);
+        let (oy, ox) = (rem / self.ow, rem % self.ow);
+        let pad = self.spec.padding as isize;
+        let y0 = (oy * self.spec.stride) as isize - pad;
+        let x0 = (ox * self.spec.stride) as isize - pad;
+        // Interior fast path: the whole kernel window is inside the image
+        // and the whole row was requested — plain stripe copies, no zero
+        // fill, no bounds arithmetic. Almost every patch of a typical
+        // feature map takes this branch.
+        if kk == 0
+            && dst.len() == self.c * kh * kw
+            && y0 >= 0
+            && x0 >= 0
+            && (y0 as usize) + kh <= h
+            && (x0 as usize) + kw <= w
+        {
+            let (y0, x0) = (y0 as usize, x0 as usize);
+            let mut d = 0;
+            for ci in 0..self.c {
+                let base = (ni * self.c + ci) * h * w + y0 * w + x0;
+                for ky in 0..kh {
+                    let src = base + ky * w;
+                    dst[d..d + kw].copy_from_slice(&self.data[src..src + kw]);
+                    d += kw;
+                }
+            }
+            return;
+        }
+        dst.fill(0.0);
+        let kend = kk + dst.len();
+        // Kernel-row stripes (ci, ky) overlapping the requested k-segment.
+        let first = kk / kw;
+        let last = (kend - 1) / kw;
+        for s in first..=last {
+            let (ci, ky) = (s / kh, s % kh);
+            let y = y0 + ky as isize;
+            if y < 0 || y >= h as isize {
+                continue;
+            }
+            let s_base = s * kw;
+            // Intersection of the stripe with the segment and the image.
+            let seg_lo = kk.max(s_base) - s_base;
+            let seg_hi = kend.min(s_base + kw) - s_base;
+            let x_lo = seg_lo.max((-x0).max(0) as usize);
+            let x_hi = seg_hi.min(((w as isize - x0).min(kw as isize)).max(0) as usize);
+            if x_lo >= x_hi {
+                continue;
+            }
+            // x0 + x_lo >= 0 by construction of x_lo.
+            let src_start =
+                (ni * self.c + ci) * h * w + y as usize * w + (x0 + x_lo as isize) as usize;
+            dst[s_base + x_lo - kk..s_base + x_hi - kk]
+                .copy_from_slice(&self.data[src_start..src_start + (x_hi - x_lo)]);
+        }
     }
 }
 
@@ -240,29 +360,60 @@ pub fn col2im(
     let data = cols.data();
     let pad = spec.padding as isize;
 
+    // The exact adjoint of `im2col_rows`: the same kernel-row stripes, with
+    // `+=` instead of a copy, the vertical kernel range hoisted per output
+    // row and the horizontal bounds hoisted out of the interior columns.
+    // `ox` stays ascending and each stripe adds in (ky, kx) order, so the
+    // per-element accumulation order — and therefore every bit of the
+    // result — matches the per-pixel gather this replaces.
     let plane = |pi: usize, out_plane: &mut [f32]| {
         let (ni, ci) = (pi / c, pi % c);
+        let (ilo, ihi) = interior_cols(w, kw, ow, spec);
         for oy in 0..oh {
             let y0 = (oy * spec.stride) as isize - pad;
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * cols_cols;
+            let ky_lo = (-y0).max(0) as usize;
+            let ky_hi = ((h as isize - y0).min(kh as isize)).max(0) as usize;
+            if ky_lo >= ky_hi {
+                continue;
+            }
+            let row_base = (ni * oh + oy) * ow;
+            let border = |ox: usize, out_plane: &mut [f32]| {
                 let x0 = (ox * spec.stride) as isize - pad;
-                let col_base = row + ci * kh * kw;
-                for ky in 0..kh {
-                    let y = y0 + ky as isize;
-                    if y < 0 || y >= h as isize {
-                        continue;
-                    }
-                    let out_row = y as usize * w;
+                let col_base = (row_base + ox) * cols_cols + ci * kh * kw;
+                let x_lo = (-x0).max(0) as usize;
+                let x_hi = ((w as isize - x0).min(kw as isize)).max(0) as usize;
+                if x_lo >= x_hi {
+                    return;
+                }
+                for ky in ky_lo..ky_hi {
+                    // x0 + x_lo >= 0 by construction of x_lo.
+                    let out_start = (y0 + ky as isize) as usize * w + (x0 + x_lo as isize) as usize;
                     let col_row = col_base + ky * kw;
-                    for kx in 0..kw {
-                        let x = x0 + kx as isize;
-                        if x < 0 || x >= w as isize {
-                            continue;
-                        }
-                        out_plane[out_row + x as usize] += data[col_row + kx];
+                    let dst = &mut out_plane[out_start..out_start + (x_hi - x_lo)];
+                    let src = &data[col_row + x_lo..col_row + x_hi];
+                    for (o, &v) in dst.iter_mut().zip(src) {
+                        *o += v;
                     }
                 }
+            };
+            for ox in 0..ilo {
+                border(ox, out_plane);
+            }
+            for ox in ilo..ihi {
+                let x0 = ox * spec.stride - spec.padding;
+                let col_base = (row_base + ox) * cols_cols + ci * kh * kw;
+                for ky in ky_lo..ky_hi {
+                    let out_start = (y0 + ky as isize) as usize * w + x0;
+                    let col_row = col_base + ky * kw;
+                    let dst = &mut out_plane[out_start..out_start + kw];
+                    let src = &data[col_row..col_row + kw];
+                    for (o, &v) in dst.iter_mut().zip(src) {
+                        *o += v;
+                    }
+                }
+            }
+            for ox in ihi..ow {
+                border(ox, out_plane);
             }
         }
     };
@@ -323,10 +474,35 @@ pub fn conv2d(
 #[derive(Debug, Clone)]
 pub struct PackedConvWeights {
     wt: Tensor,
+    /// Original `[F, C·KH·KW]` layout, kept for the direct stride-1 kernel
+    /// (which reads filter-major taps rather than the GEMM transpose).
+    w: Tensor,
+    /// Tap-flipped, channel-swapped `[C, F, KH, KW]` layout for the direct
+    /// transposed-convolution backward (square kernels only); built once at
+    /// pack time so gradient loops never rebuild it per batch shard.
+    flipped: Option<Tensor>,
     f: usize,
     c: usize,
     kh: usize,
     kw: usize,
+}
+
+/// Builds the `[C, F, KH, KW]` tap-flipped weights the transposed
+/// convolution consumes: `flipped[ci][fi][ky][kx] =
+/// w[fi][ci][KH−1−ky][KW−1−kx]`.
+fn flip_weights(weight: &[f32], f: usize, c: usize, kh: usize, kw: usize) -> Vec<f32> {
+    let mut flipped = vec![0.0f32; f * c * kh * kw];
+    for ci in 0..c {
+        for fi in 0..f {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    flipped[((ci * f + fi) * kh + ky) * kw + kx] =
+                        weight[((fi * c + ci) * kh + kh - 1 - ky) * kw + kw - 1 - kx];
+                }
+            }
+        }
+    }
+    flipped
 }
 
 impl PackedConvWeights {
@@ -340,8 +516,18 @@ impl PackedConvWeights {
         let kdim = c * kh * kw;
         let mut wt = vec![0.0f32; kdim * f];
         transpose_into(&mut wt, weight.data(), f, kdim);
+        let flipped = if kh == kw && kh > 0 {
+            Some(Tensor::from_vec(
+                flip_weights(weight.data(), f, c, kh, kw),
+                &[c, f, kh, kw],
+            )?)
+        } else {
+            None
+        };
         Ok(PackedConvWeights {
             wt: Tensor::from_vec(wt, &[kdim, f])?,
+            w: weight.clone(),
+            flipped,
             f,
             c,
             kh,
@@ -365,13 +551,184 @@ impl PackedConvWeights {
     }
 }
 
-/// Shared core of [`conv2d_with_scratch`] / [`conv2d_prepacked`]: im2col,
-/// one GEMM against the pre-transposed weights `wt` (`[C·KH·KW, F]`), then
-/// the `[N·OH·OW, F]` → `[N, F, OH, OW]` reorder with bias.
+/// Register-blocked direct stride-1 convolution over a zero-padded input:
+/// `out[co][y][x] = bias[co] + Σ_{ci,ky,kx} w[co][ci][ky][kx] ·
+/// padded[ci][y+ky][x+kx]`, for a compile-time row width `OW` and
+/// output-channel block `CB`.
+///
+/// For the narrow layers this workspace runs (8–32 channels), im2col+GEMM
+/// is dominated by materializing and re-reading the `[N·OH·OW, C·KH·KW]`
+/// patch matrix; this kernel touches each input element straight out of a
+/// padded plane copy instead. `CB` output-channel rows of constant width
+/// accumulate in registers across the whole `(ci, ky, kx)` reduction — the
+/// same fixed-size-array trick as the GEMM micro-kernel, and the same
+/// reduction order as the GEMM formulation's k dimension; `CB` only blocks
+/// independent outputs, so it never affects results.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn direct_s1_image<const OW: usize, const CB: usize, const FMA: bool>(
+    out_img: &mut [f32],
+    padded: &[f32],
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    ci_n: usize,
+    co_n: usize,
+    k: usize,
+    oh: usize,
+    pw: usize,
+) {
+    let mut co0 = 0;
+    while co0 < co_n {
+        let cob = CB.min(co_n - co0);
+        for y in 0..oh {
+            let mut acc = [[0.0f32; OW]; CB];
+            if let Some(b) = bias {
+                for (j, row) in acc.iter_mut().enumerate().take(cob) {
+                    row.fill(b[co0 + j]);
+                }
+            }
+            for ci in 0..ci_n {
+                let plane_row = (ci * (oh + k - 1) + y) * pw;
+                for ky in 0..k {
+                    let prow = &padded[plane_row + ky * pw..plane_row + (ky + 1) * pw];
+                    let w_row = (ci * k + ky) * k;
+                    for kx in 0..k {
+                        let src: &[f32; OW] =
+                            prow[kx..kx + OW].try_into().expect("OW-sized source row");
+                        for (j, row) in acc.iter_mut().enumerate().take(cob) {
+                            let wv = weight[(co0 + j) * ci_n * k * k + w_row + kx];
+                            for (o, &s) in row.iter_mut().zip(src.iter()) {
+                                *o = crate::matmul::madd::<FMA>(*o, wv, s);
+                            }
+                        }
+                    }
+                }
+            }
+            for (j, row) in acc.iter().enumerate().take(cob) {
+                let dst_start = ((co0 + j) * oh + y) * OW;
+                out_img[dst_start..dst_start + OW].copy_from_slice(row);
+            }
+        }
+        co0 += cob;
+    }
+}
+
+/// AVX2+FMA instantiations of [`direct_s1_image`]; callers must verify
+/// support at runtime. The narrow-row variant doubles the channel block
+/// (8 one-ymm accumulator rows instead of 4 idle-half tiles).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn direct_s1_image_avx2<const OW: usize, const CB: usize>(
+    out_img: &mut [f32],
+    padded: &[f32],
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    ci_n: usize,
+    co_n: usize,
+    k: usize,
+    oh: usize,
+    pw: usize,
+) {
+    direct_s1_image::<OW, CB, true>(out_img, padded, weight, bias, ci_n, co_n, k, oh, pw);
+}
+
+/// Whether the direct stride-1 kernel handles this shape: square stride-1
+/// kernels with sub-kernel padding on the two row widths the kernel is
+/// instantiated for (8 and 16 — the LISA-CNN feature-map extents; wider
+/// maps would need more accumulator registers than AVX2 offers).
+fn direct_s1_applies(spec: ConvSpec, kh: usize, kw: usize, ow: usize) -> bool {
+    spec.stride == 1 && kh == kw && kh > 0 && spec.padding < kh && (ow == 8 || ow == 16)
+}
+
+/// Runs the direct stride-1 convolution over a batch: pads each image's
+/// planes into a scratch buffer (zero borders written once), then runs the
+/// register-blocked kernel per image at the matching compile-time width.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_direct_s1(
+    out: &mut [f32],
+    input: &[f32],
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    n: usize,
+    ci_n: usize,
+    h: usize,
+    w: usize,
+    co_n: usize,
+    k: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    scratch: &mut Scratch,
+) {
+    let (ph, pw) = (h + 2 * pad, w + 2 * pad);
+    // The interior is overwritten per image; only the border needs zeroing,
+    // and only once — it is never written again.
+    let mut padded = scratch.take_dirty(ci_n * ph * pw);
+    for ci in 0..ci_n {
+        let plane = &mut padded[ci * ph * pw..(ci + 1) * ph * pw];
+        plane[..pad * pw].fill(0.0);
+        plane[(h + pad) * pw..].fill(0.0);
+        for y in 0..h {
+            let row = &mut plane[(y + pad) * pw..(y + pad + 1) * pw];
+            row[..pad].fill(0.0);
+            row[pad + w..].fill(0.0);
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 =
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma");
+    for ni in 0..n {
+        for ci in 0..ci_n {
+            for y in 0..h {
+                let src = &input[((ni * ci_n + ci) * h + y) * w..][..w];
+                padded[(ci * ph + y + pad) * pw + pad..(ci * ph + y + pad) * pw + pad + w]
+                    .copy_from_slice(src);
+            }
+        }
+        let out_img = &mut out[ni * co_n * oh * ow..(ni + 1) * co_n * oh * ow];
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2 {
+            // SAFETY: feature support verified above.
+            unsafe {
+                match ow {
+                    8 => direct_s1_image_avx2::<8, 8>(
+                        out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
+                    ),
+                    _ => direct_s1_image_avx2::<16, 4>(
+                        out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
+                    ),
+                }
+            };
+            continue;
+        }
+        // Baseline keeps 4-row blocks: 8 rows of 8 floats would need every
+        // SSE2 register for accumulators alone.
+        match ow {
+            8 => direct_s1_image::<8, 4, false>(
+                out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
+            ),
+            _ => direct_s1_image::<16, 4, false>(
+                out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
+            ),
+        }
+    }
+    scratch.put(padded);
+}
+
+/// Shared core of [`conv2d_with_scratch`] / [`conv2d_prepacked`].
+///
+/// Narrow stride-1 convolutions take the register-blocked direct kernel
+/// ([`conv2d_direct_s1`]); everything else runs fused-im2col GEMM against
+/// the pre-transposed weights (`wt`, `[C·KH·KW, F]`, transposed here from
+/// `w_orig` when no pack is supplied) followed by the
+/// `[N·OH·OW, F]` → `[N, F, OH, OW]` reorder with bias. Both entry points
+/// dispatch identically, so prepacked and plain calls stay bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn conv2d_core(
     input: &Tensor,
-    wt: &[f32],
+    w_orig: &[f32],
+    wt: Option<&[f32]>,
     f: usize,
     kh: usize,
     kw: usize,
@@ -385,26 +742,78 @@ fn conv2d_core(
     let rows = n * oh * ow;
     let kdim = c * kh * kw;
 
-    let mut cols = scratch.take(rows * kdim);
-    im2col_into(input, kh, kw, spec, oh, ow, &mut cols);
-    // prod: [N*OH*OW, F]
-    let mut prod = scratch.take_dirty(rows * f);
-    gemm_into(&mut prod, &cols, wt, rows, kdim, f);
-    scratch.put(cols);
+    if direct_s1_applies(spec, kh, kw, ow) {
+        let mut out = vec![0.0f32; n * f * oh * ow];
+        conv2d_direct_s1(
+            &mut out,
+            input.data(),
+            w_orig,
+            bias.map(|b| b.data()),
+            n,
+            c,
+            h,
+            w,
+            f,
+            kh,
+            spec.padding,
+            oh,
+            ow,
+            scratch,
+        );
+        return Tensor::from_vec(out, &[n, f, oh, ow]);
+    }
 
+    // prod: [N*OH*OW, F], with the im2col patch rows generated inside the
+    // GEMM's packing step — the patch matrix is never materialized.
+    let patches = Im2colRows {
+        data: input.data(),
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        ow,
+        hw_out: oh * ow,
+        spec,
+    };
+    let mut prod = scratch.take_dirty(rows * f);
+    match wt {
+        Some(wt) => gemm_into_src(&mut prod, &patches, wt, rows, kdim, f),
+        None => {
+            // Pack Wᵀ once per call: [F, C·KH·KW] -> [C·KH·KW, F] so the
+            // GEMM streams both operands stride-1.
+            let mut wt = scratch.take_dirty(kdim * f);
+            transpose_into(&mut wt, w_orig, f, kdim);
+            gemm_into_src(&mut prod, &patches, &wt, rows, kdim, f);
+            scratch.put(wt);
+        }
+    }
+
+    // [N·OH·OW, F] -> [N, F, OH, OW] as one blocked transpose per image
+    // (far kinder to the cache than a stride-F gather), then a streaming
+    // bias pass.
     let mut out = vec![0.0f32; n * f * oh * ow];
     let hw = oh * ow;
     for ni in 0..n {
-        for fi in 0..f {
-            let b = bias.map_or(0.0, |b| b.data()[fi]);
-            let out_plane = &mut out[(ni * f + fi) * hw..(ni * f + fi + 1) * hw];
-            let src_base = ni * hw * f + fi;
-            for (pix, o) in out_plane.iter_mut().enumerate() {
-                *o = prod[src_base + pix * f] + b;
+        transpose_into(
+            &mut out[ni * f * hw..(ni + 1) * f * hw],
+            &prod[ni * hw * f..(ni + 1) * hw * f],
+            hw,
+            f,
+        );
+    }
+    scratch.put(prod);
+    if let Some(bias) = bias {
+        let b = bias.data();
+        for ni in 0..n {
+            for fi in 0..f {
+                let plane = &mut out[(ni * f + fi) * hw..(ni * f + fi + 1) * hw];
+                for o in plane.iter_mut() {
+                    *o += b[fi];
+                }
             }
         }
     }
-    scratch.put(prod);
     Tensor::from_vec(out, &[n, f, oh, ow])
 }
 
@@ -444,14 +853,7 @@ pub fn conv2d_with_scratch(
         });
     }
     check_conv_bias(bias, f)?;
-    let kdim = c * kh * kw;
-    // Pack Wᵀ once per call: [F, C*KH*KW] -> [C*KH*KW, F] so the GEMM
-    // streams both operands stride-1.
-    let mut wt = scratch.take_dirty(kdim * f);
-    transpose_into(&mut wt, weight.data(), f, kdim);
-    let out = conv2d_core(input, &wt, f, kh, kw, bias, spec, scratch);
-    scratch.put(wt);
-    out
+    conv2d_core(input, weight.data(), None, f, kh, kw, bias, spec, scratch)
 }
 
 /// [`conv2d`] against weights packed once with [`PackedConvWeights::pack`],
@@ -479,7 +881,8 @@ pub fn conv2d_prepacked(
     check_conv_bias(bias, weights.f)?;
     conv2d_core(
         input,
-        weights.wt.data(),
+        weights.w.data(),
+        Some(weights.wt.data()),
         weights.f,
         weights.kh,
         weights.kw,
@@ -534,47 +937,255 @@ pub fn conv2d_backward_with_scratch(
     let kdim = c * kh * kw;
     let hw = oh * ow;
 
-    // Reorder grad_output [N,F,OH,OW] -> gmat [N*OH*OW, F]; accumulate bias.
+    // Bias gradients: plane sums of grad_output, in (image, filter) order.
     let g = grad_output.data();
-    let mut gmat = scratch.take_dirty(rows * f);
     let mut d_bias = vec![0.0f32; f];
     for ni in 0..n {
-        for fi in 0..f {
+        for (fi, bias) in d_bias.iter_mut().enumerate() {
             let src = &g[(ni * f + fi) * hw..(ni * f + fi + 1) * hw];
-            let dst_base = ni * hw * f + fi;
-            let mut acc = 0.0f32;
-            for (pix, &v) in src.iter().enumerate() {
-                gmat[dst_base + pix * f] = v;
-                acc += v;
-            }
-            d_bias[fi] += acc;
+            *bias += src.iter().sum::<f32>();
         }
     }
 
     let mut cols = scratch.take(rows * kdim);
     im2col_into(input, kh, kw, spec, oh, ow, &mut cols);
 
-    // dW = gmatᵀ (F×M) · cols (M×K): pack the transpose, then one GEMM.
+    // dW = gmatᵀ (F×M) · cols (M×K). The transpose is assembled from
+    // grad_output's own planes — row `fi` of gmatᵀ is the concatenation of
+    // every image's plane `fi`, so it packs as contiguous copies.
     let mut gt = scratch.take_dirty(f * rows);
-    transpose_into(&mut gt, &gmat, rows, f);
+    for ni in 0..n {
+        for fi in 0..f {
+            gt[fi * rows + ni * hw..fi * rows + (ni + 1) * hw]
+                .copy_from_slice(&g[(ni * f + fi) * hw..(ni * f + fi + 1) * hw]);
+        }
+    }
     let mut d_weight = vec![0.0f32; f * kdim];
     gemm_into(&mut d_weight, &gt, &cols, f, rows, kdim);
     scratch.put(gt);
     scratch.put(cols);
 
-    // dCols = gmat (M×F) · wmat (F×K), then fold back to the input shape.
-    let mut d_cols = scratch.take_dirty(rows * kdim);
-    gemm_into(&mut d_cols, &gmat, weight.data(), rows, f, kdim);
-    scratch.put(gmat);
-    let d_cols_t = Tensor::from_vec(std::mem::take(&mut d_cols), &[rows, kdim])?;
-    let d_input = col2im(&d_cols_t, &[n, c, h, w], kh, kw, spec)?;
-    scratch.put(d_cols_t.into_vec());
+    // d_input through the shared input-gradient entry point — the same
+    // dispatch (direct transposed kernel or GEMM + col2im) the batched
+    // gradient engine uses, so the two backwards stay bit-identical.
+    let d_input =
+        conv2d_input_grad_with_scratch(weight, grad_output, &[n, c, h, w], spec, scratch)?;
 
     Ok(Conv2dGrads {
         d_input,
         d_weight: Tensor::from_vec(d_weight, &[f, c, kh, kw])?,
         d_bias: Tensor::from_vec(d_bias, &[f])?,
     })
+}
+
+/// Reorders `[N, F, OH, OW]` gradients into the GEMM-ready
+/// `[N·OH·OW, F]` layout as one blocked transpose per image.
+fn grad_to_gmat(gmat: &mut [f32], g: &[f32], n: usize, f: usize, hw: usize) {
+    for ni in 0..n {
+        transpose_into(
+            &mut gmat[ni * hw * f..(ni + 1) * hw * f],
+            &g[ni * f * hw..(ni + 1) * f * hw],
+            f,
+            hw,
+        );
+    }
+}
+
+/// Input gradient of [`conv2d`] **only** — the backward path attack
+/// generation needs: adversarial optimizers differentiate the loss with
+/// respect to the *image*, never the weights, so the `dW` GEMM, its
+/// `im2col` of the forward input and the bias reduction of
+/// [`conv2d_backward_with_scratch`] are pure overhead there. This computes
+/// `d_input = col2im(g · W)` alone — a blocked per-image transpose of the
+/// gradients, one GEMM, and the stripe-structured [`col2im`] fold — drawing
+/// every workspace buffer from `scratch`, with the receiver-side layer
+/// staying immutable (the caller supplies the recorded `input_dims`).
+///
+/// Produces exactly the `d_input` that [`conv2d_backward_with_scratch`]
+/// returns on the same operands (same GEMM and fold, same accumulation
+/// order).
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches between `weight`,
+/// `grad_output` and `input_dims`.
+pub fn conv2d_input_grad_with_scratch(
+    weight: &Tensor,
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (f, wc, kh, kw) = dims4(weight)?;
+    let (gn, gf, oh, ow) = dims4(grad_output)?;
+    let exp_oh = spec.output_extent(h, kh)?;
+    let exp_ow = spec.output_extent(w, kw)?;
+    if gn != n || gf != f || wc != c || oh != exp_oh || ow != exp_ow {
+        return Err(TensorError::ShapeMismatch {
+            left: grad_output.dims().to_vec(),
+            right: vec![n, f, exp_oh, exp_ow],
+        });
+    }
+    // Stride-1 convolutions run the backward as a *direct transposed
+    // convolution*: flipping the kernel taps and swapping the channel axes
+    // turns `d_input = col2im(g · W)` into a plain stride-1 convolution of
+    // `grad_output` with padding `K−1−P`, which the register-blocked direct
+    // kernel executes without materializing anything.
+    if direct_s1_applies(spec, kh, kw, w) {
+        let flipped = flip_weights(weight.data(), f, c, kh, kw);
+        return Ok(input_grad_direct(
+            &flipped,
+            grad_output,
+            input_dims,
+            f,
+            c,
+            kh,
+            spec,
+            scratch,
+        ));
+    }
+    input_grad_gemm(
+        weight.data(),
+        grad_output,
+        input_dims,
+        f,
+        kh,
+        kw,
+        spec,
+        scratch,
+    )
+}
+
+/// [`conv2d_input_grad_with_scratch`] against weights packed once with
+/// [`PackedConvWeights::pack`]: the direct transposed kernel consumes the
+/// pack's pre-flipped taps, so gradient loops (PGD steps, RP2 iterations)
+/// pay the flip exactly once per pass instead of once per batch shard.
+/// Bit-identical to [`conv2d_input_grad_with_scratch`] on the same
+/// operands.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches between the pack,
+/// `grad_output` and `input_dims`.
+pub fn conv2d_input_grad_prepacked(
+    weights: &PackedConvWeights,
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (f, kh, kw) = (weights.f, weights.kh, weights.kw);
+    let (gn, gf, oh, ow) = dims4(grad_output)?;
+    let exp_oh = spec.output_extent(h, kh)?;
+    let exp_ow = spec.output_extent(w, kw)?;
+    if gn != n || gf != f || weights.c != c || oh != exp_oh || ow != exp_ow {
+        return Err(TensorError::ShapeMismatch {
+            left: grad_output.dims().to_vec(),
+            right: vec![n, f, exp_oh, exp_ow],
+        });
+    }
+    if direct_s1_applies(spec, kh, kw, w) {
+        if let Some(flipped) = &weights.flipped {
+            return Ok(input_grad_direct(
+                flipped.data(),
+                grad_output,
+                input_dims,
+                f,
+                c,
+                kh,
+                spec,
+                scratch,
+            ));
+        }
+    }
+    input_grad_gemm(
+        weights.w.data(),
+        grad_output,
+        input_dims,
+        f,
+        kh,
+        kw,
+        spec,
+        scratch,
+    )
+}
+
+/// Direct-transposed-convolution input gradient (validated dims only).
+#[allow(clippy::too_many_arguments)]
+fn input_grad_direct(
+    flipped: &[f32],
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    f: usize,
+    c: usize,
+    k: usize,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Tensor {
+    let (n, h, w) = (input_dims[0], input_dims[2], input_dims[3]);
+    let (oh, ow) = (grad_output.dims()[2], grad_output.dims()[3]);
+    let flip_pad = k - 1 - spec.padding;
+    let mut d_input = vec![0.0f32; n * c * h * w];
+    conv2d_direct_s1(
+        &mut d_input,
+        grad_output.data(),
+        flipped,
+        None,
+        n,
+        f,
+        oh,
+        ow,
+        c,
+        k,
+        flip_pad,
+        h,
+        w,
+        scratch,
+    );
+    Tensor::from_vec(d_input, input_dims).expect("validated input dims")
+}
+
+/// GEMM + col2im input gradient (validated dims only).
+#[allow(clippy::too_many_arguments)]
+fn input_grad_gemm(
+    weight: &[f32],
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    f: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    let (n, c) = (input_dims[0], input_dims[1]);
+    let (oh, ow) = (grad_output.dims()[2], grad_output.dims()[3]);
+    let rows = n * oh * ow;
+    let kdim = c * kh * kw;
+    let mut gmat = scratch.take_dirty(rows * f);
+    grad_to_gmat(&mut gmat, grad_output.data(), n, f, oh * ow);
+
+    // dCols = gmat (M×F) · wmat (F×K), then fold back to the input shape.
+    let mut d_cols = scratch.take_dirty(rows * kdim);
+    gemm_into(&mut d_cols, &gmat, weight, rows, f, kdim);
+    scratch.put(gmat);
+    let d_cols_t = Tensor::from_vec(std::mem::take(&mut d_cols), &[rows, kdim])?;
+    let d_input = col2im(&d_cols_t, input_dims, kh, kw, spec)?;
+    scratch.put(d_cols_t.into_vec());
+    Ok(d_input)
 }
 
 /// Gradients produced by [`depthwise_conv2d_backward`].
@@ -741,21 +1352,38 @@ pub fn depthwise_conv2d(
     Tensor::from_vec(out, &[n, c, oh, ow])
 }
 
-/// Backward pass of [`depthwise_conv2d`].
+/// Input gradient of [`depthwise_conv2d`] **only** — the immutable
+/// attack-generation backward: no weight or bias gradients, no access to
+/// the forward input (only its recorded `input_dims`), so a frozen layer
+/// can serve many batch shards concurrently.
 ///
-/// Runs as two parallel passes with disjoint writes: input gradients per
-/// `(image, channel)` plane, then weight/bias gradients per channel.
+/// Produces exactly the `d_input` that [`depthwise_conv2d_backward`]
+/// returns on the same operands (same scatter loop, same accumulation
+/// order).
 ///
 /// # Errors
 ///
-/// Returns an error on rank/shape mismatches.
-pub fn depthwise_conv2d_backward(
-    input: &Tensor,
+/// Returns an error on rank/shape mismatches between `weight`,
+/// `grad_output` and `input_dims`.
+pub fn depthwise_input_grad(
     weight: &Tensor,
     grad_output: &Tensor,
+    input_dims: &[usize],
     spec: ConvSpec,
-) -> Result<DepthwiseGrads> {
-    let (n, c, h, w) = dims4(input)?;
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if weight.shape().rank() != 3 || weight.dims()[0] != c {
+        return Err(TensorError::ShapeMismatch {
+            left: weight.dims().to_vec(),
+            right: vec![c, 0, 0],
+        });
+    }
     let (kh, kw) = (weight.dims()[1], weight.dims()[2]);
     let oh = spec.output_extent(h, kh)?;
     let ow = spec.output_extent(w, kw)?;
@@ -765,14 +1393,12 @@ pub fn depthwise_conv2d_backward(
             right: vec![n, c, oh, ow],
         });
     }
-    let x = input.data();
     let wd = weight.data();
     let g = grad_output.data();
     let pad = spec.padding as isize;
     let parallel = n * c * oh * ow * kh * kw >= PAR_WORK && rayon::current_num_threads() > 1;
 
-    // Pass 1 — d_input: every (image, channel) plane scatters only into
-    // itself.
+    // Every (image, channel) plane scatters only into itself.
     let mut d_input = vec![0.0f32; n * c * h * w];
     let input_plane = |pi: usize, d_in: &mut [f32]| {
         let ci = pi % c;
@@ -814,6 +1440,41 @@ pub fn depthwise_conv2d_backward(
             input_plane(pi, p);
         }
     }
+    Tensor::from_vec(d_input, input_dims)
+}
+
+/// Backward pass of [`depthwise_conv2d`].
+///
+/// Runs as two parallel passes with disjoint writes: input gradients per
+/// `(image, channel)` plane (shared with [`depthwise_input_grad`]), then
+/// weight/bias gradients per channel.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches.
+pub fn depthwise_conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: ConvSpec,
+) -> Result<DepthwiseGrads> {
+    let (n, c, h, w) = dims4(input)?;
+    let (kh, kw) = (weight.dims()[1], weight.dims()[2]);
+    let oh = spec.output_extent(h, kh)?;
+    let ow = spec.output_extent(w, kw)?;
+    if grad_output.dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            left: grad_output.dims().to_vec(),
+            right: vec![n, c, oh, ow],
+        });
+    }
+    let x = input.data();
+    let g = grad_output.data();
+    let pad = spec.padding as isize;
+    let parallel = n * c * oh * ow * kh * kw >= PAR_WORK && rayon::current_num_threads() > 1;
+
+    // Pass 1 — d_input, shared with the input-only backward.
+    let d_input = depthwise_input_grad(weight, grad_output, input.dims(), spec)?;
 
     // Pass 2 — d_weight/d_bias: each channel accumulates over the batch,
     // with exclusive ownership of its kernel and bias slots.
@@ -868,7 +1529,7 @@ pub fn depthwise_conv2d_backward(
     }
 
     Ok(DepthwiseGrads {
-        d_input: Tensor::from_vec(d_input, &[n, c, h, w])?,
+        d_input,
         d_weight: Tensor::from_vec(d_weight, &[c, kh, kw])?,
         d_bias: Tensor::from_vec(d_bias, &[c])?,
     })
@@ -1278,6 +1939,99 @@ mod tests {
             let analytic = grads.d_input.data()[flat];
             assert!((numeric - analytic).abs() < 1e-2);
         }
+    }
+
+    #[test]
+    fn conv2d_input_grad_matches_full_backward_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        for &(stride, padding) in &[(1usize, 1usize), (2, 2), (1, 0), (3, 2)] {
+            let spec = ConvSpec { stride, padding };
+            let input = Tensor::rand_uniform(&[2, 3, 9, 8], -1.0, 1.0, &mut rng);
+            let weight = Tensor::rand_uniform(&[4, 3, 3, 3], -1.0, 1.0, &mut rng);
+            let out = conv2d(&input, &weight, None, spec).unwrap();
+            let grad_out = Tensor::rand_uniform(out.dims(), -1.0, 1.0, &mut rng);
+            let full = conv2d_backward(&input, &weight, &grad_out, spec).unwrap();
+            let mut scratch = Scratch::new();
+            let lean = conv2d_input_grad_with_scratch(
+                &weight,
+                &grad_out,
+                input.dims(),
+                spec,
+                &mut scratch,
+            )
+            .unwrap();
+            // Same GEMM + fold in the same order: bit identity, not tolerance.
+            assert_eq!(lean, full.d_input, "stride {stride} pad {padding}");
+            // Scratch reuse across calls must not change the result.
+            let again = conv2d_input_grad_with_scratch(
+                &weight,
+                &grad_out,
+                input.dims(),
+                spec,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(again, full.d_input);
+        }
+        // Shape validation.
+        let weight = Tensor::zeros(&[2, 3, 3, 3]);
+        let grad = Tensor::zeros(&[1, 2, 8, 8]);
+        let mut scratch = Scratch::new();
+        assert!(conv2d_input_grad_with_scratch(
+            &weight,
+            &grad,
+            &[1, 3, 8, 8],
+            ConvSpec::valid(),
+            &mut scratch
+        )
+        .is_err());
+        assert!(conv2d_input_grad_with_scratch(
+            &weight,
+            &grad,
+            &[1, 3, 8],
+            ConvSpec::same(3).unwrap(),
+            &mut scratch
+        )
+        .is_err());
+        assert!(conv2d_input_grad_with_scratch(
+            &weight,
+            &Tensor::zeros(&[1, 4, 8, 8]),
+            &[1, 3, 8, 8],
+            ConvSpec::same(3).unwrap(),
+            &mut scratch
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn depthwise_input_grad_matches_full_backward_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(67);
+        for &(stride, padding, k) in &[(1usize, 1usize, 3usize), (1, 2, 5), (2, 1, 3)] {
+            let spec = ConvSpec { stride, padding };
+            let input = Tensor::rand_uniform(&[2, 3, 11, 9], -1.0, 1.0, &mut rng);
+            let weight = Tensor::rand_uniform(&[3, k, k], -1.0, 1.0, &mut rng);
+            let out = depthwise_conv2d(&input, &weight, None, spec).unwrap();
+            let grad_out = Tensor::rand_uniform(out.dims(), -1.0, 1.0, &mut rng);
+            let full = depthwise_conv2d_backward(&input, &weight, &grad_out, spec).unwrap();
+            let lean = depthwise_input_grad(&weight, &grad_out, input.dims(), spec).unwrap();
+            assert_eq!(lean, full.d_input, "stride {stride} pad {padding} k {k}");
+        }
+        // Shape validation.
+        let weight = Tensor::zeros(&[3, 3, 3]);
+        assert!(depthwise_input_grad(
+            &weight,
+            &Tensor::zeros(&[1, 3, 8, 8]),
+            &[1, 2, 8, 8],
+            ConvSpec::same(3).unwrap()
+        )
+        .is_err());
+        assert!(depthwise_input_grad(
+            &weight,
+            &Tensor::zeros(&[1, 3, 7, 7]),
+            &[1, 3, 8, 8],
+            ConvSpec::same(3).unwrap()
+        )
+        .is_err());
     }
 
     #[test]

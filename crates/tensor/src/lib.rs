@@ -29,9 +29,10 @@ mod shape;
 mod tensor;
 
 pub use conv::{
-    col2im, conv2d, conv2d_backward, conv2d_backward_with_scratch, conv2d_prepacked,
-    conv2d_with_scratch, depthwise_conv2d, depthwise_conv2d_backward, im2col, Conv2dGrads,
-    ConvSpec, DepthwiseGrads, PackedConvWeights,
+    col2im, conv2d, conv2d_backward, conv2d_backward_with_scratch, conv2d_input_grad_prepacked,
+    conv2d_input_grad_with_scratch, conv2d_prepacked, conv2d_with_scratch, depthwise_conv2d,
+    depthwise_conv2d_backward, depthwise_input_grad, im2col, Conv2dGrads, ConvSpec, DepthwiseGrads,
+    PackedConvWeights,
 };
 pub use error::TensorError;
 pub use init::{kaiming_uniform, xavier_uniform, Initializer};

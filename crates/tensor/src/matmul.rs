@@ -46,7 +46,7 @@ fn dims2(t: &Tensor) -> Result<(usize, usize)> {
 /// function enables the `fma` target feature — without it the scalar call
 /// would hit libm, so the baseline kernel uses plain `a * b + acc`.
 #[inline(always)]
-fn madd<const FMA: bool>(acc: f32, a: f32, b: f32) -> f32 {
+pub(crate) fn madd<const FMA: bool>(acc: f32, a: f32, b: f32) -> f32 {
     if FMA {
         a.mul_add(b, acc)
     } else {
@@ -119,12 +119,44 @@ fn pack_b_panel<const NR: usize>(pack: &mut [f32], b: &[f32], kk: usize, kc: usi
 /// stack-allocated A pack.
 const MR_MAX: usize = 8;
 
-/// Computes `out += a · b` for one block of `m` rows (sequential), blocked
-/// over packed k-panels and `MR × NR` register tiles.
+/// A virtual row-major `A` operand for the GEMM core.
+///
+/// `fill` writes row `i`'s k-segment `[kk, kk + dst.len())` into `dst`.
+/// Besides the plain slice adapter ([`SliceRows`]), convolution implements
+/// this over the *image itself* — the im2col patch rows are generated
+/// panel-by-panel straight into the (L1-resident) pack buffers instead of
+/// being materialized into an `[N·OH·OW, C·KH·KW]` matrix that is written
+/// once and immediately re-read (see `conv::Im2colRows`). Generated values
+/// are identical to the materialized ones and the accumulation order is
+/// untouched, so results are bit-identical either way.
+pub(crate) trait ARows: Sync {
+    /// Writes row `i`, columns `[kk, kk + dst.len())`, into `dst`.
+    fn fill(&self, i: usize, kk: usize, dst: &mut [f32]);
+}
+
+/// The ordinary materialized `A` operand.
+pub(crate) struct SliceRows<'a> {
+    a: &'a [f32],
+    k: usize,
+}
+
+impl ARows for SliceRows<'_> {
+    #[inline(always)]
+    fn fill(&self, i: usize, kk: usize, dst: &mut [f32]) {
+        let start = i * self.k + kk;
+        dst.copy_from_slice(&self.a[start..start + dst.len()]);
+    }
+}
+
+/// Computes `out += A · b` for one block of `m` rows (sequential), blocked
+/// over packed k-panels and `MR × NR` register tiles. `i0` is the absolute
+/// index of the block's first row in the virtual `A` operand.
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn gemm_rows_tiled<const MR: usize, const NR: usize, const FMA: bool>(
+fn gemm_rows_tiled<const MR: usize, const NR: usize, const FMA: bool, S: ARows>(
     out: &mut [f32],
-    a: &[f32],
+    a_src: &S,
+    i0: usize,
     b: &[f32],
     b_pack: &mut [f32],
     m: usize,
@@ -133,6 +165,7 @@ fn gemm_rows_tiled<const MR: usize, const NR: usize, const FMA: bool>(
 ) {
     let b_pack = &mut b_pack[..KC.min(k) * n.div_ceil(NR) * NR];
     let mut a_pack = [0.0f32; MR_MAX * KC];
+    let mut row_buf = [0.0f32; KC];
     let mut kk = 0;
     while kk < k {
         let kc = KC.min(k - kk);
@@ -146,8 +179,8 @@ fn gemm_rows_tiled<const MR: usize, const NR: usize, const FMA: bool>(
                 a_pack[..kc * MR].fill(0.0);
             }
             for r in 0..mr {
-                let a_row = &a[(i + r) * k + kk..(i + r) * k + kk + kc];
-                for (step, &v) in a_row.iter().enumerate() {
+                a_src.fill(i0 + i + r, kk, &mut row_buf[..kc]);
+                for (step, &v) in row_buf[..kc].iter().enumerate() {
                     a_pack[step * MR + r] = v;
                 }
             }
@@ -181,16 +214,40 @@ fn gemm_rows_tiled<const MR: usize, const NR: usize, const FMA: bool>(
 /// callers must verify support at runtime (see [`gemm_rows`]).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
-unsafe fn gemm_rows_avx2(
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_rows_avx2<S: ARows>(
     out: &mut [f32],
-    a: &[f32],
+    a_src: &S,
+    i0: usize,
     b: &[f32],
     b_pack: &mut [f32],
     m: usize,
     k: usize,
     n: usize,
 ) {
-    gemm_rows_tiled::<4, 16, true>(out, a, b, b_pack, m, k, n);
+    gemm_rows_tiled::<4, 16, true, S>(out, a_src, i0, b, b_pack, m, k, n);
+}
+
+/// AVX2+FMA narrow-output instantiation for `n ≤ 8`: an 8×8 tile keeps
+/// eight single-ymm accumulator rows live instead of wasting half of every
+/// 16-wide tile on zero padding. Conv layers with few filters (and their
+/// `g · W` input-gradient GEMMs, where `n` is the filter count) hit this
+/// constantly. Per-element accumulation order (sequential over k) is
+/// unchanged, so results are bit-identical to the wide kernel.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_rows_avx2_narrow<S: ARows>(
+    out: &mut [f32],
+    a_src: &S,
+    i0: usize,
+    b: &[f32],
+    b_pack: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_rows_tiled::<8, 8, true, S>(out, a_src, i0, b, b_pack, m, k, n);
 }
 
 /// Dispatches one row block to the widest kernel this CPU supports.
@@ -198,7 +255,15 @@ unsafe fn gemm_rows_avx2(
 /// (An AVX-512 32-wide variant was measured and rejected: LLVM's
 /// autovectoriser keeps 256-bit preferred vector width, so the wider tile
 /// spills instead of using zmm registers.)
-fn gemm_rows(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+fn gemm_rows<S: ARows>(
+    out: &mut [f32],
+    a_src: &S,
+    i0: usize,
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     // Per-thread pack buffer: reused across calls so the packing step costs
     // one panel copy, not an allocation + zero-fill per call. (Deliberately
     // not the shared `Scratch` pool — this runs inside rayon workers while a
@@ -218,12 +283,16 @@ fn gemm_rows(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize
         if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
             // SAFETY: feature support was just verified at runtime.
-            unsafe { gemm_rows_avx2(out, a, b, &mut pack, m, k, n) };
+            if n <= 8 {
+                unsafe { gemm_rows_avx2_narrow(out, a_src, i0, b, &mut pack, m, k, n) };
+            } else {
+                unsafe { gemm_rows_avx2(out, a_src, i0, b, &mut pack, m, k, n) };
+            }
             return;
         }
         // Baseline: 4×8 tile keeps the accumulators within the 16 SSE2
         // registers.
-        gemm_rows_tiled::<4, 8, false>(out, a, b, &mut pack, m, k, n);
+        gemm_rows_tiled::<4, 8, false, S>(out, a_src, i0, b, &mut pack, m, k, n);
     });
 }
 
@@ -232,8 +301,22 @@ fn gemm_rows(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize
 /// `out` is overwritten (it does not need to be zeroed). Row blocks run in
 /// parallel once the problem is large enough to amortise the fan-out.
 pub(crate) fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
+    gemm_into_src(out, &SliceRows { a, k }, b, m, k, n);
+}
+
+/// [`gemm_into`] over a virtual `A` operand: `out = A (m×k) · b (k×n)` with
+/// `A` rows produced on demand by `a_src` (either a plain slice or a fused
+/// im2col generator).
+pub(crate) fn gemm_into_src<S: ARows>(
+    out: &mut [f32],
+    a_src: &S,
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(b.len(), k * n);
     out.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
@@ -241,7 +324,7 @@ pub(crate) fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usiz
     }
     let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
     if flops < PAR_FLOPS || rayon::current_num_threads() <= 1 || m <= MC {
-        gemm_rows(out, a, b, m, k, n);
+        gemm_rows(out, a_src, 0, b, m, k, n);
         return;
     }
     out.par_chunks_mut(MC * n)
@@ -249,7 +332,7 @@ pub(crate) fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usiz
         .for_each(|(blk, out_block)| {
             let i0 = blk * MC;
             let rows = out_block.len() / n;
-            gemm_rows(out_block, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+            gemm_rows(out_block, a_src, i0, b, rows, k, n);
         });
 }
 
