@@ -12,6 +12,7 @@ use blurnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{l2_dissimilarity, untargeted_success_rate};
+use crate::rp2::Rp2Attack;
 use crate::{AttackError, Result};
 
 /// Anything that can classify a single `[C, H, W]` image.
@@ -55,6 +56,81 @@ impl Classifier for Sequential {
         }
         let batch = Tensor::stack(images)?;
         Ok(self.predict_batch(&batch)?)
+    }
+}
+
+/// A reusable transfer-attack artifact: one surrogate-generated adversarial
+/// set together with its clean counterparts and labels.
+///
+/// Generating the set is the expensive half of a transfer evaluation (an
+/// RP2 optimization over the whole image set); evaluating a victim is one
+/// batched classification. Generating the artifact **once** and reusing it
+/// across every victim — exactly what Table I's five rows and the
+/// experiment scheduler's cell DAG do — keeps the cost of adding a victim
+/// at one forward pass. Generation is deterministic (the RP2 transform
+/// schedule is seeded from its config), so two artifacts generated from
+/// the same surrogate and inputs are bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferSet {
+    /// The clean images the set was generated from.
+    pub clean: Vec<Tensor>,
+    /// Index-aligned adversarial examples from the surrogate.
+    pub adversarial: Vec<Tensor>,
+    /// True classes of the clean images.
+    pub labels: Vec<usize>,
+    /// The attacker's target class.
+    pub target: usize,
+}
+
+impl TransferSet {
+    /// Generates the artifact with one batched RP2 optimization on the
+    /// surrogate network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadInput`] for empty or mismatched inputs;
+    /// propagates generation errors.
+    pub fn generate(
+        surrogate: &Sequential,
+        attack: &Rp2Attack,
+        clean: &[Tensor],
+        labels: &[usize],
+        target: usize,
+    ) -> Result<Self> {
+        if clean.is_empty() || clean.len() != labels.len() {
+            return Err(AttackError::BadInput(format!(
+                "mismatched transfer inputs: {} images, {} labels",
+                clean.len(),
+                labels.len()
+            )));
+        }
+        let adversarial = attack.generate_set(surrogate, clean, target)?;
+        Ok(TransferSet {
+            clean: clean.to_vec(),
+            adversarial,
+            labels: labels.to_vec(),
+            target,
+        })
+    }
+
+    /// Number of image pairs in the artifact.
+    pub fn len(&self) -> usize {
+        self.clean.len()
+    }
+
+    /// Whether the artifact is empty (never true for a generated set).
+    pub fn is_empty(&self) -> bool {
+        self.clean.is_empty()
+    }
+
+    /// Evaluates this artifact against one victim (see
+    /// [`evaluate_transfer`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates classification errors.
+    pub fn evaluate<C: Classifier + ?Sized>(&self, victim: &mut C) -> Result<TransferReport> {
+        evaluate_transfer(victim, &self.clean, &self.adversarial, &self.labels)
     }
 }
 

@@ -1,0 +1,131 @@
+//! Reproduces the paper's tables and figures through the concurrent
+//! experiment scheduler and writes a machine-readable `results.json`.
+//!
+//! ```bash
+//! # Full table1–5 + figure grid, worker count from RAYON_NUM_THREADS:
+//! cargo run --release -p blurnet-bench --bin reproduce
+//! # Four scheduler workers, tables only, custom output path:
+//! cargo run --release -p blurnet-bench --bin reproduce -- \
+//!     --threads 4 --grid tables --out results.json
+//! ```
+//!
+//! `BLURNET_SCALE` (smoke/quick/paper) selects the effort, exactly as for
+//! the per-table binaries. Pass `--json` to print the report JSON to
+//! stdout instead of rendered tables. The emitted `results.json` is
+//! bit-identical at every `--threads` value and to the sequential
+//! reference path (`--sequential`).
+
+use blurnet::experiments::grid::ExperimentGrid;
+use blurnet::{ExperimentScheduler, ModelZoo, RunReport, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--threads N] [--grid full|tables|micro] [--out PATH] \
+         [--json] [--sequential] [--verbose]"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    threads: Option<usize>,
+    grid: String,
+    out: Option<std::path::PathBuf>,
+    json: bool,
+    sequential: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: None,
+        grid: "full".to_string(),
+        out: Some(std::path::PathBuf::from("results.json")),
+        json: false,
+        sequential: false,
+        verbose: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let value = iter.next().unwrap_or_else(|| usage());
+                args.threads = Some(value.parse().unwrap_or_else(|_| usage()));
+            }
+            "--grid" => args.grid = iter.next().unwrap_or_else(|| usage()),
+            "--out" => args.out = Some(iter.next().unwrap_or_else(|| usage()).into()),
+            "--no-out" => args.out = None,
+            "--json" => args.json = true,
+            "--sequential" => args.sequential = true,
+            "--verbose" => args.verbose = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = Scale::from_env();
+    let grid = match args.grid.as_str() {
+        "full" => ExperimentGrid::full(scale),
+        "tables" => ExperimentGrid::tables(scale),
+        "micro" => ExperimentGrid::micro(),
+        _ => usage(),
+    };
+    eprintln!(
+        "# BlurNet reproduction — scale: {scale}, grid: {} ({} cells), engine: {}",
+        args.grid,
+        grid.len(),
+        if args.sequential {
+            "sequential BatchRunner".to_string()
+        } else {
+            format!(
+                "scheduler ({} workers)",
+                args.threads.unwrap_or_else(rayon::current_num_threads)
+            )
+        }
+    );
+
+    let report: RunReport = if args.sequential {
+        let mut zoo = ModelZoo::new(scale, blurnet_bench::EXPERIMENT_SEED)
+            .unwrap_or_else(|e| panic!("failed to build the model zoo: {e}"));
+        grid.run_sequential(&mut zoo)
+            .unwrap_or_else(|e| panic!("sequential run failed: {e}"))
+    } else {
+        let mut scheduler =
+            ExperimentScheduler::new(scale, blurnet_bench::EXPERIMENT_SEED).verbose(args.verbose);
+        if let Some(threads) = args.threads {
+            scheduler = scheduler.threads(threads);
+        }
+        let run = scheduler
+            .run(&grid)
+            .unwrap_or_else(|e| panic!("scheduler run failed: {e}"));
+        eprintln!(
+            "# {} cells in {:.1}s — {:.2} cells/s, pool utilization {:.0}% ({} workers)",
+            run.profile.cell_count,
+            run.profile.wall_ns as f64 / 1e9,
+            run.profile.cells_per_sec(),
+            run.profile.utilization() * 100.0,
+            run.profile.workers
+        );
+        run.report
+    };
+
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        for table in report.tables() {
+            println!("{table}");
+        }
+    }
+    if let Some(path) = &args.out {
+        report
+            .write_json(path)
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        eprintln!("# wrote {}", path.display());
+    }
+    if !report.all_ok() {
+        eprintln!("# WARNING: some cells failed or were skipped (see the report)");
+        std::process::exit(1);
+    }
+}

@@ -15,14 +15,42 @@
 //! points); the bench binaries print them and `EXPERIMENTS.md` records the
 //! qualitative comparison with the paper.
 
-use blurnet_attacks::{AdaptiveObjective, Rp2Attack};
-use blurnet_defenses::DefenseKind;
+use blurnet_attacks::{AdaptiveObjective, Rp2Attack, Rp2Result};
+use blurnet_defenses::{DefendedModel, DefenseKind};
 use blurnet_signal::{blur_image, box_kernel, high_frequency_ratio, log_magnitude_spectrum};
 use blurnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{num3, pct};
-use crate::{BlurNetError, ModelZoo, Result, Table};
+use crate::{BlurNetError, ModelZoo, Result, Scale, Table};
+
+/// The DCT mask dimensions the Figure 3 sweep evaluates by default.
+pub const FIGURE3_DIMS: [usize; 4] = [4, 8, 16, 32];
+
+/// Number of feature-map channels the Figure 2 analysis summarizes by
+/// default.
+pub const FIGURE2_CHANNELS: usize = 4;
+
+/// Generates the single-image RP2 sticker artifact shared by the Figure 1
+/// and Figure 2 analyses: the attack result for the first stop-sign
+/// evaluation image at the Table I transfer target. Generation is
+/// deterministic, so the two sequential figure runs (which each generate
+/// it) and the scheduler (which generates it once) see the same artifact.
+///
+/// # Errors
+///
+/// Propagates attack errors; rejects an empty image set.
+pub fn sticker_artifact(
+    scale: Scale,
+    baseline: &DefendedModel,
+    images: &[Tensor],
+) -> Result<Rp2Result> {
+    let image = images
+        .first()
+        .ok_or_else(|| BlurNetError::BadConfig("no stop-sign image available".into()))?;
+    let attack = Rp2Attack::new(scale.rp2_config())?;
+    Ok(attack.generate(baseline.network(), image, super::table1::TRANSFER_TARGET)?)
+}
 
 /// Radius (as a fraction of Nyquist) separating "low" from "high"
 /// frequencies in the band-energy summaries.
@@ -89,19 +117,20 @@ impl Figure1 {
 /// Propagates training, attack and FFT errors.
 pub fn figure1(zoo: &mut ModelZoo) -> Result<Figure1> {
     let scale = zoo.scale();
-    let mut baseline = zoo.get_or_train(&DefenseKind::Baseline)?;
-    let image = super::attack_images(zoo)
-        .into_iter()
-        .next()
-        .ok_or_else(|| BlurNetError::BadConfig("no stop-sign image available".into()))?;
-    let attack = Rp2Attack::new(scale.rp2_config())?;
-    let result = attack.generate(
-        baseline.network_mut(),
-        &image,
-        super::table1::TRANSFER_TARGET,
-    )?;
+    let baseline = zoo.get_or_train(&DefenseKind::Baseline)?;
+    let images = super::attack_images(zoo);
+    let result = sticker_artifact(scale, &baseline, &images)?;
+    figure1_from_parts(&images[0], &result)
+}
 
-    let clean_gray = grayscale(&image)?;
+/// The pure per-cell analysis behind [`figure1`], over a pre-generated
+/// sticker artifact.
+///
+/// # Errors
+///
+/// Propagates FFT errors.
+pub fn figure1_from_parts(image: &Tensor, result: &Rp2Result) -> Result<Figure1> {
+    let clean_gray = grayscale(image)?;
     let adv_gray = grayscale(&result.adversarial)?;
     let pert_gray = grayscale(&result.perturbation)?;
     Ok(Figure1 {
@@ -198,22 +227,26 @@ fn mean(values: impl Iterator<Item = f32>) -> f32 {
 pub fn figure2(zoo: &mut ModelZoo, max_channels: usize) -> Result<Figure2> {
     let scale = zoo.scale();
     let mut baseline = zoo.get_or_train(&DefenseKind::Baseline)?;
-    let image = super::attack_images(zoo)
-        .into_iter()
-        .next()
-        .ok_or_else(|| BlurNetError::BadConfig("no stop-sign image available".into()))?;
-    let attack = Rp2Attack::new(scale.rp2_config())?;
-    let adversarial = attack
-        .generate(
-            baseline.network_mut(),
-            &image,
-            super::table1::TRANSFER_TARGET,
-        )?
-        .adversarial;
+    let images = super::attack_images(zoo);
+    let result = sticker_artifact(scale, &baseline, &images)?;
+    figure2_from_parts(&mut baseline, &images[0], &result.adversarial, max_channels)
+}
 
+/// The pure per-cell analysis behind [`figure2`], over a pre-generated
+/// adversarial image.
+///
+/// # Errors
+///
+/// Propagates network and FFT errors.
+pub fn figure2_from_parts(
+    baseline: &mut DefendedModel,
+    image: &Tensor,
+    adversarial: &Tensor,
+    max_channels: usize,
+) -> Result<Figure2> {
     let feature_index = baseline.feature_layer_index();
-    let clean_features = layer_activation(&mut baseline, &image, feature_index)?;
-    let adv_features = layer_activation(&mut baseline, &adversarial, feature_index)?;
+    let clean_features = layer_activation(baseline, image, feature_index)?;
+    let adv_features = layer_activation(baseline, adversarial, feature_index)?;
     let kernel = box_kernel(5);
     let blurred_diff = blur_image(&adv_features.sub(&clean_features)?, &kernel)?;
 
@@ -285,21 +318,40 @@ impl Figure3 {
 ///
 /// Propagates training and attack errors.
 pub fn figure3(zoo: &mut ModelZoo, dims: &[usize]) -> Result<Figure3> {
+    let scale = zoo.scale();
+    let mut model = zoo.get_or_train(&figure3_defense())?;
+    let images = super::attack_images(zoo);
+    figure3_for_model(scale, &mut model, &images, dims)
+}
+
+/// The defense the Figure 3 sweep attacks (the 7×7 depthwise model).
+pub fn figure3_defense() -> DefenseKind {
+    DefenseKind::DepthwiseLinf {
+        kernel: 7,
+        alpha: 0.1,
+    }
+}
+
+/// The pure per-cell sweep behind [`figure3`], against an already-trained
+/// 7×7 depthwise model.
+///
+/// # Errors
+///
+/// Rejects an empty dimension list; propagates attack errors.
+pub fn figure3_for_model(
+    scale: Scale,
+    model: &mut DefendedModel,
+    images: &[Tensor],
+    dims: &[usize],
+) -> Result<Figure3> {
     if dims.is_empty() {
         return Err(BlurNetError::BadConfig("no DCT dimensions supplied".into()));
     }
-    let scale = zoo.scale();
-    let defense = DefenseKind::DepthwiseLinf {
-        kernel: 7,
-        alpha: 0.1,
-    };
-    let mut model = zoo.get_or_train(&defense)?;
-    let images = super::attack_images(zoo);
     let targets = scale.attack_targets();
     let mut points = Vec::with_capacity(dims.len());
     for &dim in dims {
         let attack = super::rp2_with_objective(scale, AdaptiveObjective::LowFrequencyDct { dim })?;
-        let sweep = super::sweep_defended(&mut model, &attack, &images, &targets)?;
+        let sweep = super::sweep_defended(model, &attack, images, &targets)?;
         points.push((dim, sweep.worst_success_rate()));
     }
     Ok(Figure3 { points })
@@ -346,10 +398,20 @@ pub fn figure4(zoo: &mut ModelZoo) -> Result<Figure4> {
         .into_iter()
         .next()
         .ok_or_else(|| BlurNetError::BadConfig("no stop-sign image available".into()))?;
+    figure4_for_model(&mut baseline, &image)
+}
+
+/// The pure per-cell analysis behind [`figure4`], against an
+/// already-trained baseline.
+///
+/// # Errors
+///
+/// Propagates network and FFT errors.
+pub fn figure4_for_model(baseline: &mut DefendedModel, image: &Tensor) -> Result<Figure4> {
     let first_index = baseline.feature_layer_index();
     let second_index = baseline.arch().second_conv_layer_index();
-    let first = layer_activation(&mut baseline, &image, first_index)?;
-    let second = layer_activation(&mut baseline, &image, second_index)?;
+    let first = layer_activation(baseline, image, first_index)?;
+    let second = layer_activation(baseline, image, second_index)?;
 
     let first_fractions: Vec<f32> = (0..first.dims()[0])
         .map(|ch| safe_ratio(&first.channel(ch)?))
@@ -411,7 +473,15 @@ impl Figure5And6 {
 ///
 /// Propagates training and attack errors.
 pub fn figure5_and_6(zoo: &mut ModelZoo) -> Result<Figure5And6> {
-    let fig5_defenses = vec![
+    Ok(Figure5And6 {
+        figure5: scatter_series(zoo, &figure5_defenses())?,
+        figure6: scatter_series(zoo, &figure6_defenses())?,
+    })
+}
+
+/// The defenses plotted by Figure 5 (depthwise and TV models), in order.
+pub fn figure5_defenses() -> Vec<DefenseKind> {
+    vec![
         DefenseKind::DepthwiseLinf {
             kernel: 3,
             alpha: 1e-5,
@@ -426,8 +496,13 @@ pub fn figure5_and_6(zoo: &mut ModelZoo) -> Result<Figure5And6> {
         },
         DefenseKind::TotalVariation { alpha: 1e-4 },
         DefenseKind::TotalVariation { alpha: 1e-5 },
-    ];
-    let fig6_defenses = vec![
+    ]
+}
+
+/// The defenses plotted by Figure 6 (Tikhonov and Gaussian-augmented
+/// models), in order.
+pub fn figure6_defenses() -> Vec<DefenseKind> {
+    vec![
         DefenseKind::TikhonovHf {
             alpha: 1e-4,
             window: 3,
@@ -436,32 +511,43 @@ pub fn figure5_and_6(zoo: &mut ModelZoo) -> Result<Figure5And6> {
         DefenseKind::GaussianAugmentation { sigma: 0.1 },
         DefenseKind::GaussianAugmentation { sigma: 0.2 },
         DefenseKind::GaussianAugmentation { sigma: 0.3 },
-    ];
-    Ok(Figure5And6 {
-        figure5: scatter_series(zoo, &fig5_defenses)?,
-        figure6: scatter_series(zoo, &fig6_defenses)?,
-    })
+    ]
 }
 
 fn scatter_series(zoo: &mut ModelZoo, defenses: &[DefenseKind]) -> Result<Vec<ScatterSeries>> {
     let scale = zoo.scale();
     let images = super::attack_images(zoo);
-    let targets = scale.attack_targets();
     let mut out = Vec::with_capacity(defenses.len());
     for defense in defenses {
         let mut model = zoo.get_or_train(defense)?;
-        let attack = super::rp2_with_objective(scale, AdaptiveObjective::Standard)?;
-        let sweep = super::sweep_defended(&mut model, &attack, &images, &targets)?;
-        out.push(ScatterSeries {
-            defense: defense.label(),
-            points: sweep
-                .per_target
-                .iter()
-                .map(|(_, e)| (e.l2_dissimilarity, e.success_rate))
-                .collect(),
-        });
+        out.push(scatter_series_for_model(scale, &mut model, &images)?);
     }
     Ok(out)
+}
+
+/// The pure per-cell sweep behind one scatter series of Figures 5–6:
+/// the standard white-box RP2 sweep with per-target points kept.
+///
+/// # Errors
+///
+/// Propagates attack errors.
+pub fn scatter_series_for_model(
+    scale: Scale,
+    model: &mut DefendedModel,
+    images: &[Tensor],
+) -> Result<ScatterSeries> {
+    let targets = scale.attack_targets();
+    let attack = super::rp2_with_objective(scale, AdaptiveObjective::Standard)?;
+    let defense = model.defense().label();
+    let sweep = super::sweep_defended(model, &attack, images, &targets)?;
+    Ok(ScatterSeries {
+        defense,
+        points: sweep
+            .per_target
+            .iter()
+            .map(|(_, e)| (e.l2_dissimilarity, e.success_rate))
+            .collect(),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,435 @@
+//! Declarative experiment grids: every table row and figure sweep as a
+//! cell spec.
+//!
+//! A [`CellSpec`] names one unit of evaluation work — a (model variant ×
+//! attack × metric) cell of a paper table, or one figure analysis/series —
+//! without running anything. The specs are executed either sequentially
+//! ([`ExperimentGrid::run_sequential`], the reference path driving one
+//! [`crate::ModelZoo`] through the same `BatchRunner` calls the table
+//! modules always used) or concurrently by the
+//! [`crate::ExperimentScheduler`], which turns the same specs into a DAG
+//! over shared artifacts. Both paths execute a cell through the **same**
+//! per-cell function in the table/figure modules, which is what makes
+//! their [`RunReport`]s bit-identical.
+
+use blurnet_attacks::{Rp2Result, TransferSet};
+use blurnet_defenses::{DefendedModel, DefenseKind};
+use blurnet_tensor::Tensor;
+
+use crate::experiments::table1::Table1Victim;
+use crate::experiments::table5::Table5Attack;
+use crate::experiments::{figures, table1, table2, table3, table4, table5};
+use crate::report::{CellOutput, CellReport, CellStatus, RunReport, RESULTS_SCHEMA};
+use crate::{BlurNetError, ModelZoo, Result, Scale};
+
+/// One experiment cell, declaratively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellKind {
+    /// A Table I victim row (needs the shared transfer artifact).
+    Table1(Table1Victim),
+    /// A Table II white-box row for one defense.
+    Table2(DefenseKind),
+    /// A Table III adaptive row for one defense.
+    Table3(DefenseKind),
+    /// A Table IV PGD row for one defense.
+    Table4(DefenseKind),
+    /// A Table V adaptive adversary against the adversarially-trained
+    /// model.
+    Table5(Table5Attack),
+    /// The Figure 1 input-spectrum analysis (needs the sticker artifact).
+    Figure1,
+    /// The Figure 2 feature-map-spectrum analysis (needs the sticker
+    /// artifact).
+    Figure2 {
+        /// Number of channels to summarize.
+        max_channels: usize,
+    },
+    /// The Figure 3 DCT-dimension sweep on the 7×7 depthwise model.
+    Figure3 {
+        /// The mask dimensions to sweep.
+        dims: Vec<usize>,
+    },
+    /// The Figure 4 layer-depth spectrum comparison.
+    Figure4,
+    /// One scatter series of Figure 5 or 6 (the owning figure is the
+    /// cell's `experiment` string, which is also how the report renders
+    /// the two figures' series apart).
+    Scatter {
+        /// The defense whose sweep is plotted.
+        defense: DefenseKind,
+    },
+}
+
+/// A named cell in a grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// The experiment the cell belongs to (`"table1"` … `"figure6"`).
+    pub experiment: &'static str,
+    /// Row/series label within the experiment.
+    pub label: String,
+    /// What the cell evaluates.
+    pub kind: CellKind,
+}
+
+impl CellSpec {
+    /// The trained model variant this cell evaluates.
+    pub fn required_defense(&self, scale: Scale) -> DefenseKind {
+        match &self.kind {
+            CellKind::Table1(_) | CellKind::Figure1 | CellKind::Figure2 { .. } => {
+                DefenseKind::Baseline
+            }
+            CellKind::Figure4 => DefenseKind::Baseline,
+            CellKind::Table2(d) | CellKind::Table3(d) | CellKind::Table4(d) => d.clone(),
+            CellKind::Table5(_) => table5::defense_for(scale),
+            CellKind::Figure3 { .. } => figures::figure3_defense(),
+            CellKind::Scatter { defense } => defense.clone(),
+        }
+    }
+
+    /// Whether the cell consumes the shared Table I transfer artifact.
+    pub fn needs_transfer_set(&self) -> bool {
+        matches!(self.kind, CellKind::Table1(_))
+    }
+
+    /// Whether the cell consumes the shared single-image sticker artifact.
+    pub fn needs_sticker_artifact(&self) -> bool {
+        matches!(self.kind, CellKind::Figure1 | CellKind::Figure2 { .. })
+    }
+}
+
+/// Executes one cell against an already-trained model clone and
+/// pre-generated artifacts. This is the **single** cell-execution path:
+/// both [`ExperimentGrid::run_sequential`] and the scheduler call it, so
+/// the two can never drift.
+///
+/// # Errors
+///
+/// Returns [`BlurNetError::BadConfig`] when a required artifact is
+/// missing; propagates evaluation errors.
+pub(crate) fn execute_cell(
+    kind: &CellKind,
+    scale: Scale,
+    images: &[Tensor],
+    model: &mut DefendedModel,
+    transfer: Option<&TransferSet>,
+    sticker: Option<&Rp2Result>,
+) -> Result<CellOutput> {
+    let missing = |what: &str| BlurNetError::BadConfig(format!("missing {what} artifact"));
+    Ok(match kind {
+        CellKind::Table1(victim) => {
+            let set = transfer.ok_or_else(|| missing("transfer-set"))?;
+            CellOutput::Table1(table1::victim_row(victim, model, set)?)
+        }
+        CellKind::Table2(_) => CellOutput::Table2(table2::row_for_model(scale, model, images)?),
+        CellKind::Table3(_) => CellOutput::Table3(table3::row_for_model(scale, model, images)?),
+        CellKind::Table4(_) => CellOutput::Table4(table4::row_for_model(scale, model, images)?),
+        CellKind::Table5(attack) => {
+            CellOutput::Table5(table5::row_for_model(scale, model, images, *attack)?)
+        }
+        CellKind::Figure1 => {
+            let result = sticker.ok_or_else(|| missing("sticker"))?;
+            let image = images
+                .first()
+                .ok_or_else(|| BlurNetError::BadConfig("no stop-sign image available".into()))?;
+            CellOutput::Figure1(figures::figure1_from_parts(image, result)?)
+        }
+        CellKind::Figure2 { max_channels } => {
+            let result = sticker.ok_or_else(|| missing("sticker"))?;
+            let image = images
+                .first()
+                .cloned()
+                .ok_or_else(|| BlurNetError::BadConfig("no stop-sign image available".into()))?;
+            CellOutput::Figure2(figures::figure2_from_parts(
+                model,
+                &image,
+                &result.adversarial,
+                *max_channels,
+            )?)
+        }
+        CellKind::Figure3 { dims } => {
+            CellOutput::Figure3(figures::figure3_for_model(scale, model, images, dims)?)
+        }
+        CellKind::Figure4 => {
+            let image = images
+                .first()
+                .cloned()
+                .ok_or_else(|| BlurNetError::BadConfig("no stop-sign image available".into()))?;
+            CellOutput::Figure4(figures::figure4_for_model(model, &image)?)
+        }
+        CellKind::Scatter { .. } => {
+            CellOutput::Scatter(figures::scatter_series_for_model(scale, model, images)?)
+        }
+    })
+}
+
+/// An ordered set of cell specs — the declarative form of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentGrid {
+    cells: Vec<CellSpec>,
+}
+
+impl ExperimentGrid {
+    /// A grid from explicit cells.
+    pub fn custom(cells: Vec<CellSpec>) -> Self {
+        ExperimentGrid { cells }
+    }
+
+    /// The cells, in report order.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The full paper grid: every row of Tables I–V plus the Figure 1–6
+    /// analyses and sweeps.
+    pub fn full(scale: Scale) -> Self {
+        let mut cells = Self::tables(scale).cells;
+        cells.push(CellSpec {
+            experiment: "figure1",
+            label: "input spectrum".into(),
+            kind: CellKind::Figure1,
+        });
+        cells.push(CellSpec {
+            experiment: "figure2",
+            label: "feature-map spectra".into(),
+            kind: CellKind::Figure2 {
+                max_channels: figures::FIGURE2_CHANNELS,
+            },
+        });
+        cells.push(CellSpec {
+            experiment: "figure3",
+            label: "DCT sweep (7x7 depthwise)".into(),
+            kind: CellKind::Figure3 {
+                dims: figures::FIGURE3_DIMS.to_vec(),
+            },
+        });
+        cells.push(CellSpec {
+            experiment: "figure4",
+            label: "second-layer spectra".into(),
+            kind: CellKind::Figure4,
+        });
+        for defense in figures::figure5_defenses() {
+            cells.push(CellSpec {
+                experiment: "figure5",
+                label: defense.label(),
+                kind: CellKind::Scatter { defense },
+            });
+        }
+        for defense in figures::figure6_defenses() {
+            cells.push(CellSpec {
+                experiment: "figure6",
+                label: defense.label(),
+                kind: CellKind::Scatter { defense },
+            });
+        }
+        ExperimentGrid { cells }
+    }
+
+    /// The table-only grid: every row of Tables I–V.
+    pub fn tables(scale: Scale) -> Self {
+        let mut cells = Vec::new();
+        for victim in Table1Victim::roster() {
+            cells.push(CellSpec {
+                experiment: "table1",
+                label: victim.label(),
+                kind: CellKind::Table1(victim),
+            });
+        }
+        for defense in super::table2_defenses(scale) {
+            cells.push(CellSpec {
+                experiment: "table2",
+                label: defense.label(),
+                kind: CellKind::Table2(defense),
+            });
+        }
+        for defense in super::blurnet_defenses(scale) {
+            cells.push(CellSpec {
+                experiment: "table3",
+                label: defense.label(),
+                kind: CellKind::Table3(defense),
+            });
+        }
+        cells.push(CellSpec {
+            experiment: "table4",
+            label: DefenseKind::Baseline.label(),
+            kind: CellKind::Table4(DefenseKind::Baseline),
+        });
+        for defense in super::blurnet_defenses(scale) {
+            cells.push(CellSpec {
+                experiment: "table4",
+                label: defense.label(),
+                kind: CellKind::Table4(defense),
+            });
+        }
+        for attack in Table5Attack::roster() {
+            cells.push(CellSpec {
+                experiment: "table5",
+                label: attack.label().to_string(),
+                kind: CellKind::Table5(attack),
+            });
+        }
+        ExperimentGrid { cells }
+    }
+
+    /// The seeded micro-grid the golden reproduction tests pin: 2 defenses
+    /// (5×5 depthwise, TV 1e-4) × 2 attacks (white-box RP2 via Table II,
+    /// PGD via Table IV).
+    pub fn micro() -> Self {
+        let defenses = [
+            DefenseKind::DepthwiseLinf {
+                kernel: 5,
+                alpha: 0.1,
+            },
+            DefenseKind::TotalVariation { alpha: 1e-4 },
+        ];
+        let mut cells = Vec::new();
+        for defense in &defenses {
+            cells.push(CellSpec {
+                experiment: "table2",
+                label: defense.label(),
+                kind: CellKind::Table2(defense.clone()),
+            });
+        }
+        for defense in &defenses {
+            cells.push(CellSpec {
+                experiment: "table4",
+                label: defense.label(),
+                kind: CellKind::Table4(defense.clone()),
+            });
+        }
+        ExperimentGrid { cells }
+    }
+
+    /// Executes the grid sequentially — the reference path: one
+    /// [`ModelZoo`] trains variants on demand, cells run one after another
+    /// in grid order through the same per-cell functions the scheduler
+    /// uses, and the shared attack artifacts (the Table I transfer set,
+    /// the Figure 1/2 sticker) are each generated once per run, exactly
+    /// like the scheduler's artifact nodes.
+    ///
+    /// # Errors
+    ///
+    /// Unlike the scheduler (which isolates per-cell failures into the
+    /// report), the sequential path fails fast on the first error —
+    /// matching the old `table*::run` behavior.
+    pub fn run_sequential(&self, zoo: &mut ModelZoo) -> Result<RunReport> {
+        let scale = zoo.scale();
+        let images = super::attack_images(zoo);
+        let mut transfer: Option<TransferSet> = None;
+        let mut sticker: Option<Rp2Result> = None;
+        let mut cells = Vec::with_capacity(self.cells.len());
+        for spec in &self.cells {
+            let mut model = zoo.get_or_train(&spec.required_defense(scale))?;
+            if spec.needs_transfer_set() && transfer.is_none() {
+                let baseline = zoo.get_or_train(&DefenseKind::Baseline)?;
+                transfer = Some(table1::transfer_set(scale, &baseline, &images)?);
+            }
+            // Generated once per run, like the scheduler's artifact node
+            // (generation is deterministic, so sharing vs regenerating per
+            // consumer cannot change a single byte of the report).
+            if spec.needs_sticker_artifact() && sticker.is_none() {
+                let baseline = zoo.get_or_train(&DefenseKind::Baseline)?;
+                sticker = Some(figures::sticker_artifact(scale, &baseline, &images)?);
+            }
+            let output = execute_cell(
+                &spec.kind,
+                scale,
+                &images,
+                &mut model,
+                transfer.as_ref(),
+                sticker.as_ref(),
+            )?;
+            cells.push(CellReport {
+                experiment: spec.experiment.to_string(),
+                label: spec.label.clone(),
+                status: CellStatus::Ok,
+                output: Some(output),
+            });
+        }
+        Ok(RunReport {
+            schema: RESULTS_SCHEMA.to_string(),
+            scale: scale.to_string(),
+            seed: zoo.seed(),
+            cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_covers_every_table_row_and_figure() {
+        let grid = ExperimentGrid::full(Scale::Smoke);
+        // 5 (t1) + 15 (t2) + 7 (t3) + 8 (t4) + 3 (t5) = 38 table cells,
+        // plus 4 figure analyses and 10 scatter series.
+        assert_eq!(grid.len(), 38 + 4 + 10);
+        assert_eq!(
+            grid.cells()
+                .iter()
+                .filter(|c| c.experiment == "table2")
+                .count(),
+            15
+        );
+        assert_eq!(
+            grid.cells()
+                .iter()
+                .filter(|c| c.experiment == "figure5")
+                .count(),
+            5
+        );
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn micro_grid_is_two_defenses_by_two_attacks() {
+        let grid = ExperimentGrid::micro();
+        assert_eq!(grid.len(), 4);
+        let experiments: Vec<&str> = grid.cells().iter().map(|c| c.experiment).collect();
+        assert_eq!(experiments, ["table2", "table2", "table4", "table4"]);
+    }
+
+    #[test]
+    fn required_defenses_dedup_to_the_zoo_roster() {
+        let grid = ExperimentGrid::full(Scale::Smoke);
+        let mut labels: Vec<String> = grid
+            .cells()
+            .iter()
+            .map(|c| c.required_defense(Scale::Smoke).label())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        // The full grid trains exactly the Table II roster (which includes
+        // the baseline and the adversarial-training model).
+        assert_eq!(labels.len(), 15);
+    }
+
+    #[test]
+    fn artifact_needs_are_limited_to_their_consumers() {
+        let grid = ExperimentGrid::full(Scale::Smoke);
+        assert_eq!(
+            grid.cells()
+                .iter()
+                .filter(|c| c.needs_transfer_set())
+                .count(),
+            5
+        );
+        assert_eq!(
+            grid.cells()
+                .iter()
+                .filter(|c| c.needs_sticker_artifact())
+                .count(),
+            2
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! paper-vs-measured values.
 
 pub mod figures;
+pub mod grid;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -20,15 +21,21 @@ use blurnet_tensor::Tensor;
 
 use crate::{BatchRunner, ModelZoo, Result, Scale};
 
-/// The stop-sign images attacked by an experiment at the given scale.
-pub(crate) fn attack_images(zoo: &ModelZoo) -> Vec<Tensor> {
-    let count = zoo.scale().attack_image_count();
-    zoo.dataset()
+/// The stop-sign images attacked by an experiment at the given scale —
+/// the one selection rule shared by the sequential path and the
+/// scheduler (their bit-identity depends on it).
+pub(crate) fn attack_images_for(dataset: &blurnet_data::SignDataset, scale: Scale) -> Vec<Tensor> {
+    dataset
         .stop_eval_images()
         .iter()
-        .take(count)
+        .take(scale.attack_image_count())
         .cloned()
         .collect()
+}
+
+/// [`attack_images_for`] over a zoo's dataset and scale.
+pub(crate) fn attack_images(zoo: &ModelZoo) -> Vec<Tensor> {
+    attack_images_for(zoo.dataset(), zoo.scale())
 }
 
 /// Runs a targeted RP2 sweep against a defended model, generating the

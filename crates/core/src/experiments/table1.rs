@@ -8,20 +8,122 @@
 //! (especially 5×5) cuts the transfer success rate far more than input
 //! filtering at the same kernel size, at a modest accuracy cost.
 
-use blurnet_attacks::Rp2Attack;
+use blurnet_attacks::{Rp2Attack, TransferSet};
 use blurnet_data::STOP_CLASS_ID;
 use blurnet_defenses::{DefendedModel, DefenseKind};
 use blurnet_nn::model::FilterLayer;
 use blurnet_nn::DepthwiseConv2d;
 use blurnet_signal::box_kernel;
+use blurnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::report::pct;
-use crate::{BatchRunner, ModelZoo, Result, Table};
+use crate::{BatchRunner, ModelZoo, Result, Scale, Table};
 
 /// Target class used when generating the transferred examples
 /// (speedLimit25 — an arbitrary non-stop class, as in the RP2 setup).
 pub const TRANSFER_TARGET: usize = 12;
+
+/// The five victims of Table I, as declarative cell parameters: every row
+/// of the table is "evaluate the shared transfer set against this victim".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Table1Victim {
+    /// The undefended surrogate itself.
+    Baseline,
+    /// The baseline behind an input-space blur of the given kernel size.
+    InputFilter {
+        /// Blur kernel size.
+        kernel: usize,
+    },
+    /// The baseline with a frozen blur inserted on the first-layer feature
+    /// maps.
+    FeatureFilter {
+        /// Blur kernel size.
+        kernel: usize,
+    },
+}
+
+impl Table1Victim {
+    /// The victims in the paper's row order.
+    pub fn roster() -> Vec<Table1Victim> {
+        vec![
+            Table1Victim::Baseline,
+            Table1Victim::InputFilter { kernel: 3 },
+            Table1Victim::InputFilter { kernel: 5 },
+            Table1Victim::FeatureFilter { kernel: 3 },
+            Table1Victim::FeatureFilter { kernel: 5 },
+        ]
+    }
+
+    /// The paper's row label for this victim.
+    pub fn label(&self) -> String {
+        match self {
+            Table1Victim::Baseline => "Baseline".to_string(),
+            Table1Victim::InputFilter { kernel } => format!("Input filter {kernel}x{kernel}"),
+            Table1Victim::FeatureFilter { kernel } => {
+                format!("{kernel}x{kernel} filter on L1 maps")
+            }
+        }
+    }
+
+    /// Builds the victim model from the trained baseline (weight-sharing,
+    /// no retraining — exactly the Table I setting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-construction errors.
+    pub fn build(&self, baseline: &DefendedModel) -> Result<DefendedModel> {
+        match self {
+            Table1Victim::Baseline => Ok(baseline.clone()),
+            Table1Victim::InputFilter { kernel } => Ok(input_filter_victim(baseline, *kernel)),
+            Table1Victim::FeatureFilter { kernel } => feature_filter_victim(baseline, *kernel),
+        }
+    }
+}
+
+/// Generates the shared Table I transfer artifact: RP2 on the undefended
+/// baseline over the stop-sign evaluation images, at the paper's transfer
+/// target. Generation is deterministic, so every caller producing this
+/// artifact from the same baseline and images gets bit-identical examples.
+///
+/// # Errors
+///
+/// Propagates attack-generation errors.
+pub fn transfer_set(
+    scale: Scale,
+    baseline: &DefendedModel,
+    images: &[Tensor],
+) -> Result<TransferSet> {
+    let attack = Rp2Attack::new(scale.rp2_config())?;
+    let labels = vec![STOP_CLASS_ID; images.len()];
+    Ok(TransferSet::generate(
+        baseline.network(),
+        &attack,
+        images,
+        &labels,
+        TRANSFER_TARGET,
+    )?)
+}
+
+/// Evaluates the shared transfer artifact against one victim — the work of
+/// a single Table I cell.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn victim_row(
+    victim: &Table1Victim,
+    baseline: &DefendedModel,
+    set: &TransferSet,
+) -> Result<Table1Row> {
+    let mut model = victim.build(baseline)?;
+    let report = BatchRunner::new(&mut model).transfer_set(set)?;
+    Ok(Table1Row {
+        defense: victim.label(),
+        accuracy: report.clean_accuracy,
+        attack_success_rate: report.attack_success_rate,
+    })
+}
 
 /// One row of Table I.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -112,42 +214,16 @@ pub fn input_filter_victim(baseline: &DefendedModel, kernel: usize) -> DefendedM
 /// Propagates training, attack and evaluation errors.
 pub fn run(zoo: &mut ModelZoo) -> Result<Table1> {
     let scale = zoo.scale();
-    let mut baseline = zoo.get_or_train(&DefenseKind::Baseline)?;
+    let baseline = zoo.get_or_train(&DefenseKind::Baseline)?;
     let images = super::attack_images(zoo);
-    let labels = vec![STOP_CLASS_ID; images.len()];
 
-    // Surrogate generation on the undefended network.
-    let attack = Rp2Attack::new(scale.rp2_config())?;
-    let adversarial = attack.generate_set(baseline.network_mut(), &images, TRANSFER_TARGET)?;
+    // Surrogate generation on the undefended network — the shared artifact
+    // every victim row reuses.
+    let set = transfer_set(scale, &baseline, &images)?;
 
-    let mut victims: Vec<(String, DefendedModel)> = vec![
-        ("Baseline".to_string(), baseline.clone()),
-        (
-            "Input filter 3x3".to_string(),
-            input_filter_victim(&baseline, 3),
-        ),
-        (
-            "Input filter 5x5".to_string(),
-            input_filter_victim(&baseline, 5),
-        ),
-        (
-            "3x3 filter on L1 maps".to_string(),
-            feature_filter_victim(&baseline, 3)?,
-        ),
-        (
-            "5x5 filter on L1 maps".to_string(),
-            feature_filter_victim(&baseline, 5)?,
-        ),
-    ];
-
-    let mut rows = Vec::with_capacity(victims.len());
-    for (label, victim) in victims.iter_mut() {
-        let report = BatchRunner::new(victim).transfer(&images, &adversarial, &labels)?;
-        rows.push(Table1Row {
-            defense: label.clone(),
-            accuracy: report.clean_accuracy,
-            attack_success_rate: report.attack_success_rate,
-        });
+    let mut rows = Vec::new();
+    for victim in Table1Victim::roster() {
+        rows.push(victim_row(&victim, &baseline, &set)?);
     }
     Ok(Table1 { rows })
 }

@@ -6,11 +6,12 @@
 //! over targets, the worst-case target and the L2 dissimilarity.
 
 use blurnet_attacks::AdaptiveObjective;
-use blurnet_defenses::DefenseKind;
+use blurnet_defenses::{DefendedModel, DefenseKind};
+use blurnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{num3, pct};
-use crate::{ModelZoo, Result, Table};
+use crate::{ModelZoo, Result, Scale, Table};
 
 /// One row of Table II.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -109,11 +110,27 @@ pub fn run_defense(zoo: &mut ModelZoo, defense: &DefenseKind) -> Result<Table2Ro
     let scale = zoo.scale();
     let mut model = zoo.get_or_train(defense)?;
     let images = super::attack_images(zoo);
+    row_for_model(scale, &mut model, &images)
+}
+
+/// The pure per-cell evaluation behind [`run_defense`]: a white-box RP2
+/// sweep against an already-trained model. Both the sequential path and
+/// the experiment scheduler execute a Table II cell through this exact
+/// function, which is what makes their reports bit-identical.
+///
+/// # Errors
+///
+/// Propagates attack errors.
+pub fn row_for_model(
+    scale: Scale,
+    model: &mut DefendedModel,
+    images: &[Tensor],
+) -> Result<Table2Row> {
     let targets = scale.attack_targets();
     let attack = super::rp2_with_objective(scale, AdaptiveObjective::Standard)?;
-    let sweep = super::sweep_defended(&mut model, &attack, &images, &targets)?;
+    let sweep = super::sweep_defended(model, &attack, images, &targets)?;
     Ok(Table2Row {
-        defense: defense.label(),
+        defense: model.defense().label(),
         legitimate_accuracy: model.training_report().test_accuracy,
         average_success_rate: sweep.average_success_rate(),
         worst_success_rate: sweep.worst_success_rate(),

@@ -7,11 +7,12 @@
 //! headline: `Tik_hf` loses ~30% of its apparent robustness while TV (1e-4)
 //! degrades by only 2.5%, making TV the truly robust defense.
 
-use blurnet_defenses::DefenseKind;
+use blurnet_defenses::{DefendedModel, DefenseKind};
+use blurnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{num3, pct};
-use crate::{ModelZoo, Result, Table};
+use crate::{ModelZoo, Result, Scale, Table};
 
 /// One row of Table III.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,10 +92,27 @@ pub fn run_defense(zoo: &mut ModelZoo, defense: &DefenseKind) -> Result<Table3Ro
     let scale = zoo.scale();
     let mut model = zoo.get_or_train(defense)?;
     let images = super::attack_images(zoo);
+    row_for_model(scale, &mut model, &images)
+}
+
+/// The pure per-cell evaluation behind [`run_defense`]: the
+/// defense-matched adaptive attack against an already-trained model. Both
+/// the sequential path and the experiment scheduler execute a Table III
+/// cell through this exact function.
+///
+/// # Errors
+///
+/// Propagates attack errors.
+pub fn row_for_model(
+    scale: Scale,
+    model: &mut DefendedModel,
+    images: &[Tensor],
+) -> Result<Table3Row> {
     let targets = scale.attack_targets();
-    let objective = super::adaptive_objective_for(defense, &model, super::DEFAULT_DCT_DIM)?;
+    let defense = model.defense().clone();
+    let objective = super::adaptive_objective_for(&defense, model, super::DEFAULT_DCT_DIM)?;
     let attack = super::rp2_with_objective(scale, objective)?;
-    let sweep = super::sweep_defended(&mut model, &attack, &images, &targets)?;
+    let sweep = super::sweep_defended(model, &attack, images, &targets)?;
     Ok(Table3Row {
         defense: defense.label(),
         average_success_rate: sweep.average_success_rate(),

@@ -8,11 +8,12 @@
 
 use blurnet_attacks::PgdAttack;
 use blurnet_data::STOP_CLASS_ID;
-use blurnet_defenses::DefenseKind;
+use blurnet_defenses::{DefendedModel, DefenseKind};
+use blurnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{num3, pct};
-use crate::{BatchRunner, ModelZoo, Result, Table};
+use crate::{BatchRunner, ModelZoo, Result, Scale, Table};
 
 /// One row of Table IV.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,11 +78,28 @@ pub fn run_defense(zoo: &mut ModelZoo, defense: &DefenseKind) -> Result<Table4Ro
     let scale = zoo.scale();
     let mut model = zoo.get_or_train(defense)?;
     let images = super::attack_images(zoo);
+    row_for_model(scale, &mut model, &images)
+}
+
+/// The pure per-cell evaluation behind [`run_defense`]: the ε-bounded PGD
+/// adversary against an already-trained model. Both the sequential path
+/// and the experiment scheduler execute a Table IV cell through this exact
+/// function.
+///
+/// # Errors
+///
+/// Propagates attack errors.
+pub fn row_for_model(
+    scale: Scale,
+    model: &mut DefendedModel,
+    images: &[Tensor],
+) -> Result<Table4Row> {
     let labels = vec![STOP_CLASS_ID; images.len()];
     let attack = PgdAttack::new(scale.pgd_config())?;
-    let eval = BatchRunner::new(&mut model).pgd_evaluate(&attack, &images, &labels)?;
+    let defense = model.defense().label();
+    let eval = BatchRunner::new(model).pgd_evaluate(&attack, images, &labels)?;
     Ok(Table4Row {
-        defense: defense.label(),
+        defense,
         attack_success_rate: eval.success_rate,
         l2_dissimilarity: eval.l2_dissimilarity,
     })

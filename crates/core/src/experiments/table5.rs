@@ -7,12 +7,109 @@
 //! RP2 threat model, reinforcing that no defense is universal.
 
 use blurnet_attacks::{AdaptiveObjective, FeaturePenaltyKind};
-use blurnet_defenses::DefenseKind;
+use blurnet_defenses::{DefendedModel, DefenseKind};
 use blurnet_signal::OperatorPenalty;
+use blurnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{num3, pct};
-use crate::{ModelZoo, Result, Table};
+use crate::{ModelZoo, Result, Scale, Table};
+
+/// The three adaptive adversaries Table V turns against the
+/// adversarially-trained model, as declarative cell parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Table5Attack {
+    /// RP2 with the TV feature penalty in the attacker's loss (Eq. 9).
+    TotalVariation,
+    /// RP2 with the high-frequency Tikhonov operator penalty (Eq. 10).
+    TikhonovHf,
+    /// RP2 with the pseudo-difference Tikhonov operator penalty (Eq. 11).
+    TikhonovPseudo,
+}
+
+impl Table5Attack {
+    /// The attacks in the paper's row order.
+    pub fn roster() -> Vec<Table5Attack> {
+        vec![
+            Table5Attack::TotalVariation,
+            Table5Attack::TikhonovHf,
+            Table5Attack::TikhonovPseudo,
+        ]
+    }
+
+    /// The paper's row label for this attack.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Table5Attack::TotalVariation => "TV adaptive attack",
+            Table5Attack::TikhonovHf => "Tik_hf attack",
+            Table5Attack::TikhonovPseudo => "Tik_pseudo attack",
+        }
+    }
+
+    /// Builds the adaptive objective for this attack against `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator-construction errors.
+    pub fn objective(&self, model: &DefendedModel) -> Result<AdaptiveObjective> {
+        let feature_layer = model.feature_layer_index();
+        let extent = model.feature_map_extent();
+        Ok(match self {
+            Table5Attack::TotalVariation => AdaptiveObjective::FeaturePenalty {
+                layer_index: feature_layer,
+                kind: FeaturePenaltyKind::TotalVariation,
+                weight: 1.0,
+            },
+            Table5Attack::TikhonovHf => AdaptiveObjective::FeaturePenalty {
+                layer_index: feature_layer,
+                kind: FeaturePenaltyKind::Operator(OperatorPenalty::high_frequency(extent, 3)?),
+                weight: 1.0,
+            },
+            Table5Attack::TikhonovPseudo => AdaptiveObjective::FeaturePenalty {
+                layer_index: feature_layer,
+                kind: FeaturePenaltyKind::Operator(OperatorPenalty::pseudo_difference(
+                    extent, 1e-3,
+                )?),
+                weight: 1.0,
+            },
+        })
+    }
+}
+
+/// The adversarially-trained defense Table V evaluates, at `scale`.
+pub fn defense_for(scale: Scale) -> DefenseKind {
+    DefenseKind::AdversarialTraining {
+        epsilon: 8.0 / 255.0,
+        step_size: 0.1,
+        steps: scale.adv_train_steps(),
+    }
+}
+
+/// The pure per-cell evaluation: one adaptive adversary against the
+/// trained adversarial-training model. Both the sequential path and the
+/// experiment scheduler execute a Table V cell through this exact
+/// function.
+///
+/// # Errors
+///
+/// Propagates attack errors.
+pub fn row_for_model(
+    scale: Scale,
+    model: &mut DefendedModel,
+    images: &[Tensor],
+    attack_kind: Table5Attack,
+) -> Result<Table5Row> {
+    let targets = scale.attack_targets();
+    let objective = attack_kind.objective(model)?;
+    let attack = super::rp2_with_objective(scale, objective)?;
+    let sweep = super::sweep_defended(model, &attack, images, &targets)?;
+    Ok(Table5Row {
+        attack: attack_kind.label().to_string(),
+        average_success_rate: sweep.average_success_rate(),
+        worst_success_rate: sweep.worst_success_rate(),
+        l2_dissimilarity: sweep.mean_l2_dissimilarity(),
+    })
+}
 
 /// One row of Table V.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,56 +180,11 @@ impl Table5 {
 /// Propagates training and attack errors.
 pub fn run(zoo: &mut ModelZoo) -> Result<Table5> {
     let scale = zoo.scale();
-    let defense = DefenseKind::AdversarialTraining {
-        epsilon: 8.0 / 255.0,
-        step_size: 0.1,
-        steps: scale.adv_train_steps(),
-    };
-    let mut model = zoo.get_or_train(&defense)?;
+    let mut model = zoo.get_or_train(&defense_for(scale))?;
     let images = super::attack_images(zoo);
-    let targets = scale.attack_targets();
-    let feature_layer = model.feature_layer_index();
-    let extent = model.feature_map_extent();
-
-    let attacks: Vec<(String, AdaptiveObjective)> = vec![
-        (
-            "TV adaptive attack".to_string(),
-            AdaptiveObjective::FeaturePenalty {
-                layer_index: feature_layer,
-                kind: FeaturePenaltyKind::TotalVariation,
-                weight: 1.0,
-            },
-        ),
-        (
-            "Tik_hf attack".to_string(),
-            AdaptiveObjective::FeaturePenalty {
-                layer_index: feature_layer,
-                kind: FeaturePenaltyKind::Operator(OperatorPenalty::high_frequency(extent, 3)?),
-                weight: 1.0,
-            },
-        ),
-        (
-            "Tik_pseudo attack".to_string(),
-            AdaptiveObjective::FeaturePenalty {
-                layer_index: feature_layer,
-                kind: FeaturePenaltyKind::Operator(OperatorPenalty::pseudo_difference(
-                    extent, 1e-3,
-                )?),
-                weight: 1.0,
-            },
-        ),
-    ];
-
-    let mut rows = Vec::with_capacity(attacks.len());
-    for (label, objective) in attacks {
-        let attack = super::rp2_with_objective(scale, objective)?;
-        let sweep = super::sweep_defended(&mut model, &attack, &images, &targets)?;
-        rows.push(Table5Row {
-            attack: label,
-            average_success_rate: sweep.average_success_rate(),
-            worst_success_rate: sweep.worst_success_rate(),
-            l2_dissimilarity: sweep.mean_l2_dissimilarity(),
-        });
+    let mut rows = Vec::new();
+    for attack_kind in Table5Attack::roster() {
+        rows.push(row_for_model(scale, &mut model, &images, attack_kind)?);
     }
     Ok(Table5 { rows })
 }

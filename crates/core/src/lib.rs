@@ -38,12 +38,14 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod scheduler;
 pub mod zoo;
 
 pub use error::BlurNetError;
-pub use report::Table;
+pub use report::{CellOutput, CellReport, CellStatus, RunReport, Table};
 pub use runner::BatchRunner;
 pub use scale::Scale;
+pub use scheduler::{ExperimentScheduler, RunProfile, ScheduledRun};
 pub use zoo::ModelZoo;
 
 pub use blurnet_attacks as attacks;

@@ -1,6 +1,23 @@
-//! Plain-text table rendering for the reproduced experiments.
+//! Plain-text table rendering and machine-readable run reports for the
+//! reproduced experiments.
+//!
+//! [`Table`] is the human-facing presentation form; [`RunReport`] is the
+//! machine-readable `results.json` a grid run emits. A `RunReport`
+//! contains **only deterministic content** — cell identities, statuses and
+//! typed outputs, in grid order — never timings or thread counts, so the
+//! serialized report is bit-identical for the same grid/scale/seed at
+//! every thread count and on both the scheduler and sequential paths
+//! (pinned by `tests/golden_repro.rs`). Timing lives in the scheduler's
+//! separate `RunProfile`.
 
 use serde::{Deserialize, Serialize};
+
+use crate::experiments::figures::{Figure1, Figure2, Figure3, Figure4, ScatterSeries};
+use crate::experiments::table1::Table1Row;
+use crate::experiments::table2::Table2Row;
+use crate::experiments::table3::Table3Row;
+use crate::experiments::table4::Table4Row;
+use crate::experiments::table5::Table5Row;
 
 /// A rendered experiment table: a title, column headers and string rows.
 ///
@@ -84,6 +101,209 @@ impl std::fmt::Display for Table {
             writeln!(f, "| {} |", line.join(" | "))?;
         }
         Ok(())
+    }
+}
+
+/// Outcome of one experiment cell in a grid run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// The cell ran to completion and produced its output.
+    Ok,
+    /// The cell itself failed (error or panic); siblings are unaffected.
+    Failed {
+        /// The cell's error or panic message.
+        error: String,
+    },
+    /// A prerequisite artifact failed, so the cell never ran.
+    Skipped {
+        /// Which prerequisite failed and why.
+        reason: String,
+    },
+}
+
+/// The typed output of one experiment cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellOutput {
+    /// A Table I row (black-box transfer victim).
+    Table1(Table1Row),
+    /// A Table II row (white-box RP2 evaluation).
+    Table2(Table2Row),
+    /// A Table III row (adaptive attack evaluation).
+    Table3(Table3Row),
+    /// A Table IV row (PGD evaluation).
+    Table4(Table4Row),
+    /// A Table V row (adaptive attack vs adversarial training).
+    Table5(Table5Row),
+    /// The Figure 1 input-spectrum analysis.
+    Figure1(Figure1),
+    /// The Figure 2 feature-map-spectrum analysis.
+    Figure2(Figure2),
+    /// The Figure 3 DCT-dimension sweep.
+    Figure3(Figure3),
+    /// The Figure 4 layer-depth spectrum comparison.
+    Figure4(Figure4),
+    /// One scatter series of Figures 5–6.
+    Scatter(ScatterSeries),
+}
+
+/// One cell's entry in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// The experiment this cell belongs to (`"table1"` … `"figure5_6"`).
+    pub experiment: String,
+    /// The cell's row/series label within its experiment.
+    pub label: String,
+    /// How the cell ended.
+    pub status: CellStatus,
+    /// The cell's typed output when `status` is [`CellStatus::Ok`].
+    pub output: Option<CellOutput>,
+}
+
+/// The machine-readable result of one experiment-grid run
+/// (`results.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema tag (`"blurnet-results/v1"`).
+    pub schema: String,
+    /// The scale profile the run used (`"smoke"`, `"quick"`, `"paper"`).
+    pub scale: String,
+    /// The dataset/zoo seed.
+    pub seed: u64,
+    /// Per-cell outcomes, **in grid order** (never completion order).
+    pub cells: Vec<CellReport>,
+}
+
+/// Schema tag written into every [`RunReport`].
+pub const RESULTS_SCHEMA: &str = "blurnet-results/v1";
+
+impl RunReport {
+    /// Serializes the report to deterministic pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Writes [`RunReport::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The cells belonging to one experiment, in grid order.
+    pub fn experiment_cells(&self, experiment: &str) -> Vec<&CellReport> {
+        self.cells
+            .iter()
+            .filter(|c| c.experiment == experiment)
+            .collect()
+    }
+
+    /// Looks up one cell by experiment and label.
+    pub fn cell(&self, experiment: &str, label: &str) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.experiment == experiment && c.label == label)
+    }
+
+    /// Whether every cell completed successfully.
+    pub fn all_ok(&self) -> bool {
+        self.cells.iter().all(|c| c.status == CellStatus::Ok)
+    }
+
+    /// Renders every experiment present in the report as printable tables,
+    /// grouped in grid order.
+    pub fn tables(&self) -> Vec<Table> {
+        let mut out = Vec::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            let experiment = cell.experiment.as_str();
+            if seen.contains(&experiment) {
+                continue;
+            }
+            seen.push(experiment);
+            out.extend(self.experiment_table(experiment));
+        }
+        out
+    }
+
+    /// Renders one experiment's cells as a printable table (row-based
+    /// experiments collate rows; figure analyses render their own tables).
+    fn experiment_table(&self, experiment: &str) -> Vec<Table> {
+        let cells = self.experiment_cells(experiment);
+        let mut failures = Vec::new();
+        let mut tables = Vec::new();
+        let mut t1 = crate::experiments::table1::Table1 { rows: vec![] };
+        let mut t2 = crate::experiments::table2::Table2 { rows: vec![] };
+        let mut t3 = crate::experiments::table3::Table3 { rows: vec![] };
+        let mut t4 = crate::experiments::table4::Table4 { rows: vec![] };
+        let mut t5 = crate::experiments::table5::Table5 { rows: vec![] };
+        let mut scatter5 = Vec::new();
+        let mut scatter6 = Vec::new();
+        for cell in &cells {
+            match (&cell.status, &cell.output) {
+                (CellStatus::Ok, Some(output)) => match output.clone() {
+                    CellOutput::Table1(row) => t1.rows.push(row),
+                    CellOutput::Table2(row) => t2.rows.push(row),
+                    CellOutput::Table3(row) => t3.rows.push(row),
+                    CellOutput::Table4(row) => t4.rows.push(row),
+                    CellOutput::Table5(row) => t5.rows.push(row),
+                    CellOutput::Figure1(f) => tables.push(f.table()),
+                    CellOutput::Figure2(f) => tables.push(f.table()),
+                    CellOutput::Figure3(f) => tables.push(f.table()),
+                    CellOutput::Figure4(f) => tables.push(f.table()),
+                    CellOutput::Scatter(series) => {
+                        if cell.experiment == "figure5" {
+                            scatter5.push(series);
+                        } else {
+                            scatter6.push(series);
+                        }
+                    }
+                },
+                (CellStatus::Failed { error }, _) => {
+                    failures.push((cell.label.clone(), error.clone()));
+                }
+                (CellStatus::Skipped { reason }, _) => {
+                    failures.push((cell.label.clone(), reason.clone()));
+                }
+                // An Ok cell always carries its output; nothing to render
+                // otherwise.
+                _ => {}
+            }
+        }
+        if !t1.rows.is_empty() {
+            tables.push(t1.table());
+        }
+        if !t2.rows.is_empty() {
+            tables.push(t2.table());
+        }
+        if !t3.rows.is_empty() {
+            tables.push(t3.table());
+        }
+        if !t4.rows.is_empty() {
+            tables.push(t4.table());
+        }
+        if !t5.rows.is_empty() {
+            tables.push(t5.table());
+        }
+        if !scatter5.is_empty() || !scatter6.is_empty() {
+            let fig = crate::experiments::figures::Figure5And6 {
+                figure5: scatter5,
+                figure6: scatter6,
+            };
+            tables.push(fig.table());
+        }
+        if !failures.is_empty() {
+            let mut table = Table::new(
+                format!("{experiment} — cells that did not complete"),
+                &["Cell", "Reason"],
+            );
+            for (label, reason) in failures {
+                table.push_row(vec![label, reason]);
+            }
+            tables.push(table);
+        }
+        tables
     }
 }
 

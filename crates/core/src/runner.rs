@@ -11,7 +11,7 @@
 use blurnet_attacks::rp2::TargetSweep;
 use blurnet_attacks::{
     evaluate_transfer, l2_dissimilarity, targeted_success_rate, AttackEvaluation, PgdAttack,
-    Rp2Attack, TransferReport,
+    Rp2Attack, TransferReport, TransferSet,
 };
 use blurnet_data::Batch;
 use blurnet_defenses::DefendedModel;
@@ -166,6 +166,17 @@ impl<'m> BatchRunner<'m> {
         labels: &[usize],
     ) -> Result<TransferReport> {
         Ok(evaluate_transfer(self.model, clean, adversarial, labels)?)
+    }
+
+    /// Evaluates a pre-generated [`TransferSet`] artifact against this
+    /// model as the black-box victim — the per-victim half of a Table I
+    /// cell, reused across every victim sharing the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn transfer_set(&mut self, set: &TransferSet) -> Result<TransferReport> {
+        Ok(set.evaluate(self.model)?)
     }
 }
 

@@ -1,0 +1,778 @@
+//! The concurrent experiment scheduler: every table/figure cell as a node
+//! in one dependency DAG, streamed through the shared engine substrate.
+//!
+//! # What it replaces
+//!
+//! Before this module, each paper table was a sequential loop: train a
+//! model, run its attack cells, move to the next row. The persistent rayon
+//! worker pool idled between cells, and independent cells (different
+//! defenses, different attacks) never overlapped. The
+//! [`ExperimentScheduler`] turns an [`ExperimentGrid`] — the declarative
+//! list of (model variant × attack × metric) cells — into a DAG:
+//!
+//! * **Artifact nodes** produce shared prerequisites exactly once per run:
+//!   one training node per distinct model variant (stored in the shared
+//!   [`VariantCache`]), one node for the Table I transfer set, one node
+//!   for the Figure 1/2 RP2 sticker artifact.
+//! * **Cell nodes** evaluate one row/series each, depending only on the
+//!   artifacts they consume.
+//!
+//! Ready nodes stream through a bounded work queue (capacity = node count;
+//! it can never grow past the DAG) drained by a fixed set of workers that
+//! run on the **persistent rayon pool** — the same lazy worker pool every
+//! batched forward/backward already uses, so scheduling a grid costs no
+//! thread spawns. When more than one worker runs, each cell pins its
+//! nested (intra-cell) parallelism to one thread — the thread budget is
+//! spent on the cell dimension exactly once, mirroring how the batch
+//! engine spends it on the batch dimension.
+//!
+//! # Engine sharing and borrow model
+//!
+//! Trained variants live in the [`VariantCache`] as `Arc<DefendedModel>`
+//! handles shared read-only across workers. A cell that needs the `&mut`
+//! evaluation paths (white-box gradient access, smoothing RNG) deep-clones
+//! its variant, so per-cell mutable state (e.g. the smoothing RNG) starts
+//! from the exact state the sequential path's per-row clone would — one
+//! reason the two paths agree bitwise. The underlying
+//! [`blurnet_nn::BatchEngine`] is `Send + Sync` (asserted at compile time
+//! in `blurnet_nn::engine`), so the engines cells build over those shared
+//! weights are safe to drive from any worker.
+//!
+//! # Determinism
+//!
+//! The report is **bit-identical at every thread count** and to the
+//! sequential reference path:
+//!
+//! * cell decomposition and reduction order depend only on the grid, never
+//!   on completion order (results are written into per-cell slots indexed
+//!   by grid position);
+//! * every cell executes through the same per-cell function as
+//!   [`ExperimentGrid::run_sequential`], on a fresh clone of the same
+//!   trained variant, and every numeric kernel underneath is bit-identical
+//!   at every thread count (the PR 3/4 engine guarantees);
+//! * artifact generation (training, RP2 sets) is seeded and deterministic,
+//!   so generating an artifact once and sharing it equals generating it at
+//!   each consumer.
+//!
+//! Timing is captured **outside** the report (see [`RunProfile`]) so
+//! `results.json` stays byte-stable.
+//!
+//! # Failure isolation
+//!
+//! A panic or error inside one cell must not poison sibling cells: each
+//! node runs under `catch_unwind`, failures are recorded as
+//! [`CellStatus::Failed`] in the report, and only the failed node's
+//! *dependents* are marked [`CellStatus::Skipped`]. Every other cell runs
+//! to completion.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use blurnet_attacks::{Rp2Result, TransferSet};
+use blurnet_data::SignDataset;
+use blurnet_defenses::{train_defended_model, DefendedModel, DefenseKind, VariantCache};
+use blurnet_tensor::Tensor;
+use rayon::prelude::*;
+
+use crate::experiments::grid::{execute_cell, CellSpec, ExperimentGrid};
+use crate::experiments::{figures, table1};
+use crate::report::{CellOutput, CellReport, CellStatus, RunReport, RESULTS_SCHEMA};
+use crate::{BlurNetError, Result, Scale};
+
+/// What one DAG node does.
+#[derive(Debug, Clone, PartialEq)]
+enum NodeKind {
+    /// Trains (or fetches from a warm cache) one model variant.
+    Train(DefenseKind),
+    /// Generates the shared Table I transfer set (RP2 on the baseline).
+    TransferSet,
+    /// Generates the shared Figure 1/2 single-image sticker artifact.
+    Sticker,
+    /// Evaluates the grid cell at this index.
+    Cell(usize),
+}
+
+/// One node of the scheduling DAG.
+#[derive(Debug)]
+struct Node {
+    kind: NodeKind,
+    name: String,
+    deps: Vec<usize>,
+}
+
+/// Timing and placement of one completed node.
+#[derive(Debug, Clone)]
+pub struct NodeProfile {
+    /// Human-readable node name (`train:<defense>`, `cell:<experiment>/<label>`, …).
+    pub name: String,
+    /// Nanoseconds from run start to node start.
+    pub start_ns: u64,
+    /// Node execution time in nanoseconds.
+    pub duration_ns: u64,
+    /// Which scheduler worker executed the node.
+    pub worker: usize,
+}
+
+/// Non-deterministic run telemetry, kept **separate** from the
+/// [`RunReport`] so the report stays byte-stable across thread counts.
+#[derive(Debug, Clone)]
+pub struct RunProfile {
+    /// Scheduler workers used.
+    pub workers: usize,
+    /// Wall-clock nanoseconds for the whole run (artifacts + cells).
+    pub wall_ns: u64,
+    /// Per-node timings, in node-id order (artifacts first, then cells in
+    /// grid order).
+    pub nodes: Vec<NodeProfile>,
+    /// Number of evaluation cells in the run.
+    pub cell_count: usize,
+}
+
+impl RunProfile {
+    /// Evaluation cells completed per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.cell_count as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Fraction of the `workers × wall` budget spent inside nodes — how
+    /// busy the pool was kept (1.0 = perfectly packed).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 || self.workers == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.nodes.iter().map(|n| n.duration_ns).sum();
+        busy as f64 / (self.wall_ns as f64 * self.workers as f64)
+    }
+}
+
+/// A finished scheduler run: the deterministic report plus the timing
+/// profile.
+#[derive(Debug)]
+pub struct ScheduledRun {
+    /// The deterministic, serializable result (`results.json`).
+    pub report: RunReport,
+    /// Timing/placement telemetry (never serialized into the report).
+    pub profile: RunProfile,
+}
+
+/// Concurrent executor for [`ExperimentGrid`]s over one shared engine
+/// substrate.
+///
+/// ```no_run
+/// use blurnet::experiments::grid::ExperimentGrid;
+/// use blurnet::{ExperimentScheduler, Scale};
+///
+/// let scheduler = ExperimentScheduler::new(Scale::Smoke, 7).threads(4);
+/// let run = scheduler.run(&ExperimentGrid::micro())?;
+/// assert!(run.report.all_ok());
+/// println!("{:.1} cells/s", run.profile.cells_per_sec());
+/// # Ok::<(), blurnet::BlurNetError>(())
+/// ```
+#[derive(Debug)]
+pub struct ExperimentScheduler {
+    scale: Scale,
+    seed: u64,
+    threads: Option<usize>,
+    verbose: bool,
+    warm_variants: Option<Arc<VariantCache>>,
+}
+
+impl ExperimentScheduler {
+    /// A scheduler for the given scale profile and dataset seed (the same
+    /// pair a [`crate::ModelZoo`] is built from).
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        ExperimentScheduler {
+            scale,
+            seed,
+            threads: None,
+            verbose: false,
+            warm_variants: None,
+        }
+    }
+
+    /// Caps the number of scheduler workers (defaults to the ambient rayon
+    /// thread budget, i.e. `RAYON_NUM_THREADS`).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Prints per-node progress lines to stderr.
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.verbose = on;
+        self
+    }
+
+    /// Seeds the run with already-trained variants: training nodes whose
+    /// label is present become cache hits. The cache is also where the
+    /// run's own trained variants land, so it can warm a later run.
+    pub fn with_variants(mut self, variants: Arc<VariantCache>) -> Self {
+        self.warm_variants = Some(variants);
+        self
+    }
+
+    /// Runs the grid and returns the deterministic report plus profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for structural failures only (empty grid, dataset
+    /// generation). Per-cell failures are isolated into the report as
+    /// [`CellStatus::Failed`] / [`CellStatus::Skipped`].
+    pub fn run(&self, grid: &ExperimentGrid) -> Result<ScheduledRun> {
+        self.run_inner(grid, None)
+    }
+
+    /// Test hook: runs the grid with a panic injected into the cell at
+    /// `panic_cell` (grid order), exercising the failure-isolation path.
+    #[doc(hidden)]
+    pub fn run_with_injected_panic(
+        &self,
+        grid: &ExperimentGrid,
+        panic_cell: usize,
+    ) -> Result<ScheduledRun> {
+        self.run_inner(grid, Some(panic_cell))
+    }
+
+    /// The DAG the scheduler would execute, as `(name, dep names)` pairs
+    /// in node-id order — used by tests to pin artifact deduplication
+    /// without paying for a run.
+    #[doc(hidden)]
+    pub fn plan(&self, grid: &ExperimentGrid) -> Vec<(String, Vec<String>)> {
+        let nodes = build_dag(grid, self.scale);
+        nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.name.clone(),
+                    n.deps.iter().map(|&d| nodes[d].name.clone()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn run_inner(&self, grid: &ExperimentGrid, panic_cell: Option<usize>) -> Result<ScheduledRun> {
+        if grid.is_empty() {
+            return Err(BlurNetError::BadConfig(
+                "cannot schedule an empty experiment grid".into(),
+            ));
+        }
+        let dataset = SignDataset::generate(&self.scale.dataset_config(), self.seed)?;
+        let images = crate::experiments::attack_images_for(&dataset, self.scale);
+        let nodes = build_dag(grid, self.scale);
+        let workers = self
+            .threads
+            .unwrap_or_else(rayon::current_num_threads)
+            .clamp(1, nodes.len());
+
+        let exec = Executor::new(
+            nodes,
+            grid,
+            self.scale,
+            dataset,
+            images,
+            self.warm_variants
+                .clone()
+                .unwrap_or_else(|| Arc::new(VariantCache::new())),
+            panic_cell,
+            self.verbose,
+        );
+
+        let started = Instant::now();
+        if workers == 1 {
+            // Single-worker runs keep the whole rayon budget available to
+            // the batch engine inside each cell.
+            exec.worker_loop(0, false, &started);
+        } else {
+            let mut ids: Vec<usize> = (0..workers).collect();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build()
+                .map_err(|e| BlurNetError::BadConfig(format!("worker pool: {e}")))?;
+            pool.install(|| {
+                ids.par_chunks_mut(1).for_each(|id| {
+                    exec.worker_loop(id[0], true, &started);
+                });
+            });
+        }
+        let wall_ns = started.elapsed().as_nanos() as u64;
+
+        let (report, node_profiles) = exec.into_results(self.scale, self.seed, grid)?;
+        Ok(ScheduledRun {
+            report,
+            profile: RunProfile {
+                workers,
+                wall_ns,
+                nodes: node_profiles,
+                cell_count: grid.len(),
+            },
+        })
+    }
+}
+
+/// Builds the DAG for a grid: deduplicated artifact nodes first, then one
+/// cell node per grid cell (in grid order — node ids are deterministic).
+fn build_dag(grid: &ExperimentGrid, scale: Scale) -> Vec<Node> {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut train_ids: HashMap<String, usize> = HashMap::new();
+    let mut train_node = |nodes: &mut Vec<Node>, defense: DefenseKind| -> usize {
+        let label = defense.label();
+        if let Some(&id) = train_ids.get(&label) {
+            return id;
+        }
+        let id = nodes.len();
+        nodes.push(Node {
+            name: format!("train:{label}"),
+            kind: NodeKind::Train(defense),
+            deps: vec![],
+        });
+        train_ids.insert(label, id);
+        id
+    };
+
+    // Shared attack artifacts depend on the trained baseline.
+    let mut transfer_id: Option<usize> = None;
+    let mut sticker_id: Option<usize> = None;
+    for spec in grid.cells() {
+        if spec.needs_transfer_set() && transfer_id.is_none() {
+            let baseline = train_node(&mut nodes, DefenseKind::Baseline);
+            let id = nodes.len();
+            nodes.push(Node {
+                name: "artifact:transfer-set".to_string(),
+                kind: NodeKind::TransferSet,
+                deps: vec![baseline],
+            });
+            transfer_id = Some(id);
+        }
+        if spec.needs_sticker_artifact() && sticker_id.is_none() {
+            let baseline = train_node(&mut nodes, DefenseKind::Baseline);
+            let id = nodes.len();
+            nodes.push(Node {
+                name: "artifact:sticker".to_string(),
+                kind: NodeKind::Sticker,
+                deps: vec![baseline],
+            });
+            sticker_id = Some(id);
+        }
+    }
+
+    for (i, spec) in grid.cells().iter().enumerate() {
+        let mut deps = vec![train_node(&mut nodes, spec.required_defense(scale))];
+        if spec.needs_transfer_set() {
+            deps.push(transfer_id.expect("transfer node created above"));
+        }
+        if spec.needs_sticker_artifact() {
+            deps.push(sticker_id.expect("sticker node created above"));
+        }
+        nodes.push(Node {
+            name: format!("cell:{}/{}", spec.experiment, spec.label),
+            kind: NodeKind::Cell(i),
+            deps,
+        });
+    }
+    nodes
+}
+
+/// Mutable scheduling state guarded by one mutex (map operations only —
+/// never node execution).
+struct SchedState {
+    /// Remaining unfinished dependencies per node.
+    pending: Vec<usize>,
+    /// Failure (or skip) reason per node, if any.
+    failed: Vec<Option<String>>,
+    /// The bounded ready queue (capacity = node count, fixed up front).
+    queue: VecDeque<usize>,
+    /// Completed node count (success, failure or skip).
+    completed: usize,
+}
+
+/// One cell's pending result: its status plus the output when it ran.
+type CellSlot = Mutex<Option<(CellStatus, Option<CellOutput>)>>;
+
+/// Shared execution context for one scheduler run.
+struct Executor {
+    nodes: Vec<Node>,
+    dependents: Vec<Vec<usize>>,
+    state: Mutex<SchedState>,
+    ready: Condvar,
+    scale: Scale,
+    dataset: SignDataset,
+    images: Vec<Tensor>,
+    variants: Arc<VariantCache>,
+    transfer: Mutex<Option<Arc<TransferSet>>>,
+    sticker: Mutex<Option<Arc<Rp2Result>>>,
+    cell_slots: Vec<CellSlot>,
+    profiles: Mutex<Vec<Option<NodeProfile>>>,
+    specs: Vec<CellSpec>,
+    panic_cell: Option<usize>,
+    verbose: bool,
+}
+
+impl Executor {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        nodes: Vec<Node>,
+        grid: &ExperimentGrid,
+        scale: Scale,
+        dataset: SignDataset,
+        images: Vec<Tensor>,
+        variants: Arc<VariantCache>,
+        panic_cell: Option<usize>,
+        verbose: bool,
+    ) -> Self {
+        let mut dependents = vec![Vec::new(); nodes.len()];
+        let mut pending = vec![0usize; nodes.len()];
+        for (id, node) in nodes.iter().enumerate() {
+            pending[id] = node.deps.len();
+            for &dep in &node.deps {
+                dependents[dep].push(id);
+            }
+        }
+        // Seed the bounded queue with every dependency-free node, in node
+        // order.
+        let mut queue = VecDeque::with_capacity(nodes.len());
+        for (id, &p) in pending.iter().enumerate() {
+            if p == 0 {
+                queue.push_back(id);
+            }
+        }
+        let cell_slots = (0..grid.len()).map(|_| Mutex::new(None)).collect();
+        let profiles = Mutex::new(vec![None; nodes.len()]);
+        Executor {
+            dependents,
+            state: Mutex::new(SchedState {
+                pending,
+                failed: vec![None; nodes.len()],
+                queue,
+                completed: 0,
+            }),
+            ready: Condvar::new(),
+            scale,
+            dataset,
+            images,
+            variants,
+            transfer: Mutex::new(None),
+            sticker: Mutex::new(None),
+            cell_slots,
+            profiles,
+            specs: grid.cells().to_vec(),
+            panic_cell,
+            verbose,
+            nodes,
+        }
+    }
+
+    /// One scheduler worker: pull ready nodes from the bounded queue until
+    /// the whole DAG has completed. With `pin_intra` set, each node's
+    /// nested rayon regions are pinned to one thread (the thread budget is
+    /// already spent on the cell dimension).
+    fn worker_loop(&self, worker: usize, pin_intra: bool, run_start: &Instant) {
+        let inner = if pin_intra {
+            rayon::ThreadPoolBuilder::new().num_threads(1).build().ok()
+        } else {
+            None
+        };
+        loop {
+            let id = {
+                let mut st = self.state.lock().expect("scheduler state poisoned");
+                loop {
+                    if let Some(id) = st.queue.pop_front() {
+                        break id;
+                    }
+                    if st.completed == self.nodes.len() {
+                        return;
+                    }
+                    st = self
+                        .ready
+                        .wait(st)
+                        .expect("scheduler state poisoned while waiting");
+                }
+            };
+
+            let start_ns = run_start.elapsed().as_nanos() as u64;
+            let node_start = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| match &inner {
+                Some(pool) => pool.install(|| self.run_node(id)),
+                None => self.run_node(id),
+            }));
+            let duration_ns = node_start.elapsed().as_nanos() as u64;
+
+            let error = match outcome {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e.to_string()),
+                Err(payload) => Some(panic_message(payload)),
+            };
+            if self.verbose {
+                eprintln!(
+                    "[sched] worker {worker} {} {} in {:.1} ms",
+                    match error {
+                        None => "finished",
+                        Some(_) => "FAILED",
+                    },
+                    self.nodes[id].name,
+                    duration_ns as f64 / 1e6
+                );
+            }
+            self.profiles.lock().expect("profile slots poisoned")[id] = Some(NodeProfile {
+                name: self.nodes[id].name.clone(),
+                start_ns,
+                duration_ns,
+                worker,
+            });
+            self.complete(id, error);
+        }
+    }
+
+    /// Marks `id` complete (with an optional failure), releases newly
+    /// ready dependents into the queue, and transitively skips dependents
+    /// of failed nodes — all under one lock acquisition.
+    fn complete(&self, id: usize, error: Option<String>) {
+        let mut st = self.state.lock().expect("scheduler state poisoned");
+        if let Some(error) = &error {
+            if let NodeKind::Cell(cell) = self.nodes[id].kind {
+                *self.cell_slots[cell].lock().expect("cell slot poisoned") = Some((
+                    CellStatus::Failed {
+                        error: error.clone(),
+                    },
+                    None,
+                ));
+            }
+            st.failed[id] = Some(error.clone());
+        }
+        st.completed += 1;
+        // Walk completions breadth-first: a failed prerequisite marks its
+        // dependents skipped, which completes them, which may cascade.
+        let mut frontier = vec![id];
+        while let Some(done) = frontier.pop() {
+            for &dep in &self.dependents[done] {
+                st.pending[dep] -= 1;
+                if st.pending[dep] > 0 {
+                    continue;
+                }
+                // Every dependency has completed: the node is runnable only
+                // if ALL of them succeeded. Checking the full dep list (not
+                // just `done`) matters when the failed dependency completed
+                // earlier than the one whose completion released the node.
+                let failed_dep = self.nodes[dep]
+                    .deps
+                    .iter()
+                    .find(|&&d| st.failed[d].is_some())
+                    .copied();
+                if let Some(bad) = failed_dep {
+                    let cause = st.failed[bad].clone().expect("checked above");
+                    let reason = format!("prerequisite {} failed: {cause}", self.nodes[bad].name);
+                    if let NodeKind::Cell(cell) = self.nodes[dep].kind {
+                        *self.cell_slots[cell].lock().expect("cell slot poisoned") = Some((
+                            CellStatus::Skipped {
+                                reason: reason.clone(),
+                            },
+                            None,
+                        ));
+                    }
+                    st.failed[dep] = Some(reason);
+                    st.completed += 1;
+                    frontier.push(dep);
+                } else {
+                    st.queue.push_back(dep);
+                }
+            }
+        }
+        // Wake workers for new work or for shutdown.
+        self.ready.notify_all();
+    }
+
+    /// Executes one node's work.
+    fn run_node(&self, id: usize) -> Result<()> {
+        match &self.nodes[id].kind {
+            NodeKind::Train(defense) => {
+                if self.variants.get(&defense.label()).is_none() {
+                    let model =
+                        train_defended_model(defense, &self.dataset, &self.scale.train_config())?;
+                    self.variants.insert(model);
+                }
+                Ok(())
+            }
+            NodeKind::TransferSet => {
+                let baseline = self.variant(&DefenseKind::Baseline)?;
+                let set = table1::transfer_set(self.scale, &baseline, &self.images)?;
+                *self.transfer.lock().expect("transfer slot poisoned") = Some(Arc::new(set));
+                Ok(())
+            }
+            NodeKind::Sticker => {
+                let baseline = self.variant(&DefenseKind::Baseline)?;
+                let result = figures::sticker_artifact(self.scale, &baseline, &self.images)?;
+                *self.sticker.lock().expect("sticker slot poisoned") = Some(Arc::new(result));
+                Ok(())
+            }
+            NodeKind::Cell(cell) => {
+                if self.panic_cell == Some(*cell) {
+                    panic!("injected panic (scheduler isolation test)");
+                }
+                let spec = &self.specs[*cell];
+                // Fresh deep clone per cell: mutable evaluation state
+                // (smoothing RNG, forward caches) starts from the trained
+                // snapshot, exactly like the sequential path's per-row
+                // clone.
+                let mut model = (*self.variant(&spec.required_defense(self.scale))?).clone();
+                let transfer = self
+                    .transfer
+                    .lock()
+                    .expect("transfer slot poisoned")
+                    .clone();
+                let sticker = self.sticker.lock().expect("sticker slot poisoned").clone();
+                let output = execute_cell(
+                    &spec.kind,
+                    self.scale,
+                    &self.images,
+                    &mut model,
+                    transfer.as_deref(),
+                    sticker.as_deref(),
+                )?;
+                *self.cell_slots[*cell].lock().expect("cell slot poisoned") =
+                    Some((CellStatus::Ok, Some(output)));
+                Ok(())
+            }
+        }
+    }
+
+    /// The trained variant for a defense (must have been produced by a
+    /// completed train node).
+    fn variant(&self, defense: &DefenseKind) -> Result<Arc<DefendedModel>> {
+        self.variants.get(&defense.label()).ok_or_else(|| {
+            BlurNetError::BadConfig(format!(
+                "variant {} missing from the cache (train node did not run?)",
+                defense.label()
+            ))
+        })
+    }
+
+    /// Collapses the execution state into the deterministic report (cells
+    /// in grid order) and the per-node profiles (node-id order).
+    fn into_results(
+        self,
+        scale: Scale,
+        seed: u64,
+        grid: &ExperimentGrid,
+    ) -> Result<(RunReport, Vec<NodeProfile>)> {
+        let mut cells = Vec::with_capacity(grid.len());
+        for (i, spec) in grid.cells().iter().enumerate() {
+            let (status, output) = self.cell_slots[i]
+                .lock()
+                .expect("cell slot poisoned")
+                .take()
+                .unwrap_or((
+                    CellStatus::Failed {
+                        error: "cell never executed".into(),
+                    },
+                    None,
+                ));
+            cells.push(CellReport {
+                experiment: spec.experiment.to_string(),
+                label: spec.label.clone(),
+                status,
+                output,
+            });
+        }
+        let profiles = self
+            .profiles
+            .lock()
+            .expect("profile slots poisoned")
+            .iter()
+            .flatten()
+            .cloned()
+            .collect();
+        Ok((
+            RunReport {
+                schema: RESULTS_SCHEMA.to_string(),
+                scale: scale.to_string(),
+                seed,
+                cells,
+            },
+            profiles,
+        ))
+    }
+}
+
+/// Renders a panic payload as a readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_dedups_artifacts_in_the_full_grid() {
+        let scheduler = ExperimentScheduler::new(Scale::Smoke, 7);
+        let plan = scheduler.plan(&ExperimentGrid::full(Scale::Smoke));
+        let train_nodes: Vec<&String> = plan
+            .iter()
+            .map(|(name, _)| name)
+            .filter(|n| n.starts_with("train:"))
+            .collect();
+        // Exactly one train node per distinct variant (the Table II
+        // roster), regardless of how many cells consume each.
+        assert_eq!(train_nodes.len(), 15);
+        let mut unique = train_nodes.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), train_nodes.len());
+        // Exactly one transfer-set node and one sticker node.
+        assert_eq!(
+            plan.iter()
+                .filter(|(n, _)| n == "artifact:transfer-set")
+                .count(),
+            1
+        );
+        assert_eq!(
+            plan.iter().filter(|(n, _)| n == "artifact:sticker").count(),
+            1
+        );
+        // Every Table I cell depends on both the baseline and the
+        // transfer artifact.
+        for (name, deps) in &plan {
+            if name.starts_with("cell:table1/") {
+                assert!(deps.contains(&"train:Baseline".to_string()), "{name}");
+                assert!(
+                    deps.contains(&"artifact:transfer-set".to_string()),
+                    "{name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grids_are_rejected() {
+        let scheduler = ExperimentScheduler::new(Scale::Smoke, 7);
+        assert!(scheduler.run(&ExperimentGrid::custom(vec![])).is_err());
+    }
+
+    #[test]
+    fn micro_grid_runs_and_matches_the_sequential_path() {
+        let grid = ExperimentGrid::micro();
+        let run = ExperimentScheduler::new(Scale::Smoke, 7)
+            .threads(2)
+            .run(&grid)
+            .unwrap();
+        assert!(run.report.all_ok());
+        assert_eq!(run.report.cells.len(), 4);
+        assert_eq!(run.profile.cell_count, 4);
+        assert!(run.profile.cells_per_sec() > 0.0);
+        assert!(run.profile.utilization() > 0.0 && run.profile.utilization() <= 1.0);
+
+        let mut zoo = crate::ModelZoo::new(Scale::Smoke, 7).unwrap();
+        let sequential = grid.run_sequential(&mut zoo).unwrap();
+        assert_eq!(run.report, sequential, "scheduler diverged from sequential");
+    }
+}

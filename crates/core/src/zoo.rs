@@ -4,19 +4,25 @@
 //! PGD evaluations reuse most of them. The zoo trains each
 //! [`DefenseKind`] at most once per process and hands out clones.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use blurnet_data::SignDataset;
-use blurnet_defenses::{train_defended_model, DefendedModel, DefenseKind};
+use blurnet_defenses::{train_defended_model, DefendedModel, DefenseKind, VariantCache};
 
 use crate::{Result, Scale};
 
 /// Dataset plus trained-model cache shared by the experiment modules.
+///
+/// The cache is a [`VariantCache`] — the same store the experiment
+/// scheduler shares across concurrent evaluation cells — so a zoo can be
+/// pre-seeded from (or hand its variants to) a scheduler run without
+/// retraining.
 #[derive(Debug)]
 pub struct ModelZoo {
     scale: Scale,
+    seed: u64,
     dataset: SignDataset,
-    cache: HashMap<String, DefendedModel>,
+    cache: VariantCache,
 }
 
 impl ModelZoo {
@@ -29,14 +35,20 @@ impl ModelZoo {
         let dataset = SignDataset::generate(&scale.dataset_config(), seed)?;
         Ok(ModelZoo {
             scale,
+            seed,
             dataset,
-            cache: HashMap::new(),
+            cache: VariantCache::new(),
         })
     }
 
     /// The scale profile this zoo was built for.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// The dataset seed this zoo was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The shared dataset.
@@ -58,18 +70,37 @@ impl ModelZoo {
     ///
     /// Propagates training errors.
     pub fn get_or_train(&mut self, defense: &DefenseKind) -> Result<DefendedModel> {
-        let key = defense.label();
-        if !self.cache.contains_key(&key) {
-            let model = train_defended_model(defense, &self.dataset, &self.scale.train_config())?;
-            self.cache.insert(key.clone(), model);
+        Ok((*self.get_or_train_shared(defense)?).clone())
+    }
+
+    /// Like [`ModelZoo::get_or_train`] but returns the shared (read-only)
+    /// cache handle instead of a deep clone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn get_or_train_shared(&mut self, defense: &DefenseKind) -> Result<Arc<DefendedModel>> {
+        if let Some(model) = self.cache.get(&defense.label()) {
+            return Ok(model);
         }
-        Ok(self.cache.get(&key).expect("model inserted above").clone())
+        let model = train_defended_model(defense, &self.dataset, &self.scale.train_config())?;
+        Ok(self.cache.insert(model))
     }
 
     /// Inserts an externally-built model (used by Table I, whose filtered
     /// victims share the baseline's weights rather than being retrained).
+    ///
+    /// Like [`VariantCache::insert`], the **first** variant stored under a
+    /// defense label wins: inserting a model whose label is already cached
+    /// is a no-op, so a trained variant can never be silently swapped out
+    /// mid-run.
     pub fn insert(&mut self, model: DefendedModel) {
-        self.cache.insert(model.defense().label(), model);
+        self.cache.insert(model);
+    }
+
+    /// The underlying variant cache (shared with scheduler runs).
+    pub fn variants(&self) -> &VariantCache {
+        &self.cache
     }
 }
 

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod augment;
+pub mod cache;
 pub mod config;
 mod error;
 pub mod filtering;
@@ -30,6 +31,7 @@ pub mod regularizers;
 pub mod smoothing;
 pub mod trainer;
 
+pub use cache::VariantCache;
 pub use config::DefenseKind;
 pub use error::DefenseError;
 pub use filtering::{filter_image, filter_images};

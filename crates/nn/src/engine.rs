@@ -42,6 +42,18 @@
 //! `RAYON_NUM_THREADS=1` (or a 1-thread `rayon` pool) therefore reproduces
 //! the parallel results exactly; the property tests in
 //! `tests/forward_batch.rs` and `tests/input_grad_batch.rs` pin this.
+//!
+//! # Sharing an engine across workers
+//!
+//! A [`BatchEngine`] is `Send + Sync` (asserted at compile time below):
+//! it holds only immutable borrows of the network plus read-only weight
+//! packs, and every call drives per-worker scratch state, so **one engine
+//! may be used from many threads at once**. This is the borrow model the
+//! experiment scheduler builds on — trained networks are shared read-only
+//! (e.g. behind an `Arc`) across concurrently executing evaluation cells,
+//! and each cell freely constructs or reuses engines over those weights
+//! from whatever worker it lands on. Anything mutable (smoothing RNGs,
+//! training caches) lives outside the engine in per-cell clones.
 
 use blurnet_tensor::{
     conv2d_input_grad_prepacked, conv2d_prepacked, matmul, PackedConvWeights, Scratch, Tensor,
@@ -130,6 +142,16 @@ pub struct BatchEngine<'n> {
 /// parallelism, and per-image GEMMs on this workload are already large
 /// enough to run the blocked core at full speed.
 const DEFAULT_SHARD_IMAGES: usize = 1;
+
+// Compile-time pin of the sharing contract: an engine (and the plan it
+// borrows) must remain usable from many threads at once. Removing `Sync`
+// from any constituent (a layer, a weight pack, a tensor) breaks the
+// experiment scheduler's shared-engine model and must fail loudly here.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<BatchEngine<'static>>();
+    assert_shareable::<Sequential>();
+};
 
 impl<'n> BatchEngine<'n> {
     /// Prepares an inference plan: packs every convolution's weights into

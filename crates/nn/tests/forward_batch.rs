@@ -7,25 +7,15 @@
 //! thread counts {1, 4}. Equality is checked with `==` on the raw `f32`
 //! buffers; any reordering of a floating-point accumulation would fail.
 
-use blurnet_nn::{LisaCnn, Sequential};
+use blurnet_nn::Sequential;
 use blurnet_tensor::Tensor;
+use blurnet_test_support::{tiny_lisa_net, uniform_batch};
 use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Batch sizes the acceptance criteria name explicitly.
 const BATCH_SIZES: [usize; 3] = [1, 3, 8];
 /// Thread counts the acceptance criteria name explicitly.
 const THREAD_COUNTS: [usize; 2] = [1, 4];
-
-fn lisa_net(seed: u64) -> Sequential {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    LisaCnn::new(18)
-        .input_size(16)
-        .conv1_filters(4)
-        .build(&mut rng)
-        .expect("tiny LisaCnn builds")
-}
 
 /// Per-sample reference: forward each image alone and stack the logits.
 fn per_sample_forward(net: &mut Sequential, batch: &Tensor) -> Tensor {
@@ -48,10 +38,14 @@ proptest! {
         net_seed in 0u64..1000,
         data_seed in 0u64..1000,
     ) {
-        let mut net = lisa_net(net_seed);
-        let mut rng = ChaCha8Rng::seed_from_u64(data_seed);
-        for &batch_size in &BATCH_SIZES {
-            let batch = Tensor::rand_uniform(&[batch_size, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let mut net = tiny_lisa_net(net_seed);
+        for (offset, &batch_size) in BATCH_SIZES.iter().enumerate() {
+            let batch = uniform_batch(
+                &[batch_size, 3, 16, 16],
+                0.0,
+                1.0,
+                data_seed ^ (offset as u64) << 32,
+            );
             let reference = per_sample_forward(&mut net, &batch);
             for &threads in &THREAD_COUNTS {
                 let pool = rayon::ThreadPoolBuilder::new()
@@ -76,9 +70,8 @@ proptest! {
     /// thread counts (argmax on bit-identical logits can never diverge).
     #[test]
     fn predict_batch_matches_stateful_predict(seed in 0u64..1000) {
-        let mut net = lisa_net(seed);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBADC0DE);
-        let batch = Tensor::rand_uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let mut net = tiny_lisa_net(seed);
+        let batch = uniform_batch(&[8, 3, 16, 16], 0.0, 1.0, seed ^ 0xBADC0DE);
         let expected = net.predict(&batch).expect("predict succeeds");
         for &threads in &THREAD_COUNTS {
             let pool = rayon::ThreadPoolBuilder::new()

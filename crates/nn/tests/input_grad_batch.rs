@@ -8,25 +8,15 @@
 //! practice the two paths share every kernel and accumulation order, so
 //! they are bitwise equal; the tolerance is the acceptance criterion).
 
-use blurnet_nn::{LisaCnn, Sequential};
+use blurnet_nn::Sequential;
 use blurnet_tensor::Tensor;
+use blurnet_test_support::{tiny_lisa_net, uniform_batch};
 use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Batch sizes the acceptance criteria name explicitly.
 const BATCH_SIZES: [usize; 3] = [1, 3, 8];
 /// Thread counts the acceptance criteria name explicitly.
 const THREAD_COUNTS: [usize; 2] = [1, 4];
-
-fn lisa_net(seed: u64) -> Sequential {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    LisaCnn::new(18)
-        .input_size(16)
-        .conv1_filters(4)
-        .build(&mut rng)
-        .expect("tiny LisaCnn builds")
-}
 
 /// Per-image mutable reference: forward each image alone with the caching
 /// path, back-propagate its grad_output row, stack the input gradients.
@@ -52,11 +42,11 @@ proptest! {
         net_seed in 0u64..1000,
         data_seed in 0u64..1000,
     ) {
-        let mut net = lisa_net(net_seed);
-        let mut rng = ChaCha8Rng::seed_from_u64(data_seed);
-        for &batch_size in &BATCH_SIZES {
-            let batch = Tensor::rand_uniform(&[batch_size, 3, 16, 16], 0.0, 1.0, &mut rng);
-            let grad_output = Tensor::rand_uniform(&[batch_size, 18], -1.0, 1.0, &mut rng);
+        let mut net = tiny_lisa_net(net_seed);
+        for (offset, &batch_size) in BATCH_SIZES.iter().enumerate() {
+            let case_seed = data_seed ^ (offset as u64) << 32;
+            let batch = uniform_batch(&[batch_size, 3, 16, 16], 0.0, 1.0, case_seed);
+            let grad_output = uniform_batch(&[batch_size, 18], -1.0, 1.0, !case_seed);
             let reference = per_image_backward(&mut net, &batch, &grad_output);
 
             let mut per_thread = Vec::new();
@@ -102,9 +92,8 @@ proptest! {
     /// stateful forward with softmax_cross_entropy per image.
     #[test]
     fn forward_backward_batch_matches_per_image_cross_entropy(seed in 0u64..1000) {
-        let mut net = lisa_net(seed);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
-        let batch = Tensor::rand_uniform(&[4, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let mut net = tiny_lisa_net(seed);
+        let batch = uniform_batch(&[4, 3, 16, 16], 0.0, 1.0, seed ^ 0x5EED);
         let labels = [1usize, 5, 9, 17];
         let engine = net.batch_engine().expect("engine builds");
         let got = engine

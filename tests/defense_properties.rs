@@ -3,14 +3,12 @@
 //! only remove energy, smoothing never changes tensor ranges, and the
 //! regularizer gradients match their finite differences end-to-end.
 
-use blurnet_data::{sticker_mask, StickerLayout};
 use blurnet_defenses::filter_image;
-use blurnet_nn::{softmax_cross_entropy, LisaCnn};
+use blurnet_nn::softmax_cross_entropy;
 use blurnet_signal::{box_kernel, gaussian_kernel, total_variation};
 use blurnet_tensor::Tensor;
+use blurnet_test_support::{canned_sticker_mask, tiny_lisa_net, uniform_batch};
 use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn image_strategy(size: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(0.0f32..1.0, 3 * size * size)
@@ -46,7 +44,7 @@ proptest! {
     /// perturbation leaves non-masked pixels untouched.
     #[test]
     fn masked_perturbations_stay_on_the_sticker(data in image_strategy(16), scale in 0.1f32..1.0) {
-        let mask = sticker_mask(16, 16, StickerLayout::TwoBars).unwrap();
+        let mask = canned_sticker_mask();
         let image = Tensor::from_vec(data, &[3, 16, 16]).unwrap();
         // Broadcast the mask over channels and apply a scaled perturbation.
         let mut perturbed = image.clone();
@@ -86,13 +84,8 @@ proptest! {
     /// inputs (the property every attack in this repo depends on).
     #[test]
     fn input_gradients_match_finite_differences(seed in 0u64..50, pixel in 0usize..(3 * 16 * 16)) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut net = LisaCnn::new(18)
-            .input_size(16)
-            .conv1_filters(4)
-            .build(&mut rng)
-            .unwrap();
-        let image = Tensor::rand_uniform(&[1, 3, 16, 16], 0.05, 0.95, &mut rng);
+        let mut net = tiny_lisa_net(seed);
+        let image = uniform_batch(&[1, 3, 16, 16], 0.05, 0.95, !seed);
         let label = [3usize];
         let logits = net.forward(&image, true).unwrap();
         let (_, d_logits) = softmax_cross_entropy(&logits, &label).unwrap();

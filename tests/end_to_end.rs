@@ -5,23 +5,15 @@ use blurnet::experiments::{table1, table2};
 use blurnet::{ModelZoo, Scale};
 use blurnet_attacks::{PgdAttack, PgdConfig, Rp2Attack, Rp2Config};
 use blurnet_data::{DatasetConfig, SignDataset, STOP_CLASS_ID};
-use blurnet_defenses::{train_defended_model, DefenseKind, TrainConfig};
+use blurnet_defenses::{train_defended_model, DefenseKind};
 use blurnet_tensor::Tensor;
-
-fn quick_train_config(epochs: usize) -> TrainConfig {
-    TrainConfig {
-        epochs,
-        batch_size: 16,
-        learning_rate: 2e-3,
-        seed: 7,
-    }
-}
+use blurnet_test_support::smoke_train_config;
 
 #[test]
 fn baseline_learns_above_chance_accuracy() {
     let dataset = SignDataset::generate(&DatasetConfig::smoke(), 7).unwrap();
     let model =
-        train_defended_model(&DefenseKind::Baseline, &dataset, &quick_train_config(4)).unwrap();
+        train_defended_model(&DefenseKind::Baseline, &dataset, &smoke_train_config(4)).unwrap();
     let accuracy = model.training_report().test_accuracy;
     // 18 classes -> chance is ~5.6%. Even a few smoke epochs should beat it
     // by a wide margin on the synthetic dataset.
@@ -35,7 +27,7 @@ fn baseline_learns_above_chance_accuracy() {
 fn rp2_succeeds_against_the_baseline_and_stays_on_the_sticker() {
     let dataset = SignDataset::generate(&DatasetConfig::smoke(), 7).unwrap();
     let mut model =
-        train_defended_model(&DefenseKind::Baseline, &dataset, &quick_train_config(4)).unwrap();
+        train_defended_model(&DefenseKind::Baseline, &dataset, &smoke_train_config(4)).unwrap();
     let attack = Rp2Attack::new(Rp2Config {
         iterations: 60,
         ..Rp2Config::default()
@@ -106,7 +98,7 @@ fn pgd_is_stronger_than_rp2_under_its_own_threat_model() {
     // as often as the sticker-constrained one against the same model.
     let dataset = SignDataset::generate(&DatasetConfig::smoke(), 9).unwrap();
     let mut model =
-        train_defended_model(&DefenseKind::Baseline, &dataset, &quick_train_config(4)).unwrap();
+        train_defended_model(&DefenseKind::Baseline, &dataset, &smoke_train_config(4)).unwrap();
     let images: Vec<Tensor> = dataset.stop_eval_images()[..3].to_vec();
     let labels = vec![STOP_CLASS_ID; images.len()];
 
@@ -137,7 +129,7 @@ fn pgd_is_stronger_than_rp2_under_its_own_threat_model() {
 fn trained_models_serialize_and_keep_their_predictions() {
     let dataset = SignDataset::generate(&DatasetConfig::tiny(), 11).unwrap();
     let mut model =
-        train_defended_model(&DefenseKind::Baseline, &dataset, &quick_train_config(1)).unwrap();
+        train_defended_model(&DefenseKind::Baseline, &dataset, &smoke_train_config(1)).unwrap();
     let image = dataset.stop_eval_images()[0].clone();
     let before = model.classify_one(&image).unwrap();
     let bytes = model.network().to_bytes().unwrap();

@@ -1,0 +1,61 @@
+//! Regression tests for scheduler failure isolation: a panic (or error)
+//! inside one cell must be captured into that cell's report entry without
+//! poisoning sibling cells or the worker pool.
+
+use blurnet::experiments::grid::ExperimentGrid;
+use blurnet::{CellStatus, ExperimentScheduler, Scale};
+
+#[test]
+fn a_panicking_cell_does_not_poison_its_siblings() {
+    let grid = ExperimentGrid::micro();
+    let scheduler = ExperimentScheduler::new(Scale::Smoke, 7).threads(2);
+
+    // Clean reference run.
+    let clean = scheduler.run(&grid).expect("clean run schedules");
+    assert!(clean.report.all_ok());
+
+    // Same grid with a deliberate panic injected into the first cell.
+    let faulty = scheduler
+        .run_with_injected_panic(&grid, 0)
+        .expect("faulty run still returns a report");
+
+    // The poisoned cell is reported as failed, with the panic message.
+    match &faulty.report.cells[0].status {
+        CellStatus::Failed { error } => {
+            assert!(
+                error.contains("injected panic"),
+                "failure should carry the panic message, got: {error}"
+            );
+        }
+        other => panic!("expected the injected cell to fail, got {other:?}"),
+    }
+    assert!(faulty.report.cells[0].output.is_none());
+
+    // Every sibling cell completed and produced *exactly* the clean run's
+    // output — the panic neither crashed the run nor perturbed results.
+    for (fault_cell, clean_cell) in faulty.report.cells[1..]
+        .iter()
+        .zip(clean.report.cells[1..].iter())
+    {
+        assert_eq!(fault_cell, clean_cell, "sibling cell diverged");
+    }
+    assert!(!faulty.report.all_ok());
+}
+
+#[test]
+fn panic_isolation_holds_with_a_single_worker() {
+    // The sequential (1-worker) scheduler path runs cells inline on the
+    // caller thread; the catch_unwind isolation must hold there too.
+    let grid = ExperimentGrid::micro();
+    let faulty = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .run_with_injected_panic(&grid, 3)
+        .expect("faulty run still returns a report");
+    for cell in &faulty.report.cells[..3] {
+        assert_eq!(cell.status, CellStatus::Ok, "{}", cell.label);
+    }
+    assert!(matches!(
+        faulty.report.cells[3].status,
+        CellStatus::Failed { .. }
+    ));
+}
