@@ -28,8 +28,9 @@ const JSON_SAMPLES: usize = 11;
 /// Minimum batch duration per sample for the JSON record.
 const MIN_BATCH: Duration = Duration::from_millis(4);
 
-/// The thread counts swept by the scaling probes.
-const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+/// The thread counts swept by the scaling probes (shared across the
+/// workspace's benches so `BENCH_*.json` timings are comparable).
+const THREAD_COUNTS: [usize; 3] = blurnet_bench::BENCH_THREAD_COUNTS;
 
 fn median_ns<O>(mut f: impl FnMut() -> O) -> f64 {
     measure_median_ns(&mut f, JSON_SAMPLES, MIN_BATCH)
@@ -91,18 +92,18 @@ impl Record {
         ));
     }
 
-    fn into_json(self, host_cpus: usize) -> String {
+    fn into_json(self) -> String {
         let mut root = vec![
             (
                 "schema".to_string(),
                 Value::Str("blurnet-attack-bench/v1".to_string()),
             ),
-            ("host_cpus".to_string(), Value::Int(host_cpus as i64)),
             (
                 "rayon_threads".to_string(),
                 Value::Int(rayon::current_num_threads() as i64),
             ),
         ];
+        root.extend(blurnet_bench::host_entries("attack_gen"));
         root.extend(self.entries);
         serde_json::to_string_pretty(&Value::Map(root)).unwrap_or_else(|_| "{}".to_string())
     }
@@ -143,9 +144,6 @@ fn spawn_dispatch_ns(threads: usize) -> f64 {
 fn write_attack_json() {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut record = Record::new();
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     // The acceptance-criteria workload: 10-step PGD, batch of 8 [3,32,32].
     let mut net = LisaCnn::new(18).build(&mut rng).expect("default LisaCnn");
@@ -247,7 +245,7 @@ fn write_attack_json() {
 
     // crates/bench/ -> workspace root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_attack.json");
-    match std::fs::write(path, record.into_json(host_cpus)) {
+    match std::fs::write(path, record.into_json()) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }

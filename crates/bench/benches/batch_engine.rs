@@ -27,8 +27,9 @@ const JSON_SAMPLES: usize = 15;
 /// Minimum batch duration per sample for the JSON record.
 const MIN_BATCH: Duration = Duration::from_millis(4);
 
-/// The thread counts swept by the scaling probes.
-const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+/// The thread counts swept by the scaling probes (shared across the
+/// workspace's benches so `BENCH_*.json` timings are comparable).
+const THREAD_COUNTS: [usize; 3] = blurnet_bench::BENCH_THREAD_COUNTS;
 
 fn median_ns<O>(mut f: impl FnMut() -> O) -> f64 {
     measure_median_ns(&mut f, JSON_SAMPLES, MIN_BATCH)
@@ -83,18 +84,18 @@ impl Record {
         ));
     }
 
-    fn into_json(self, host_cpus: usize) -> String {
+    fn into_json(self) -> String {
         let mut root = vec![
             (
                 "schema".to_string(),
                 Value::Str("blurnet-batch-bench/v1".to_string()),
             ),
-            ("host_cpus".to_string(), Value::Int(host_cpus as i64)),
             (
                 "rayon_threads".to_string(),
                 Value::Int(rayon::current_num_threads() as i64),
             ),
         ];
+        root.extend(blurnet_bench::host_entries("batch_engine"));
         root.extend(self.entries);
         serde_json::to_string_pretty(&Value::Map(root)).unwrap_or_else(|_| "{}".to_string())
     }
@@ -105,9 +106,6 @@ impl Record {
 fn write_batch_json() {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut record = Record::new();
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     // The acceptance-criteria workload: [8, 16, 32, 32] batch forward.
     let mut net = feature_stage_net(&mut rng);
@@ -179,7 +177,7 @@ fn write_batch_json() {
 
     // crates/bench/ -> workspace root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
-    match std::fs::write(path, record.into_json(host_cpus)) {
+    match std::fs::write(path, record.into_json()) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }

@@ -90,9 +90,6 @@ fn median(mut ns: Vec<f64>) -> f64 {
 fn write_sched_json() {
     let scale = Scale::Smoke;
     let grid = bench_grid();
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     // Warm model store shared by every scheduler run, outside timing.
     let dataset = SignDataset::generate(&scale.dataset_config(), SEED).expect("dataset");
@@ -134,12 +131,11 @@ fn write_sched_json() {
         );
     }
 
-    let mut entries: Vec<(String, Value)> = vec![
-        ("schema".into(), Value::Str("blurnet-sched-bench/v1".into())),
-        ("host_cpus".into(), Value::Int(host_cpus as i64)),
-        ("cells".into(), Value::Int(grid.len() as i64)),
-        ("bit_identical_to_sequential".into(), Value::Bool(true)),
-    ];
+    let mut entries: Vec<(String, Value)> =
+        vec![("schema".into(), Value::Str("blurnet-sched-bench/v1".into()))];
+    entries.extend(blurnet_bench::host_entries("sched_throughput"));
+    entries.push(("cells".into(), Value::Int(grid.len() as i64)));
+    entries.push(("bit_identical_to_sequential".into(), Value::Bool(true)));
     let push_ns = |entries: &mut Vec<(String, Value)>, name: &str, ns: f64| {
         println!("json-probe {name:<44} {:10.1} ms", ns / 1e6);
         entries.push((name.to_string(), Value::Float(ns)));

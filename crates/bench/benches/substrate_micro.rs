@@ -8,10 +8,15 @@
 //! (schema `blurnet-substrate-bench/v1`) of median ns/iter for every probe
 //! and the fast-vs-seed speedups, so future PRs can track the perf
 //! trajectory. Single-thread numbers are measured through a 1-thread rayon
-//! pool; `_mt` entries use the ambient `RAYON_NUM_THREADS`.
+//! pool; `_mt` entries use the ambient `RAYON_NUM_THREADS`; the
+//! `median_ns_per_iter_by_threads` section sweeps the shared
+//! [`blurnet_bench::BENCH_THREAD_COUNTS`] on representative probes, with
+//! `host_cpus`/`single_core_warning` recording whether real cores backed
+//! the sweep.
 
 use std::time::Duration;
 
+use blurnet_bench::{host_entries, BENCH_THREAD_COUNTS};
 use blurnet_nn::LisaCnn;
 use blurnet_signal::{
     blur_batch, blur_batch_2d, box_kernel, dct2d, depthwise_weights, fft2d_magnitude,
@@ -44,6 +49,7 @@ fn single_thread_ns<O>(mut f: impl FnMut() -> O) -> f64 {
 struct Record {
     entries: Vec<(String, f64)>,
     speedups: Vec<(String, f64)>,
+    per_thread: Vec<(String, f64)>,
 }
 
 impl Record {
@@ -51,12 +57,19 @@ impl Record {
         Record {
             entries: Vec::new(),
             speedups: Vec::new(),
+            per_thread: Vec::new(),
         }
     }
 
     fn push(&mut self, name: &str, ns: f64) {
         println!("json-probe {name:<40} {:12.1} ns/iter", ns);
         self.entries.push((name.to_string(), ns));
+    }
+
+    fn push_threads(&mut self, name: &str, threads: usize, ns: f64) {
+        let key = format!("{name}_t{threads}");
+        println!("json-probe {key:<40} {:12.1} ns/iter", ns);
+        self.per_thread.push((key, ns));
     }
 
     fn speedup(&mut self, name: &str, seed_ns: f64, fast_ns: f64) {
@@ -78,18 +91,25 @@ impl Record {
                 .map(|(k, v)| (k.clone(), Value::Float((*v * 100.0).round() / 100.0)))
                 .collect(),
         );
-        let root = Value::Map(vec![
-            (
-                "schema".to_string(),
-                Value::Str("blurnet-substrate-bench/v1".to_string()),
-            ),
-            (
-                "rayon_threads".to_string(),
-                Value::Int(rayon::current_num_threads() as i64),
-            ),
-            ("median_ns_per_iter".to_string(), entries),
-            ("speedup_vs_seed".to_string(), speedups),
-        ]);
+        let per_thread = Value::Map(
+            self.per_thread
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                .collect(),
+        );
+        let mut root = vec![(
+            "schema".to_string(),
+            Value::Str("blurnet-substrate-bench/v2".to_string()),
+        )];
+        root.extend(host_entries("substrate_micro"));
+        root.push((
+            "rayon_threads".to_string(),
+            Value::Int(rayon::current_num_threads() as i64),
+        ));
+        root.push(("median_ns_per_iter".to_string(), entries));
+        root.push(("median_ns_per_iter_by_threads".to_string(), per_thread));
+        root.push(("speedup_vs_seed".to_string(), speedups));
+        let root = Value::Map(root);
         serde_json::to_string_pretty(&root).unwrap_or_else(|_| "{}".to_string())
     }
 }
@@ -177,6 +197,33 @@ fn write_bench_json() {
             net.backward(&Tensor::ones(out.dims())).unwrap();
         }),
     );
+
+    // Multi-core sweep on representative probes (one per substrate
+    // family), at the shared thread counts every bench records.
+    let ga = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let gb = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let blur_kernel = box_kernel(3);
+    for &threads in &BENCH_THREAD_COUNTS {
+        record.push_threads(
+            "gemm_256x256",
+            threads,
+            blurnet_bench::with_threads(threads, || median_ns(|| matmul(&ga, &gb).unwrap())),
+        );
+        record.push_threads(
+            "blur3x3_8x16x32x32_separable",
+            threads,
+            blurnet_bench::with_threads(threads, || {
+                median_ns(|| blur_batch(&feature_maps, &blur_kernel).unwrap())
+            }),
+        );
+        record.push_threads(
+            "lisacnn_forward_batch4",
+            threads,
+            blurnet_bench::with_threads(threads, || {
+                median_ns(|| net.forward(&batch, false).unwrap())
+            }),
+        );
+    }
 
     // crates/bench/ -> workspace root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json");

@@ -6,10 +6,62 @@
 //! values. Pass `--json` to emit machine-readable output instead.
 
 use blurnet::{ModelZoo, Scale, Table};
+use serde::Value;
 
 /// Seed shared by all experiment binaries so tables are mutually
 /// consistent within one run.
 pub const EXPERIMENT_SEED: u64 = 7;
+
+/// Thread counts every multi-core-aware `BENCH_*.json` records timings
+/// at, so numbers are comparable across benches and across hosts.
+pub const BENCH_THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Logical CPUs of the machine running the bench. Recorded in every
+/// `BENCH_*.json` so a reader can tell whether multi-thread numbers had
+/// real cores behind them.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Warns (on stderr) when the bench is running on a single-core host,
+/// where every thread count beyond 1 measures oversubscription rather
+/// than parallel speedup. Returns whether the warning fired.
+pub fn warn_if_single_core(bench: &str) -> bool {
+    let single = host_cpus() == 1;
+    if single {
+        eprintln!(
+            "# WARNING [{bench}]: host has 1 CPU — multi-thread timings measure \
+             oversubscription, not speedup; re-run on a multi-core host for scaling numbers"
+        );
+    }
+    single
+}
+
+/// The host-description entries (`host_cpus`, `single_core_warning`)
+/// every `BENCH_*.json` starts with, emitting the stderr warning as a
+/// side effect.
+pub fn host_entries(bench: &str) -> Vec<(String, Value)> {
+    vec![
+        ("host_cpus".into(), Value::Int(host_cpus() as i64)),
+        (
+            "single_core_warning".into(),
+            Value::Bool(warn_if_single_core(bench)),
+        ),
+    ]
+}
+
+/// Runs `f` with the persistent rayon pool's effective parallelism pinned
+/// to `threads` — the helper the benches use to record per-thread-count
+/// timings.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("thread pool");
+    pool.install(f)
+}
 
 /// Builds the model zoo for the scale selected via `BLURNET_SCALE`.
 ///

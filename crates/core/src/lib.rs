@@ -35,6 +35,7 @@
 
 mod error;
 pub mod experiments;
+pub mod queue;
 pub mod report;
 pub mod runner;
 pub mod scale;
@@ -42,6 +43,7 @@ pub mod scheduler;
 pub mod zoo;
 
 pub use error::BlurNetError;
+pub use queue::{run_workers, BoundedQueue, PopTimeout};
 pub use report::{CellOutput, CellReport, CellStatus, RunReport, Table};
 pub use runner::BatchRunner;
 pub use scale::Scale;

@@ -17,11 +17,11 @@
 //! * **Cell nodes** evaluate one row/series each, depending only on the
 //!   artifacts they consume.
 //!
-//! Ready nodes stream through a bounded work queue (capacity = node count;
-//! it can never grow past the DAG) drained by a fixed set of workers that
-//! run on the **persistent rayon pool** — the same lazy worker pool every
-//! batched forward/backward already uses, so scheduling a grid costs no
-//! thread spawns. When more than one worker runs, each cell pins its
+//! Ready nodes stream through a [`BoundedQueue`] (capacity = node count;
+//! it can never grow past the DAG, so pushes never block) — the same
+//! bounded-queue primitive the `blurnet-serve` micro-batcher admits
+//! classification requests through — drained by a fixed fleet of
+//! [`run_workers`] workers. When more than one worker runs, each cell pins its
 //! nested (intra-cell) parallelism to one thread — the thread budget is
 //! spent on the cell dimension exactly once, mirroring how the batch
 //! engine spends it on the batch dimension.
@@ -65,19 +65,19 @@
 //! *dependents* are marked [`CellStatus::Skipped`]. Every other cell runs
 //! to completion.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use blurnet_attacks::{Rp2Result, TransferSet};
 use blurnet_data::SignDataset;
 use blurnet_defenses::{train_defended_model, DefendedModel, DefenseKind, VariantCache};
 use blurnet_tensor::Tensor;
-use rayon::prelude::*;
 
 use crate::experiments::grid::{execute_cell, CellSpec, ExperimentGrid};
 use crate::experiments::{figures, table1};
+use crate::queue::{run_workers, BoundedQueue};
 use crate::report::{CellOutput, CellReport, CellStatus, RunReport, RESULTS_SCHEMA};
 use crate::{BlurNetError, Result, Scale};
 
@@ -283,22 +283,11 @@ impl ExperimentScheduler {
         );
 
         let started = Instant::now();
-        if workers == 1 {
-            // Single-worker runs keep the whole rayon budget available to
-            // the batch engine inside each cell.
-            exec.worker_loop(0, false, &started);
-        } else {
-            let mut ids: Vec<usize> = (0..workers).collect();
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(workers)
-                .build()
-                .map_err(|e| BlurNetError::BadConfig(format!("worker pool: {e}")))?;
-            pool.install(|| {
-                ids.par_chunks_mut(1).for_each(|id| {
-                    exec.worker_loop(id[0], true, &started);
-                });
-            });
-        }
+        // `run_workers` runs a single worker inline (keeping the whole
+        // rayon budget available to the batch engine inside each cell) and
+        // a multi-worker fleet on a dedicated pool.
+        let pin_intra = workers > 1;
+        run_workers(workers, |id| exec.worker_loop(id, pin_intra, &started));
         let wall_ns = started.elapsed().as_nanos() as u64;
 
         let (report, node_profiles) = exec.into_results(self.scale, self.seed, grid)?;
@@ -384,8 +373,6 @@ struct SchedState {
     pending: Vec<usize>,
     /// Failure (or skip) reason per node, if any.
     failed: Vec<Option<String>>,
-    /// The bounded ready queue (capacity = node count, fixed up front).
-    queue: VecDeque<usize>,
     /// Completed node count (success, failure or skip).
     completed: usize,
 }
@@ -398,7 +385,9 @@ struct Executor {
     nodes: Vec<Node>,
     dependents: Vec<Vec<usize>>,
     state: Mutex<SchedState>,
-    ready: Condvar,
+    /// The shared bounded ready queue (capacity = node count, so pushes
+    /// never block; closed once every node has completed).
+    ready: BoundedQueue<usize>,
     scale: Scale,
     dataset: SignDataset,
     images: Vec<Tensor>,
@@ -433,11 +422,11 @@ impl Executor {
             }
         }
         // Seed the bounded queue with every dependency-free node, in node
-        // order.
-        let mut queue = VecDeque::with_capacity(nodes.len());
+        // order. Capacity = node count, so no push can ever block.
+        let ready = BoundedQueue::new(nodes.len());
         for (id, &p) in pending.iter().enumerate() {
             if p == 0 {
-                queue.push_back(id);
+                ready.push(id).expect("freshly built queue is open");
             }
         }
         let cell_slots = (0..grid.len()).map(|_| Mutex::new(None)).collect();
@@ -447,10 +436,9 @@ impl Executor {
             state: Mutex::new(SchedState {
                 pending,
                 failed: vec![None; nodes.len()],
-                queue,
                 completed: 0,
             }),
-            ready: Condvar::new(),
+            ready,
             scale,
             dataset,
             images,
@@ -467,32 +455,17 @@ impl Executor {
     }
 
     /// One scheduler worker: pull ready nodes from the bounded queue until
-    /// the whole DAG has completed. With `pin_intra` set, each node's
-    /// nested rayon regions are pinned to one thread (the thread budget is
-    /// already spent on the cell dimension).
+    /// it closes (which [`Executor::complete`] does once the whole DAG has
+    /// completed). With `pin_intra` set, each node's nested rayon regions
+    /// are pinned to one thread (the thread budget is already spent on the
+    /// cell dimension).
     fn worker_loop(&self, worker: usize, pin_intra: bool, run_start: &Instant) {
         let inner = if pin_intra {
             rayon::ThreadPoolBuilder::new().num_threads(1).build().ok()
         } else {
             None
         };
-        loop {
-            let id = {
-                let mut st = self.state.lock().expect("scheduler state poisoned");
-                loop {
-                    if let Some(id) = st.queue.pop_front() {
-                        break id;
-                    }
-                    if st.completed == self.nodes.len() {
-                        return;
-                    }
-                    st = self
-                        .ready
-                        .wait(st)
-                        .expect("scheduler state poisoned while waiting");
-                }
-            };
-
+        while let Some(id) = self.ready.pop() {
             let start_ns = run_start.elapsed().as_nanos() as u64;
             let node_start = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| match &inner {
@@ -529,60 +502,77 @@ impl Executor {
 
     /// Marks `id` complete (with an optional failure), releases newly
     /// ready dependents into the queue, and transitively skips dependents
-    /// of failed nodes — all under one lock acquisition.
+    /// of failed nodes. Bookkeeping runs under the state lock; queue pushes
+    /// happen after it is released (they can never block — the queue's
+    /// capacity is the node count — but the queue owns its own lock and we
+    /// never hold two).
     fn complete(&self, id: usize, error: Option<String>) {
-        let mut st = self.state.lock().expect("scheduler state poisoned");
-        if let Some(error) = &error {
-            if let NodeKind::Cell(cell) = self.nodes[id].kind {
-                *self.cell_slots[cell].lock().expect("cell slot poisoned") = Some((
-                    CellStatus::Failed {
-                        error: error.clone(),
-                    },
-                    None,
-                ));
-            }
-            st.failed[id] = Some(error.clone());
-        }
-        st.completed += 1;
-        // Walk completions breadth-first: a failed prerequisite marks its
-        // dependents skipped, which completes them, which may cascade.
-        let mut frontier = vec![id];
-        while let Some(done) = frontier.pop() {
-            for &dep in &self.dependents[done] {
-                st.pending[dep] -= 1;
-                if st.pending[dep] > 0 {
-                    continue;
+        let mut newly_ready = Vec::new();
+        let all_done = {
+            let mut st = self.state.lock().expect("scheduler state poisoned");
+            if let Some(error) = &error {
+                if let NodeKind::Cell(cell) = self.nodes[id].kind {
+                    *self.cell_slots[cell].lock().expect("cell slot poisoned") = Some((
+                        CellStatus::Failed {
+                            error: error.clone(),
+                        },
+                        None,
+                    ));
                 }
-                // Every dependency has completed: the node is runnable only
-                // if ALL of them succeeded. Checking the full dep list (not
-                // just `done`) matters when the failed dependency completed
-                // earlier than the one whose completion released the node.
-                let failed_dep = self.nodes[dep]
-                    .deps
-                    .iter()
-                    .find(|&&d| st.failed[d].is_some())
-                    .copied();
-                if let Some(bad) = failed_dep {
-                    let cause = st.failed[bad].clone().expect("checked above");
-                    let reason = format!("prerequisite {} failed: {cause}", self.nodes[bad].name);
-                    if let NodeKind::Cell(cell) = self.nodes[dep].kind {
-                        *self.cell_slots[cell].lock().expect("cell slot poisoned") = Some((
-                            CellStatus::Skipped {
-                                reason: reason.clone(),
-                            },
-                            None,
-                        ));
+                st.failed[id] = Some(error.clone());
+            }
+            st.completed += 1;
+            // Walk completions breadth-first: a failed prerequisite marks
+            // its dependents skipped, which completes them, which may
+            // cascade.
+            let mut frontier = vec![id];
+            while let Some(done) = frontier.pop() {
+                for &dep in &self.dependents[done] {
+                    st.pending[dep] -= 1;
+                    if st.pending[dep] > 0 {
+                        continue;
                     }
-                    st.failed[dep] = Some(reason);
-                    st.completed += 1;
-                    frontier.push(dep);
-                } else {
-                    st.queue.push_back(dep);
+                    // Every dependency has completed: the node is runnable
+                    // only if ALL of them succeeded. Checking the full dep
+                    // list (not just `done`) matters when the failed
+                    // dependency completed earlier than the one whose
+                    // completion released the node.
+                    let failed_dep = self.nodes[dep]
+                        .deps
+                        .iter()
+                        .find(|&&d| st.failed[d].is_some())
+                        .copied();
+                    if let Some(bad) = failed_dep {
+                        let cause = st.failed[bad].clone().expect("checked above");
+                        let reason =
+                            format!("prerequisite {} failed: {cause}", self.nodes[bad].name);
+                        if let NodeKind::Cell(cell) = self.nodes[dep].kind {
+                            *self.cell_slots[cell].lock().expect("cell slot poisoned") = Some((
+                                CellStatus::Skipped {
+                                    reason: reason.clone(),
+                                },
+                                None,
+                            ));
+                        }
+                        st.failed[dep] = Some(reason);
+                        st.completed += 1;
+                        frontier.push(dep);
+                    } else {
+                        newly_ready.push(dep);
+                    }
                 }
             }
+            st.completed == self.nodes.len()
+        };
+        for dep in newly_ready {
+            // Cannot fail: the queue only closes below, after every node
+            // (including `dep`) has completed.
+            let _ = self.ready.push(dep);
         }
-        // Wake workers for new work or for shutdown.
-        self.ready.notify_all();
+        if all_done {
+            // Wake every blocked worker for shutdown.
+            self.ready.close();
+        }
     }
 
     /// Executes one node's work.

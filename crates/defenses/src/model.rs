@@ -104,6 +104,39 @@ impl DefendedModel {
         }
     }
 
+    /// Applies the defense's input-space preprocessing (if any) to an
+    /// `[N, C, H, W]` batch. Each image is filtered independently, so the
+    /// result of row `i` never depends on which other images share the
+    /// batch — the property the serving path's micro-batching relies on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filtering errors.
+    pub fn preprocess_batch(&self, images: &Tensor) -> Result<Tensor> {
+        match &self.defense {
+            DefenseKind::InputFilter { kernel } => filter_images(images, *kernel),
+            _ => Ok(images.clone()),
+        }
+    }
+
+    /// Whether the defense rewrites the input image before the network
+    /// sees it (true only for [`DefenseKind::InputFilter`]). When it does,
+    /// comparing the defended prediction against the raw-input prediction
+    /// gives a per-request defense verdict.
+    pub fn has_input_preprocessing(&self) -> bool {
+        matches!(self.defense, DefenseKind::InputFilter { .. })
+    }
+
+    /// Whether the defended inference path is a pure function of each
+    /// input image. Every defense qualifies except
+    /// [`DefenseKind::RandomizedSmoothing`], whose Monte-Carlo vote draws
+    /// from a stateful RNG — its prediction depends on how many images
+    /// were classified before, so it cannot honor the serving subsystem's
+    /// "micro-batched ≡ single-request" bit-identity guarantee.
+    pub fn deterministic_inference(&self) -> bool {
+        !matches!(self.defense, DefenseKind::RandomizedSmoothing { .. })
+    }
+
     /// Classifies one `[C, H, W]` image through the defended inference
     /// path.
     ///
@@ -149,11 +182,10 @@ impl DefendedModel {
                 .iter()
                 .map(|image| self.classify_one(image))
                 .collect(),
-            DefenseKind::InputFilter { kernel } => {
-                let filtered = filter_images(&Tensor::stack(images)?, *kernel)?;
-                Ok(self.net.predict_batch(&filtered)?)
+            _ => {
+                let preprocessed = self.preprocess_batch(&Tensor::stack(images)?)?;
+                Ok(self.net.predict_batch(&preprocessed)?)
             }
-            _ => Ok(self.net.predict_batch(&Tensor::stack(images)?)?),
         }
     }
 
@@ -181,17 +213,9 @@ impl DefendedModel {
                 }
                 correct
             }
-            DefenseKind::InputFilter { kernel } => {
-                let filtered = filter_images(&batch.images, *kernel)?;
-                let preds = self.net.predict_batch(&filtered)?;
-                preds
-                    .iter()
-                    .zip(batch.labels.iter())
-                    .filter(|(p, l)| p == l)
-                    .count()
-            }
             _ => {
-                let preds = self.net.predict_batch(&batch.images)?;
+                let preprocessed = self.preprocess_batch(&batch.images)?;
+                let preds = self.net.predict_batch(&preprocessed)?;
                 preds
                     .iter()
                     .zip(batch.labels.iter())
@@ -312,6 +336,49 @@ mod tests {
         }
         let mut model = untrained(DefenseKind::Baseline);
         assert!(model.classify_set(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn preprocess_batch_matches_per_image_preprocess() {
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| {
+                let mut img = Tensor::full(&[3, 16, 16], 0.3 + 0.2 * i as f32);
+                img.set(&[0, 4 + i, 4], 1.0).unwrap();
+                img
+            })
+            .collect();
+        let stacked = Tensor::stack(&images).unwrap();
+        for defense in [
+            DefenseKind::Baseline,
+            DefenseKind::InputFilter { kernel: 3 },
+            DefenseKind::FeatureFilter { kernel: 5 },
+        ] {
+            let model = untrained(defense.clone());
+            let batched = model.preprocess_batch(&stacked).unwrap();
+            for (i, image) in images.iter().enumerate() {
+                let solo = model.preprocess(image).unwrap();
+                assert_eq!(
+                    batched.batch_item(i).unwrap(),
+                    solo,
+                    "defense {defense:?}, image {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serving_capability_predicates() {
+        assert!(untrained(DefenseKind::Baseline).deterministic_inference());
+        assert!(!untrained(DefenseKind::Baseline).has_input_preprocessing());
+        let filtered = untrained(DefenseKind::InputFilter { kernel: 3 });
+        assert!(filtered.deterministic_inference());
+        assert!(filtered.has_input_preprocessing());
+        let smoothed = untrained(DefenseKind::RandomizedSmoothing {
+            sigma: 0.1,
+            samples: 5,
+        });
+        assert!(!smoothed.deterministic_inference());
+        assert!(!smoothed.has_input_preprocessing());
     }
 
     #[test]

@@ -560,6 +560,22 @@ impl<'n> BatchEngine<'n> {
     pub fn predict(&self, input: &Tensor) -> Result<Vec<usize>> {
         loss::predictions(&self.forward(input)?)
     }
+
+    /// Class prediction plus its softmax probability for every image of a
+    /// batch, through the batch-parallel path.
+    ///
+    /// This is the serving subsystem's response surface: because both the
+    /// sharded forward pass and [`loss::confidences`] treat every image
+    /// independently, each `(label, confidence)` pair is **bit-identical**
+    /// no matter which other requests were coalesced into the same batch —
+    /// at every batch size, shard size and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatchEngine::forward`] errors.
+    pub fn classify_with_confidence(&self, input: &Tensor) -> Result<Vec<(usize, f32)>> {
+        loss::confidences(&self.forward(input)?)
+    }
 }
 
 #[cfg(test)]
@@ -629,6 +645,34 @@ mod tests {
         let expected = net.predict(&batch).unwrap();
         let engine = BatchEngine::new(&net).unwrap();
         assert_eq!(engine.predict(&batch).unwrap(), expected);
+    }
+
+    #[test]
+    fn classify_with_confidence_is_batch_invariant() {
+        let net = lisa_net(21);
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let batch = Tensor::rand_uniform(&[6, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let engine = BatchEngine::new(&net).unwrap();
+        let batched = engine.classify_with_confidence(&batch).unwrap();
+        assert_eq!(batched.len(), 6);
+        // Each image classified alone must reproduce its batched result
+        // bit-for-bit — the serving determinism contract.
+        for (i, expected) in batched.iter().enumerate() {
+            let solo = engine
+                .classify_with_confidence(&batch.batch_slice(i, 1).unwrap())
+                .unwrap()[0];
+            assert_eq!(solo.0, expected.0, "label diverged for image {i}");
+            assert_eq!(
+                solo.1.to_bits(),
+                expected.1.to_bits(),
+                "confidence bits diverged for image {i}"
+            );
+        }
+        // Labels agree with the plain predict path.
+        assert_eq!(
+            batched.iter().map(|&(l, _)| l).collect::<Vec<_>>(),
+            engine.predict(&batch).unwrap()
+        );
     }
 
     #[test]

@@ -107,6 +107,43 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
     Ok(correct as f32 / n as f32)
 }
 
+/// Predicted class index **and** its softmax probability for every row of
+/// a `[N, classes]` logits tensor.
+///
+/// Each row is processed independently with the numerically stable
+/// formulation `p = 1 / Σ_j exp(v_j − v_best)`, so a row's result depends
+/// only on that row — batching rows together can never change a row's
+/// confidence, which is what lets the serving path guarantee micro-batched
+/// responses bit-identical to single-request execution.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadConfig`] if the input is not rank 2.
+pub fn confidences(logits: &Tensor) -> Result<Vec<(usize, f32)>> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::BadConfig(format!(
+            "expected [N, classes] logits, got {}",
+            logits.shape()
+        )));
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let d = logits.data();
+    Ok((0..n)
+        .map(|i| {
+            let row = &d[i * c..(i + 1) * c];
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            // v_best is the row max, so every exponent is ≤ 0: stable.
+            let denom: f32 = row.iter().map(|&v| (v - row[best]).exp()).sum();
+            (best, 1.0 / denom)
+        })
+        .collect())
+}
+
 /// Predicted class index for every row of a `[N, classes]` logits tensor.
 ///
 /// # Errors
@@ -198,11 +235,41 @@ mod tests {
     }
 
     #[test]
+    fn confidences_match_softmax_argmax_and_are_row_local() {
+        let logits =
+            Tensor::from_vec(vec![2.0, 1.0, 0.0, 0.0, 0.5, 3.0, 1.0, 0.0, -1.0], &[3, 3]).unwrap();
+        let conf = confidences(&logits).unwrap();
+        let probs = softmax(&logits).unwrap();
+        assert_eq!(
+            conf.iter().map(|&(l, _)| l).collect::<Vec<_>>(),
+            predictions(&logits).unwrap()
+        );
+        for (i, &(label, p)) in conf.iter().enumerate() {
+            assert!((p - probs.get(&[i, label]).unwrap()).abs() < 1e-6);
+            assert!(p > 0.0 && p <= 1.0);
+        }
+        // Row-local: a row's confidence is bit-identical whether computed
+        // in a batch or alone (the serving determinism contract).
+        for (i, expected) in conf.iter().enumerate() {
+            let row = logits.batch_slice(i, 1).unwrap();
+            let solo = confidences(&row).unwrap()[0];
+            assert_eq!(solo.0, expected.0);
+            assert_eq!(solo.1.to_bits(), expected.1.to_bits());
+        }
+        // Stable on extreme logits.
+        let extreme = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]).unwrap();
+        let (label, p) = confidences(&extreme).unwrap()[0];
+        assert_eq!(label, 0);
+        assert!(p.is_finite() && (p - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
     fn label_validation() {
         let logits = Tensor::zeros(&[2, 3]);
         assert!(softmax_cross_entropy(&logits, &[0]).is_err());
         assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
         assert!(accuracy(&logits, &[0, 5]).is_err());
         assert!(softmax(&Tensor::zeros(&[3])).is_err());
+        assert!(confidences(&Tensor::zeros(&[3])).is_err());
     }
 }

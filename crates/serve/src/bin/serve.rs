@@ -1,0 +1,150 @@
+//! Long-running TCP classification service over a defended model.
+//!
+//! ```bash
+//! # Serve the input-filter defense with the default "batch 32 or 2 ms"
+//! # micro-batching profile:
+//! cargo run --release -p blurnet-serve --bin serve -- \
+//!     --addr 127.0.0.1:7878 --defense input-filter:3
+//! # Tighter latency profile, four batch workers:
+//! cargo run --release -p blurnet-serve --bin serve -- \
+//!     --batch-max 8 --window-us 500 --workers 4
+//! ```
+//!
+//! The model is trained (or pulled from the variant cache) at startup via
+//! the shared [`ModelZoo`]; `BLURNET_SCALE` (smoke/quick/paper) selects
+//! the training effort exactly as for the experiment binaries. The
+//! process then serves until killed, or until `--max-conns N` connections
+//! have been handled (the shape CI's smoke run uses). `--ready-file PATH`
+//! writes the bound address once the listener is up, so orchestration
+//! scripts can wait for readiness without polling the port.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use blurnet::{ModelZoo, Scale};
+use blurnet_defenses::DefenseKind;
+use blurnet_serve::protocol::{serve_connections, Handshake};
+use blurnet_serve::{ClassifyService, ServeConfig};
+
+/// Seed matching the experiment binaries (`blurnet_bench::EXPERIMENT_SEED`)
+/// so the served weights are the same ones the tables were produced from.
+const DEFAULT_SEED: u64 = 7;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--defense baseline|input-filter:K|feature-filter:K] \
+         [--batch-max N] [--window-us U] [--workers N] [--queue-depth N] [--seed S] \
+         [--max-conns N] [--ready-file PATH]"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    addr: String,
+    defense: DefenseKind,
+    config: ServeConfig,
+    seed: u64,
+    max_conns: Option<usize>,
+    ready_file: Option<std::path::PathBuf>,
+}
+
+fn parse_defense(spec: &str) -> Option<DefenseKind> {
+    if spec == "baseline" {
+        return Some(DefenseKind::Baseline);
+    }
+    let (name, kernel) = spec.split_once(':')?;
+    let kernel: usize = kernel.parse().ok()?;
+    match name {
+        "input-filter" => Some(DefenseKind::InputFilter { kernel }),
+        "feature-filter" => Some(DefenseKind::FeatureFilter { kernel }),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        defense: DefenseKind::InputFilter { kernel: 3 },
+        config: ServeConfig::default(),
+        seed: DEFAULT_SEED,
+        max_conns: None,
+        ready_file: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = || iter.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => args.addr = value(),
+            "--defense" => {
+                args.defense = parse_defense(&value()).unwrap_or_else(|| usage());
+            }
+            "--batch-max" => {
+                args.config.max_batch = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--window-us" => {
+                let us: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.config.flush_window = Duration::from_micros(us);
+            }
+            "--workers" => {
+                args.config.workers = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--queue-depth" => {
+                args.config.queue_depth = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => {
+                args.max_conns = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--ready-file" => args.ready_file = Some(value().into()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = Scale::from_env();
+    eprintln!(
+        "# blurnet serve — scale: {scale}, defense: {}, flush at batch {} or {:?}, {} worker(s)",
+        args.defense.label(),
+        args.config.max_batch.max(1),
+        args.config.flush_window,
+        args.config.workers.max(1),
+    );
+
+    let mut zoo = ModelZoo::new(scale, args.seed)
+        .unwrap_or_else(|e| panic!("failed to build the model zoo: {e}"));
+    let model = zoo
+        .get_or_train_shared(&args.defense)
+        .unwrap_or_else(|e| panic!("failed to train/load the model: {e}"));
+    drop(zoo);
+
+    let max_batch = args.config.max_batch.max(1);
+    let flush_window = args.config.flush_window;
+    let service = ClassifyService::new(Arc::clone(&model), args.config)
+        .unwrap_or_else(|e| panic!("cannot start the service: {e}"));
+    let handshake = Handshake::new(service.info(), max_batch, flush_window);
+    let client = service.client();
+
+    let listener =
+        TcpListener::bind(&args.addr).unwrap_or_else(|e| panic!("cannot bind {}: {e}", args.addr));
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.addr.clone());
+    eprintln!("# listening on {bound}");
+    if let Some(path) = &args.ready_file {
+        std::fs::write(path, &bound)
+            .unwrap_or_else(|e| panic!("cannot write ready file {}: {e}", path.display()));
+    }
+
+    if let Err(e) = serve_connections(&listener, &client, &handshake, args.max_conns) {
+        eprintln!("serve: listener failed: {e}");
+        std::process::exit(1);
+    }
+    service
+        .shutdown()
+        .unwrap_or_else(|e| panic!("shutdown failed: {e}"));
+}

@@ -1,0 +1,421 @@
+//! TCP wire protocol for the classification service.
+//!
+//! The protocol is deliberately minimal and fully deterministic: after a
+//! one-line JSON handshake from the server, every message is fixed-layout
+//! binary with little-endian integers and `f32` payloads transported as
+//! raw bits, so the bytes on the wire are exactly as reproducible as the
+//! engine outputs behind them.
+//!
+//! ```text
+//! server → client   handshake: one JSON line (schema, model dims, defense,
+//!                   batching profile), terminated by `\n`
+//! client → server   request:  u32 LE element count, then that many f32 LE
+//!                   (count 0 = goodbye, connection closes)
+//! server → client   response: u8 status
+//!                     0 (ok):    u32 LE label, u32 LE confidence f32 bits,
+//!                                u8 verdict (0 = clean, 1 = flagged)
+//!                     1 (error): u32 LE byte length, UTF-8 message
+//! ```
+//!
+//! Requests on one connection are answered in order; concurrency comes
+//! from opening multiple connections, which all feed the same
+//! micro-batching queue and therefore coalesce into shared batches.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use blurnet_tensor::Tensor;
+use serde::Value;
+
+use crate::{Classification, DefenseVerdict, ModelInfo, Result, ServeClient, ServeError};
+
+/// Protocol identifier sent in the handshake's `schema` field.
+pub const SCHEMA: &str = "blurnet-serve/1";
+
+/// Response status byte: request answered.
+const STATUS_OK: u8 = 0;
+/// Response status byte: request failed; an error message follows.
+const STATUS_ERR: u8 = 1;
+
+/// The server's opening JSON line, describing the model and batching
+/// profile so clients can size payloads without out-of-band knowledge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handshake {
+    /// Protocol identifier; always [`SCHEMA`] for this version.
+    pub schema: String,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Expected image shape, `[channels, height, width]`.
+    pub input_dims: [usize; 3],
+    /// Label of the defense variant being served.
+    pub defense: String,
+    /// The service's size-triggered flush threshold.
+    pub max_batch: usize,
+    /// The service's deadline-triggered flush window, in microseconds.
+    pub window_us: u64,
+}
+
+impl Handshake {
+    /// Number of `f32` elements in one request image.
+    pub fn elements(&self) -> usize {
+        self.input_dims.iter().product()
+    }
+
+    /// Builds the handshake for a service's model and batching profile.
+    pub fn new(info: &ModelInfo, max_batch: usize, flush_window: Duration) -> Self {
+        Handshake {
+            schema: SCHEMA.to_string(),
+            classes: info.classes,
+            input_dims: info.input_dims,
+            defense: info.defense.clone(),
+            max_batch,
+            window_us: flush_window.as_micros() as u64,
+        }
+    }
+
+    /// Encodes the handshake as its one-line JSON wire form (no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let value = Value::Map(vec![
+            ("schema".into(), Value::Str(self.schema.clone())),
+            ("classes".into(), Value::Int(self.classes as i64)),
+            (
+                "input_dims".into(),
+                Value::Seq(
+                    self.input_dims
+                        .iter()
+                        .map(|&d| Value::Int(d as i64))
+                        .collect(),
+                ),
+            ),
+            ("defense".into(), Value::Str(self.defense.clone())),
+            ("max_batch".into(), Value::Int(self.max_batch as i64)),
+            ("window_us".into(), Value::Int(self.window_us as i64)),
+        ]);
+        serde_json::to_string(&value).expect("handshake serialization is infallible")
+    }
+
+    /// Parses the handshake from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for malformed JSON, a missing
+    /// field, or an unknown schema identifier.
+    pub fn from_json(line: &str) -> Result<Self> {
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| ServeError::Protocol(format!("bad handshake JSON: {e}")))?;
+        let field = |key: &str| {
+            value
+                .get_field(key)
+                .ok_or_else(|| ServeError::Protocol(format!("handshake missing `{key}`")))
+        };
+        let as_usize = |key: &str| -> Result<usize> {
+            match field(key)? {
+                Value::Int(i) if *i >= 0 => Ok(*i as usize),
+                Value::UInt(u) => Ok(*u as usize),
+                other => Err(ServeError::Protocol(format!(
+                    "handshake `{key}` is not a non-negative integer: {other:?}"
+                ))),
+            }
+        };
+        let schema = match field("schema")? {
+            Value::Str(s) => s.clone(),
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "handshake `schema` is not a string: {other:?}"
+                )))
+            }
+        };
+        if schema != SCHEMA {
+            return Err(ServeError::Protocol(format!(
+                "unknown protocol schema {schema:?} (expected {SCHEMA:?})"
+            )));
+        }
+        let defense = match field("defense")? {
+            Value::Str(s) => s.clone(),
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "handshake `defense` is not a string: {other:?}"
+                )))
+            }
+        };
+        let dims = match field("input_dims")? {
+            Value::Seq(items) if items.len() == 3 => {
+                let mut dims = [0usize; 3];
+                for (slot, item) in dims.iter_mut().zip(items) {
+                    *slot = match item {
+                        Value::Int(i) if *i >= 0 => *i as usize,
+                        Value::UInt(u) => *u as usize,
+                        other => {
+                            return Err(ServeError::Protocol(format!(
+                                "handshake `input_dims` entry is not an integer: {other:?}"
+                            )))
+                        }
+                    };
+                }
+                dims
+            }
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "handshake `input_dims` is not a 3-element array: {other:?}"
+                )))
+            }
+        };
+        Ok(Handshake {
+            schema,
+            classes: as_usize("classes")?,
+            input_dims: dims,
+            defense,
+            max_batch: as_usize("max_batch")?,
+            window_us: as_usize("window_us")? as u64,
+        })
+    }
+}
+
+fn read_u32(reader: &mut impl Read) -> std::io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u8(reader: &mut impl Read) -> std::io::Result<u8> {
+    let mut buf = [0u8; 1];
+    reader.read_exact(&mut buf)?;
+    Ok(buf[0])
+}
+
+/// Writes one response message (either status) to `writer`.
+fn write_response(writer: &mut impl Write, result: &Result<Classification>) -> std::io::Result<()> {
+    match result {
+        Ok(c) => {
+            writer.write_all(&[STATUS_OK])?;
+            writer.write_all(&(c.label as u32).to_le_bytes())?;
+            writer.write_all(&c.confidence.to_bits().to_le_bytes())?;
+            writer.write_all(&[match c.verdict {
+                DefenseVerdict::Clean => 0u8,
+                DefenseVerdict::Flagged => 1u8,
+            }])?;
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            writer.write_all(&[STATUS_ERR])?;
+            writer.write_all(&(msg.len() as u32).to_le_bytes())?;
+            writer.write_all(msg.as_bytes())?;
+        }
+    }
+    writer.flush()
+}
+
+/// Serves one accepted connection until the client says goodbye (element
+/// count 0) or the socket drops. Malformed-size requests are answered
+/// with an error response and the payload is drained, keeping the
+/// connection usable.
+fn serve_connection(stream: TcpStream, client: &ServeClient, handshake: &Handshake) -> Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writer.write_all(handshake.to_json().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+
+    let expected = handshake.elements();
+    loop {
+        let count = match read_u32(&mut reader) {
+            Ok(count) => count as usize,
+            // A hangup between requests is a normal goodbye.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        if count == 0 {
+            return Ok(());
+        }
+        let mut payload = vec![0u8; count * 4];
+        reader.read_exact(&mut payload)?;
+        if count != expected {
+            let err = Err(ServeError::BadInput(format!(
+                "expected {expected} f32 elements per image, got {count}"
+            )));
+            write_response(&mut writer, &err)?;
+            continue;
+        }
+        let values: Vec<f32> = payload
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        let result = Tensor::from_vec(values, &handshake.input_dims)
+            .map_err(ServeError::from)
+            .and_then(|image| client.classify(image));
+        write_response(&mut writer, &result)?;
+    }
+}
+
+/// Accepts connections on `listener` and serves each on its own thread,
+/// all feeding the shared micro-batching service behind `client`.
+///
+/// With `max_conns = Some(n)` the loop returns after accepting (and fully
+/// serving) `n` connections — the shape the tests and the CI smoke run
+/// use; `None` serves forever. Per-connection protocol errors are
+/// reported on that connection and do not take the server down.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] only for accept-loop failures on the
+/// listener itself.
+pub fn serve_connections(
+    listener: &TcpListener,
+    client: &ServeClient,
+    handshake: &Handshake,
+    max_conns: Option<usize>,
+) -> Result<()> {
+    let mut handles = Vec::new();
+    for (served, conn) in listener.incoming().enumerate() {
+        let stream = conn?;
+        let client = client.clone();
+        let handshake = handshake.clone();
+        handles.push(std::thread::spawn(move || {
+            if let Err(e) = serve_connection(stream, &client, &handshake) {
+                eprintln!("serve: connection error: {e}");
+            }
+        }));
+        if max_conns.is_some_and(|n| served + 1 >= n) {
+            break;
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// A blocking TCP client for the service: one connection, requests
+/// answered in order.
+#[derive(Debug)]
+pub struct RemoteClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    handshake: Handshake,
+}
+
+impl RemoteClient {
+    /// Connects and reads the server's handshake line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for socket failures and
+    /// [`ServeError::Protocol`] for a malformed handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let handshake = Handshake::from_json(line.trim_end())?;
+        Ok(RemoteClient {
+            reader,
+            writer,
+            handshake,
+        })
+    }
+
+    /// The server's handshake (model dims, defense, batching profile).
+    pub fn handshake(&self) -> &Handshake {
+        &self.handshake
+    }
+
+    /// Sends one image (row-major `[C, H, W]` values) and blocks for its
+    /// classification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] for a wrong element count
+    /// (checked locally), the server's error for failed requests, and
+    /// [`ServeError::Io`]/[`ServeError::Protocol`] for transport faults.
+    pub fn classify(&mut self, values: &[f32]) -> Result<Classification> {
+        let expected = self.handshake.elements();
+        if values.len() != expected {
+            return Err(ServeError::BadInput(format!(
+                "expected {expected} f32 elements per image, got {}",
+                values.len()
+            )));
+        }
+        let mut payload = Vec::with_capacity(4 + values.len() * 4);
+        payload.extend_from_slice(&(values.len() as u32).to_le_bytes());
+        for v in values {
+            payload.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.writer.write_all(&payload)?;
+        self.writer.flush()?;
+
+        match read_u8(&mut self.reader)? {
+            STATUS_OK => {
+                let label = read_u32(&mut self.reader)? as usize;
+                let confidence = f32::from_bits(read_u32(&mut self.reader)?);
+                let verdict = match read_u8(&mut self.reader)? {
+                    0 => DefenseVerdict::Clean,
+                    1 => DefenseVerdict::Flagged,
+                    other => {
+                        return Err(ServeError::Protocol(format!(
+                            "unknown verdict byte {other}"
+                        )))
+                    }
+                };
+                Ok(Classification {
+                    label,
+                    confidence,
+                    verdict,
+                })
+            }
+            STATUS_ERR => {
+                let len = read_u32(&mut self.reader)? as usize;
+                let mut msg = vec![0u8; len];
+                self.reader.read_exact(&mut msg)?;
+                Err(ServeError::Worker(
+                    String::from_utf8_lossy(&msg).into_owned(),
+                ))
+            }
+            other => Err(ServeError::Protocol(format!(
+                "unknown response status byte {other}"
+            ))),
+        }
+    }
+
+    /// Tells the server this connection is done (element count 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the goodbye cannot be written.
+    pub fn goodbye(mut self) -> Result<()> {
+        self.writer.write_all(&0u32.to_le_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_json_roundtrip() {
+        let handshake = Handshake {
+            schema: SCHEMA.to_string(),
+            classes: 17,
+            input_dims: [3, 32, 32],
+            defense: "input_filter(k=3)".to_string(),
+            max_batch: 32,
+            window_us: 2000,
+        };
+        let parsed = Handshake::from_json(&handshake.to_json()).expect("roundtrip parses");
+        assert_eq!(parsed, handshake);
+        assert_eq!(parsed.elements(), 3 * 32 * 32);
+    }
+
+    #[test]
+    fn handshake_rejects_garbage() {
+        assert!(Handshake::from_json("not json").is_err());
+        assert!(Handshake::from_json("{}").is_err());
+        let wrong_schema = r#"{"schema":"other/9","classes":2,"input_dims":[1,8,8],"defense":"baseline","max_batch":4,"window_us":0}"#;
+        assert!(Handshake::from_json(wrong_schema).is_err());
+    }
+}

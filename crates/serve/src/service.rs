@@ -1,0 +1,447 @@
+//! The micro-batching classification service (see the crate docs for the
+//! request lifecycle and determinism guarantees).
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use blurnet::queue::{BoundedQueue, PopTimeout};
+use blurnet_defenses::DefendedModel;
+use blurnet_nn::BatchEngine;
+use blurnet_tensor::Tensor;
+
+use crate::{Result, ServeError};
+
+/// Tuning knobs for one [`ClassifyService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Size-triggered flush: a batch is dispatched as soon as it holds
+    /// this many requests (clamped to at least 1).
+    pub max_batch: usize,
+    /// Deadline-triggered flush: a batch is dispatched at most this long
+    /// after its first request arrived, however full it is. A zero window
+    /// still coalesces whatever is already waiting in the admission queue.
+    pub flush_window: Duration,
+    /// Batch workers draining the flushed batches. Each owns a prepacked
+    /// [`BatchEngine`] over the shared read-only weights; the engines'
+    /// intra-batch sharding additionally uses the ambient persistent rayon
+    /// pool (`RAYON_NUM_THREADS`).
+    pub workers: usize,
+    /// Admission queue capacity: how many requests may wait to be batched
+    /// before [`ServeClient::submit`] back-pressures (blocks) its caller.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    /// The "flush at batch 32 or 2 ms" profile from the roadmap, one batch
+    /// worker, and a 1024-request admission window.
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            flush_window: Duration::from_millis(2),
+            workers: 1,
+            queue_depth: 1024,
+        }
+    }
+}
+
+/// The defense's per-request verdict, alongside the classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefenseVerdict {
+    /// The defended and raw predictions agree (or the defense has no
+    /// input-space preprocessing to compare against).
+    Clean,
+    /// The defense's input preprocessing **changed the prediction** — the
+    /// input is sensitive to exactly the high-frequency structure the
+    /// filter removes, the signature of a sticker-style perturbation.
+    Flagged,
+}
+
+/// One classification response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Classification {
+    /// Predicted class index (argmax over the defended logits).
+    pub label: usize,
+    /// Softmax probability of the predicted class.
+    pub confidence: f32,
+    /// Whether the defense flagged the input (see [`DefenseVerdict`]).
+    pub verdict: DefenseVerdict,
+}
+
+/// What the service knows about its model, for clients and the wire
+/// handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Number of output classes.
+    pub classes: usize,
+    /// Expected image shape, `[channels, height, width]`.
+    pub input_dims: [usize; 3],
+    /// Human-readable label of the defense variant being served.
+    pub defense: String,
+}
+
+impl ModelInfo {
+    /// Number of `f32` elements in one request image.
+    pub fn elements(&self) -> usize {
+        self.input_dims.iter().product()
+    }
+}
+
+/// A pending response: block on [`Ticket::wait`] to receive it.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<Classification>>,
+}
+
+impl Ticket {
+    /// Blocks until the service answers this request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker's error, or [`ServeError::Shutdown`] if the
+    /// service died before answering.
+    pub fn wait(self) -> Result<Classification> {
+        self.rx
+            .recv()
+            .map_err(|_| ServeError::Shutdown("service dropped the request".into()))?
+    }
+}
+
+/// One queued request: the image and where to send its answer.
+struct Pending {
+    image: Tensor,
+    reply: SyncSender<Result<Classification>>,
+}
+
+/// A cheap, cloneable handle for submitting requests to a running
+/// [`ClassifyService`] from any thread.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    admission: Arc<BoundedQueue<Pending>>,
+    info: ModelInfo,
+}
+
+impl ServeClient {
+    /// The served model's metadata.
+    pub fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    /// Submits one `[C, H, W]` image and returns a [`Ticket`] for the
+    /// response, blocking only if the admission queue is full
+    /// (back-pressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] for a wrong image shape and
+    /// [`ServeError::Shutdown`] once the service is shutting down.
+    pub fn submit(&self, image: Tensor) -> Result<Ticket> {
+        if image.dims() != self.info.input_dims.as_slice() {
+            return Err(ServeError::BadInput(format!(
+                "expected a {:?} image, got {:?}",
+                self.info.input_dims,
+                image.dims()
+            )));
+        }
+        let (reply, rx) = sync_channel(1);
+        self.admission
+            .push(Pending { image, reply })
+            .map_err(|_| ServeError::Shutdown("admission queue closed".into()))?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits one image and blocks for its classification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeClient::submit`] and [`Ticket::wait`] errors.
+    pub fn classify(&self, image: Tensor) -> Result<Classification> {
+        self.submit(image)?.wait()
+    }
+}
+
+/// The long-running micro-batching service. Build with
+/// [`ClassifyService::new`], hand [`ServeClient`]s to request producers,
+/// and call [`ClassifyService::shutdown`] (or drop) to drain and stop.
+#[derive(Debug)]
+pub struct ClassifyService {
+    admission: Arc<BoundedQueue<Pending>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    info: ModelInfo,
+}
+
+impl ClassifyService {
+    /// Starts the service over a shared trained model: one batcher thread
+    /// plus [`ServeConfig::workers`] batch workers, each with its own
+    /// prepacked engine over the shared read-only weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] if the model's inference path is
+    /// not a pure per-image function (randomized smoothing), which would
+    /// break the micro-batched ≡ single-request bit-identity guarantee,
+    /// or if the network is empty.
+    pub fn new(model: Arc<DefendedModel>, config: ServeConfig) -> Result<Self> {
+        if !model.deterministic_inference() {
+            return Err(ServeError::BadConfig(format!(
+                "defense {} draws from a stateful RNG at inference time; its responses would \
+                 depend on request arrival order, so it cannot be served through the \
+                 micro-batching path",
+                model.defense().label()
+            )));
+        }
+        // Fail fast on an unbuildable engine instead of inside a worker.
+        BatchEngine::new(model.network()).map_err(|e| ServeError::BadConfig(e.to_string()))?;
+
+        let max_batch = config.max_batch.max(1);
+        let window = config.flush_window;
+        let worker_count = config.workers.max(1);
+        let info = ModelInfo {
+            classes: model.arch().num_classes,
+            input_dims: [
+                model.arch().in_channels,
+                model.arch().input_size,
+                model.arch().input_size,
+            ],
+            defense: model.defense().label(),
+        };
+
+        let admission: Arc<BoundedQueue<Pending>> =
+            Arc::new(BoundedQueue::new(config.queue_depth.max(1)));
+        // A couple of flushed batches per worker may wait; beyond that the
+        // batcher itself back-pressures.
+        let batches: Arc<BoundedQueue<Vec<Pending>>> =
+            Arc::new(BoundedQueue::new(worker_count * 2));
+
+        let batcher = {
+            let admission = Arc::clone(&admission);
+            let batches = Arc::clone(&batches);
+            std::thread::Builder::new()
+                .name("blurnet-serve-batcher".into())
+                .spawn(move || batcher_loop(&admission, &batches, max_batch, window))
+                .map_err(|e| ServeError::BadConfig(format!("cannot spawn batcher: {e}")))?
+        };
+
+        let mut workers = Vec::with_capacity(worker_count);
+        for id in 0..worker_count {
+            let model = Arc::clone(&model);
+            let batches = Arc::clone(&batches);
+            let handle = std::thread::Builder::new()
+                .name(format!("blurnet-serve-worker-{id}"))
+                .spawn(move || worker_loop(&model, &batches))
+                .map_err(|e| ServeError::BadConfig(format!("cannot spawn worker {id}: {e}")))?;
+            workers.push(handle);
+        }
+
+        Ok(ClassifyService {
+            admission,
+            batcher: Some(batcher),
+            workers,
+            info,
+        })
+    }
+
+    /// The served model's metadata.
+    pub fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+
+    /// A cheap, cloneable request handle bound to this service.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            admission: Arc::clone(&self.admission),
+            info: self.info.clone(),
+        }
+    }
+
+    /// Drains and stops the service: the admission queue closes (new
+    /// submissions fail fast), every request admitted before the close is
+    /// answered, and all threads are joined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Worker`] if a service thread panicked.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<()> {
+        self.admission.close();
+        let mut panicked = false;
+        if let Some(batcher) = self.batcher.take() {
+            panicked |= batcher.join().is_err();
+        }
+        for worker in self.workers.drain(..) {
+            panicked |= worker.join().is_err();
+        }
+        if panicked {
+            return Err(ServeError::Worker(
+                "a service thread panicked during the run".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ClassifyService {
+    /// Dropping the service drains it like [`ClassifyService::shutdown`]
+    /// (panics in service threads are swallowed — use `shutdown` to
+    /// observe them).
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+/// The single batcher thread: open a batch on the first waiting request,
+/// coalesce until `max_batch` or the flush window elapses, dispatch, and
+/// repeat. On admission close, the in-flight batch is flushed and the
+/// batch queue is closed behind it.
+fn batcher_loop(
+    admission: &BoundedQueue<Pending>,
+    batches: &BoundedQueue<Vec<Pending>>,
+    max_batch: usize,
+    window: Duration,
+) {
+    loop {
+        // Block for the first request of the next batch.
+        let Some(first) = admission.pop() else {
+            break; // closed and drained
+        };
+        let deadline = std::time::Instant::now() + window;
+        let mut batch = Vec::with_capacity(max_batch);
+        batch.push(first);
+        let mut admission_closed = false;
+        while batch.len() < max_batch {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            // `pop_timeout` hands out already-queued items even with an
+            // exhausted deadline, so a zero window still coalesces
+            // everything that is waiting.
+            match admission.pop_timeout(remaining) {
+                PopTimeout::Item(pending) => batch.push(pending),
+                PopTimeout::TimedOut => break,
+                PopTimeout::Closed => {
+                    admission_closed = true;
+                    break;
+                }
+            }
+        }
+        if batches.push(batch).is_err() {
+            // The batch queue only closes after this thread exits, so this
+            // is unreachable in practice; bail defensively (dropping the
+            // batch answers its tickets with Shutdown errors).
+            break;
+        }
+        if admission_closed {
+            break;
+        }
+    }
+    batches.close();
+}
+
+/// One batch worker: owns a prepacked engine over the shared weights and
+/// answers every request of every batch it pops.
+fn worker_loop(model: &DefendedModel, batches: &BoundedQueue<Vec<Pending>>) {
+    let engine = match BatchEngine::new(model.network()) {
+        Ok(engine) => engine,
+        Err(e) => {
+            // Checked in `ClassifyService::new`; if it fails here anyway,
+            // fail every batch cleanly rather than panicking.
+            let msg = e.to_string();
+            while let Some(batch) = batches.pop() {
+                for pending in batch {
+                    let _ = pending.reply.send(Err(ServeError::Worker(msg.clone())));
+                }
+            }
+            return;
+        }
+    };
+    while let Some(batch) = batches.pop() {
+        answer_batch(model, &engine, batch);
+    }
+}
+
+/// Classifies one flushed batch and answers every reply channel.
+fn answer_batch(model: &DefendedModel, engine: &BatchEngine<'_>, batch: Vec<Pending>) {
+    match classify_batch(model, engine, &batch) {
+        Ok(results) => {
+            for (pending, result) in batch.into_iter().zip(results) {
+                // A dropped receiver (client gave up) is not an error.
+                let _ = pending.reply.send(Ok(result));
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for pending in batch {
+                let _ = pending.reply.send(Err(ServeError::Worker(msg.clone())));
+            }
+        }
+    }
+}
+
+/// The defended classification of one coalesced batch: preprocessing +
+/// one engine pass (+ one raw pass for the verdict when the defense
+/// rewrites its input). Every step is per-image independent, which is
+/// what makes micro-batching invisible in the responses.
+fn classify_batch(
+    model: &DefendedModel,
+    engine: &BatchEngine<'_>,
+    batch: &[Pending],
+) -> Result<Vec<Classification>> {
+    let images: Vec<Tensor> = batch.iter().map(|p| p.image.clone()).collect();
+    let raw = Tensor::stack(&images)?;
+    let defended_input = model.preprocess_batch(&raw)?;
+    let defended = engine.classify_with_confidence(&defended_input)?;
+    let verdicts: Vec<DefenseVerdict> = if model.has_input_preprocessing() {
+        let raw_labels = engine.predict(&raw)?;
+        defended
+            .iter()
+            .zip(raw_labels)
+            .map(|(&(label, _), raw_label)| {
+                if label == raw_label {
+                    DefenseVerdict::Clean
+                } else {
+                    DefenseVerdict::Flagged
+                }
+            })
+            .collect()
+    } else {
+        vec![DefenseVerdict::Clean; defended.len()]
+    };
+    Ok(defended
+        .into_iter()
+        .zip(verdicts)
+        .map(|((label, confidence), verdict)| Classification {
+            label,
+            confidence,
+            verdict,
+        })
+        .collect())
+}
+
+/// The single-request reference path: classifies one image exactly as the
+/// service would, but alone — no batching, no queues, a fresh engine.
+///
+/// This is the oracle the determinism tests (and the load generator's
+/// pre-flight gate) compare micro-batched responses against, bit for bit.
+///
+/// # Errors
+///
+/// Returns [`ServeError::BadConfig`] for a non-deterministic defense and
+/// propagates model/engine failures.
+pub fn classify_single(model: &DefendedModel, image: &Tensor) -> Result<Classification> {
+    if !model.deterministic_inference() {
+        return Err(ServeError::BadConfig(format!(
+            "defense {} cannot be served deterministically",
+            model.defense().label()
+        )));
+    }
+    let engine =
+        BatchEngine::new(model.network()).map_err(|e| ServeError::Worker(e.to_string()))?;
+    let batch = [Pending {
+        image: image.clone(),
+        reply: sync_channel(1).0,
+    }];
+    Ok(classify_batch(model, &engine, &batch)?.remove(0))
+}

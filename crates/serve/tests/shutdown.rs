@@ -1,0 +1,83 @@
+//! Shutdown semantics: every request admitted before the close is
+//! answered, late submissions fail fast, and the join never deadlocks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use blurnet_defenses::DefenseKind;
+use blurnet_serve::{ClassifyService, ServeConfig, ServeError};
+use blurnet_test_support::{tiny_defended_model, uniform_images, TINY_IMAGE_SIZE};
+
+#[test]
+fn in_flight_requests_drain_on_shutdown() {
+    let model = Arc::new(tiny_defended_model(DefenseKind::Baseline, 9));
+    let images = uniform_images(32, TINY_IMAGE_SIZE, 13);
+    let service = ClassifyService::new(
+        Arc::clone(&model),
+        ServeConfig {
+            max_batch: 8,
+            // A long window so a whole backlog is typically still queued
+            // (not yet flushed) when the shutdown lands.
+            flush_window: Duration::from_millis(50),
+            workers: 2,
+            queue_depth: 64,
+        },
+    )
+    .expect("service starts");
+    let client = service.client();
+
+    // Admit a backlog, then shut down while it is in flight. Every
+    // ticket must still resolve to a real answer.
+    let tickets: Vec<_> = images
+        .iter()
+        .map(|image| client.submit(image.clone()).expect("admitted before close"))
+        .collect();
+    service.shutdown().expect("drains and joins");
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let answer = ticket
+            .wait()
+            .unwrap_or_else(|e| panic!("request {i} admitted before shutdown was dropped: {e}"));
+        assert!(answer.confidence.is_finite());
+    }
+
+    // The service is gone; the surviving client handle must refuse new
+    // work instead of hanging.
+    let err = client.submit(images[0].clone()).expect_err("queue closed");
+    assert!(matches!(err, ServeError::Shutdown(_)));
+}
+
+#[test]
+fn drop_drains_like_shutdown() {
+    let model = Arc::new(tiny_defended_model(DefenseKind::Baseline, 21));
+    let images = uniform_images(8, TINY_IMAGE_SIZE, 31);
+    let tickets;
+    {
+        let service = ClassifyService::new(Arc::clone(&model), ServeConfig::default())
+            .expect("service starts");
+        let client = service.client();
+        tickets = images
+            .iter()
+            .map(|image| client.submit(image.clone()).expect("admitted"))
+            .collect::<Vec<_>>();
+        // `service` dropped here, mid-backlog.
+    }
+    for ticket in tickets {
+        ticket.wait().expect("answered despite the drop");
+    }
+}
+
+#[test]
+fn shutdown_with_no_traffic_does_not_deadlock() {
+    let model = Arc::new(tiny_defended_model(DefenseKind::Baseline, 2));
+    for workers in [1, 4] {
+        let service = ClassifyService::new(
+            Arc::clone(&model),
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("service starts");
+        service.shutdown().expect("idle shutdown joins");
+    }
+}
