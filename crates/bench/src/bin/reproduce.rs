@@ -21,13 +21,14 @@ use blurnet::{ExperimentScheduler, ModelZoo, RunReport, Scale};
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--threads N] [--grid full|tables|micro] [--out PATH] \
-         [--json] [--sequential] [--verbose]"
+         [--retry-failed N] [--json] [--sequential] [--verbose]"
     );
     std::process::exit(2)
 }
 
 struct Args {
     threads: Option<usize>,
+    retry_failed: usize,
     grid: String,
     out: Option<std::path::PathBuf>,
     json: bool,
@@ -38,6 +39,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         threads: None,
+        retry_failed: 0,
         grid: "full".to_string(),
         out: Some(std::path::PathBuf::from("results.json")),
         json: false,
@@ -50,6 +52,10 @@ fn parse_args() -> Args {
             "--threads" => {
                 let value = iter.next().unwrap_or_else(|| usage());
                 args.threads = Some(value.parse().unwrap_or_else(|_| usage()));
+            }
+            "--retry-failed" => {
+                let value = iter.next().unwrap_or_else(|| usage());
+                args.retry_failed = value.parse().unwrap_or_else(|_| usage());
             }
             "--grid" => args.grid = iter.next().unwrap_or_else(|| usage()),
             "--out" => args.out = Some(iter.next().unwrap_or_else(|| usage()).into()),
@@ -92,8 +98,9 @@ fn main() {
         grid.run_sequential(&mut zoo)
             .unwrap_or_else(|e| panic!("sequential run failed: {e}"))
     } else {
-        let mut scheduler =
-            ExperimentScheduler::new(scale, blurnet_bench::EXPERIMENT_SEED).verbose(args.verbose);
+        let mut scheduler = ExperimentScheduler::new(scale, blurnet_bench::EXPERIMENT_SEED)
+            .verbose(args.verbose)
+            .retry_failed(args.retry_failed);
         if let Some(threads) = args.threads {
             scheduler = scheduler.threads(threads);
         }

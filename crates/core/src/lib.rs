@@ -35,6 +35,8 @@
 
 mod error;
 pub mod experiments;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod queue;
 pub mod report;
 pub mod runner;
@@ -43,7 +45,7 @@ pub mod scheduler;
 pub mod zoo;
 
 pub use error::BlurNetError;
-pub use queue::{run_workers, BoundedQueue, PopTimeout};
+pub use queue::{run_workers, BoundedQueue, PopTimeout, TryPush};
 pub use report::{CellOutput, CellReport, CellStatus, RunReport, Table};
 pub use runner::BatchRunner;
 pub use scale::Scale;
@@ -59,3 +61,44 @@ pub use blurnet_tensor as tensor;
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, BlurNetError>;
+
+/// Evaluates a registered fault point (see [`mod@fault`]) — and expands to
+/// **nothing** when the invoking crate's `fault-injection` feature is off,
+/// so production builds carry neither the branch nor the site-name string.
+///
+/// Three forms:
+///
+/// * `fault_point!(site)` — statement form: executes `Panic`/`Delay`
+///   faults, ignores `Error` faults (the site has no error path).
+/// * `fault_point!(site, tag = expr)` — like the statement form, but the
+///   invocation carries a tag for [`fault::FaultSpec::tagged`] filters.
+/// * `fault_point!(site, err = expr)` — executes `Panic`/`Delay` faults
+///   and `return`s `Err(expr)` from the enclosing function when an
+///   `Error` fault fires.
+///
+/// Downstream crates (e.g. `blurnet-serve`) must declare their own
+/// `fault-injection` feature forwarding to `blurnet/fault-injection`; the
+/// `cfg` inside the expansion is resolved against the *invoking* crate.
+#[macro_export]
+macro_rules! fault_point {
+    ($site:expr) => {{
+        #[cfg(feature = "fault-injection")]
+        {
+            let _ = $crate::fault::fire($site);
+        }
+    }};
+    ($site:expr, tag = $tag:expr) => {{
+        #[cfg(feature = "fault-injection")]
+        {
+            let _ = $crate::fault::fire_tagged($site, $tag);
+        }
+    }};
+    ($site:expr, err = $err:expr) => {{
+        #[cfg(feature = "fault-injection")]
+        {
+            if $crate::fault::fire($site) {
+                return Err($err);
+            }
+        }
+    }};
+}

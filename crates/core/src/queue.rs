@@ -38,6 +38,19 @@ pub enum PopTimeout<T> {
     Closed,
 }
 
+/// Outcome of a [`BoundedQueue::try_push`] call.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPush<T> {
+    /// The item was enqueued.
+    Pushed,
+    /// The queue is at capacity; the item is returned. This is the
+    /// admission-control signal: a shedding producer maps it to an
+    /// explicit `queue_full` rejection instead of blocking.
+    Full(T),
+    /// The queue is closed; the item is returned.
+    Closed(T),
+}
+
 /// Mutable queue state guarded by one mutex (never held while running
 /// work).
 struct QueueState<T> {
@@ -127,6 +140,15 @@ impl<T> BoundedQueue<T> {
     /// Returns `Err(item)` if the queue is (or becomes, while waiting)
     /// closed — the caller gets its item back instead of losing it.
     pub fn push(&self, item: T) -> Result<(), T> {
+        // Fault site `core.queue.push`: an `Error` fault refuses the push
+        // exactly like a closed queue would (the item comes back to the
+        // caller), so producers must tolerate spurious refusals —
+        // re-check [`BoundedQueue::is_closed`] before treating a refusal
+        // as terminal.
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::fire(crate::fault::sites::QUEUE_PUSH) {
+            return Err(item);
+        }
         let mut st = self.lock();
         loop {
             if st.closed {
@@ -141,9 +163,42 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Enqueues `item` without blocking: [`TryPush::Full`] when the queue
+    /// is at capacity, [`TryPush::Closed`] once closed. The item is
+    /// returned in both refusal cases.
+    pub fn try_push(&self, item: T) -> TryPush<T> {
+        // Fault site `core.queue.push` (shared with the blocking path):
+        // an `Error` fault reports a spuriously full queue.
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::fire(crate::fault::sites::QUEUE_PUSH) {
+            return TryPush::Full(item);
+        }
+        let mut st = self.lock();
+        if st.closed {
+            return TryPush::Closed(item);
+        }
+        if st.items.len() < self.capacity {
+            st.items.push_back(item);
+            self.not_empty.notify_one();
+            TryPush::Pushed
+        } else {
+            TryPush::Full(item)
+        }
+    }
+
     /// Dequeues the oldest item, blocking while the queue is empty and
     /// open. Returns `None` once the queue is closed and drained.
+    ///
+    /// Under fault injection, site `core.queue.pop` can return a
+    /// *spurious* `None` from an open queue (a modeled lost-wakeup), so
+    /// resilient consumers confirm with
+    /// [`is_closed`](BoundedQueue::is_closed) before treating `None` as
+    /// shutdown.
     pub fn pop(&self) -> Option<T> {
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::fire(crate::fault::sites::QUEUE_POP) {
+            return None;
+        }
         let mut st = self.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
@@ -166,6 +221,12 @@ impl<T> BoundedQueue<T> {
     /// elapsed) timeout, which is what lets a micro-batcher with a 0-width
     /// flush window still coalesce whatever is waiting in the queue.
     pub fn pop_timeout(&self, timeout: Duration) -> PopTimeout<T> {
+        // Fault site `core.queue.pop_timeout`: an `Error` fault reports a
+        // spurious timeout (consumers already handle real ones).
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::fire(crate::fault::sites::QUEUE_POP_TIMEOUT) {
+            return PopTimeout::TimedOut;
+        }
         let deadline = Instant::now() + timeout;
         let mut st = self.lock();
         loop {

@@ -179,6 +179,7 @@ pub struct ExperimentScheduler {
     seed: u64,
     threads: Option<usize>,
     verbose: bool,
+    retry_failed: usize,
     warm_variants: Option<Arc<VariantCache>>,
 }
 
@@ -191,6 +192,7 @@ impl ExperimentScheduler {
             seed,
             threads: None,
             verbose: false,
+            retry_failed: 0,
             warm_variants: None,
         }
     }
@@ -205,6 +207,18 @@ impl ExperimentScheduler {
     /// Prints per-node progress lines to stderr.
     pub fn verbose(mut self, on: bool) -> Self {
         self.verbose = on;
+        self
+    }
+
+    /// Re-runs a failed node up to `n` times before recording it as
+    /// [`CellStatus::Failed`] and skipping its dependents. Every node's
+    /// work is deterministic, so a retry only helps against *transient*
+    /// faults (a poisoned thread, an injected fault, an OS-level hiccup) —
+    /// a deterministic bug fails all `n + 1` attempts identically. A
+    /// successful retry produces the same bytes a first-attempt success
+    /// would, so the report stays bit-identical to an undisturbed run.
+    pub fn retry_failed(mut self, n: usize) -> Self {
+        self.retry_failed = n;
         self
     }
 
@@ -280,6 +294,7 @@ impl ExperimentScheduler {
                 .unwrap_or_else(|| Arc::new(VariantCache::new())),
             panic_cell,
             self.verbose,
+            self.retry_failed,
         );
 
         let started = Instant::now();
@@ -399,6 +414,11 @@ struct Executor {
     specs: Vec<CellSpec>,
     panic_cell: Option<usize>,
     verbose: bool,
+    /// Extra attempts granted to a failed node (`--retry-failed N`).
+    retry_limit: usize,
+    /// Failed attempts consumed per node, guarded by `state`'s lock
+    /// discipline (only the worker holding the node mutates its slot).
+    attempts: Mutex<Vec<usize>>,
 }
 
 impl Executor {
@@ -412,6 +432,7 @@ impl Executor {
         variants: Arc<VariantCache>,
         panic_cell: Option<usize>,
         verbose: bool,
+        retry_limit: usize,
     ) -> Self {
         let mut dependents = vec![Vec::new(); nodes.len()];
         let mut pending = vec![0usize; nodes.len()];
@@ -422,16 +443,24 @@ impl Executor {
             }
         }
         // Seed the bounded queue with every dependency-free node, in node
-        // order. Capacity = node count, so no push can ever block.
+        // order. Capacity = node count, so no push can ever block, and the
+        // freshly built queue cannot be closed — a refusal here can only
+        // be a fault-injected spurious one, so ride it out.
         let ready = BoundedQueue::new(nodes.len());
         for (id, &p) in pending.iter().enumerate() {
             if p == 0 {
-                ready.push(id).expect("freshly built queue is open");
+                let mut item = id;
+                while let Err(back) = ready.push(item) {
+                    item = back;
+                }
             }
         }
         let cell_slots = (0..grid.len()).map(|_| Mutex::new(None)).collect();
         let profiles = Mutex::new(vec![None; nodes.len()]);
+        let attempts = Mutex::new(vec![0usize; nodes.len()]);
         Executor {
+            attempts,
+            retry_limit,
             dependents,
             state: Mutex::new(SchedState {
                 pending,
@@ -465,7 +494,16 @@ impl Executor {
         } else {
             None
         };
-        while let Some(id) = self.ready.pop() {
+        loop {
+            let Some(id) = self.ready.pop() else {
+                // A `None` from an open queue is spurious (a fault-injected
+                // lost wakeup); only a genuinely closed queue ends the
+                // worker — otherwise a lone worker would strand the DAG.
+                if self.ready.is_closed() {
+                    break;
+                }
+                continue;
+            };
             let start_ns = run_start.elapsed().as_nanos() as u64;
             let node_start = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| match &inner {
@@ -496,7 +534,47 @@ impl Executor {
                 duration_ns,
                 worker,
             });
+            if let Some(cause) = &error {
+                if self.grant_retry(id) {
+                    if self.verbose {
+                        eprintln!(
+                            "[sched] worker {worker} retrying {} after: {cause}",
+                            self.nodes[id].name
+                        );
+                    }
+                    // Re-queue the node instead of completing it; its
+                    // dependents stay pending until an attempt succeeds
+                    // or the retry budget is spent. The push cannot find
+                    // the queue closed (this node has not completed).
+                    self.requeue(id);
+                    continue;
+                }
+            }
             self.complete(id, error);
+        }
+    }
+
+    /// Consumes one retry attempt for `id` if any are left.
+    fn grant_retry(&self, id: usize) -> bool {
+        let mut attempts = self.attempts.lock().expect("attempt slots poisoned");
+        if attempts[id] < self.retry_limit {
+            attempts[id] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pushes `id` back onto the ready queue, riding out spurious
+    /// (fault-injected) refusals. The queue only closes after every node
+    /// has completed, which cannot have happened while `id` is in hand.
+    fn requeue(&self, id: usize) {
+        let mut item = id;
+        while let Err(back) = self.ready.push(item) {
+            if self.ready.is_closed() {
+                break;
+            }
+            item = back;
         }
     }
 
@@ -565,9 +643,10 @@ impl Executor {
             st.completed == self.nodes.len()
         };
         for dep in newly_ready {
-            // Cannot fail: the queue only closes below, after every node
-            // (including `dep`) has completed.
-            let _ = self.ready.push(dep);
+            // Cannot genuinely fail (the queue only closes below, after
+            // every node — including `dep` — has completed), but a fault-
+            // injected refusal must not strand the node.
+            self.requeue(dep);
         }
         if all_done {
             // Wake every blocked worker for shutdown.
@@ -579,6 +658,17 @@ impl Executor {
     fn run_node(&self, id: usize) -> Result<()> {
         match &self.nodes[id].kind {
             NodeKind::Train(defense) => {
+                // Fault site `core.sched.train`: an `Error` fault fails
+                // the node before anything lands in the variant cache, so
+                // a retry re-trains from scratch.
+                #[cfg(feature = "fault-injection")]
+                if crate::fault::fire(crate::fault::sites::SCHED_TRAIN) {
+                    return Err(BlurNetError::BadConfig(format!(
+                        "{}: injected failure at {}",
+                        crate::fault::MARKER,
+                        crate::fault::sites::SCHED_TRAIN
+                    )));
+                }
                 if self.variants.get(&defense.label()).is_none() {
                     let model =
                         train_defended_model(defense, &self.dataset, &self.scale.train_config())?;
@@ -587,12 +677,14 @@ impl Executor {
                 Ok(())
             }
             NodeKind::TransferSet => {
+                self.artifact_fault_point()?;
                 let baseline = self.variant(&DefenseKind::Baseline)?;
                 let set = table1::transfer_set(self.scale, &baseline, &self.images)?;
                 *self.transfer.lock().expect("transfer slot poisoned") = Some(Arc::new(set));
                 Ok(())
             }
             NodeKind::Sticker => {
+                self.artifact_fault_point()?;
                 let baseline = self.variant(&DefenseKind::Baseline)?;
                 let result = figures::sticker_artifact(self.scale, &baseline, &self.images)?;
                 *self.sticker.lock().expect("sticker slot poisoned") = Some(Arc::new(result));
@@ -601,6 +693,17 @@ impl Executor {
             NodeKind::Cell(cell) => {
                 if self.panic_cell == Some(*cell) {
                     panic!("injected panic (scheduler isolation test)");
+                }
+                // Fault site `core.sched.cell`: panic kind exercises the
+                // catch_unwind isolation, error kind the Failed/Skipped
+                // bookkeeping; both are recoverable via `--retry-failed`.
+                #[cfg(feature = "fault-injection")]
+                if crate::fault::fire(crate::fault::sites::SCHED_CELL) {
+                    return Err(BlurNetError::BadConfig(format!(
+                        "{}: injected failure at {}",
+                        crate::fault::MARKER,
+                        crate::fault::sites::SCHED_CELL
+                    )));
                 }
                 let spec = &self.specs[*cell];
                 // Fresh deep clone per cell: mutable evaluation state
@@ -627,6 +730,28 @@ impl Executor {
                 Ok(())
             }
         }
+    }
+
+    /// Fault site `core.sched.artifact`, shared by the transfer-set and
+    /// sticker nodes: an `Error` fault fails the node before the artifact
+    /// slot is written, so a retry regenerates it deterministically.
+    #[cfg(feature = "fault-injection")]
+    fn artifact_fault_point(&self) -> Result<()> {
+        if crate::fault::fire(crate::fault::sites::SCHED_ARTIFACT) {
+            return Err(BlurNetError::BadConfig(format!(
+                "{}: injected failure at {}",
+                crate::fault::MARKER,
+                crate::fault::sites::SCHED_ARTIFACT
+            )));
+        }
+        Ok(())
+    }
+
+    /// No-op without the `fault-injection` feature.
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    fn artifact_fault_point(&self) -> Result<()> {
+        Ok(())
     }
 
     /// The trained variant for a defense (must have been produced by a

@@ -35,7 +35,7 @@ use blurnet::{ModelZoo, Scale};
 use blurnet_bench::{host_entries, EXPERIMENT_SEED};
 use blurnet_defenses::{DefendedModel, DefenseKind};
 use blurnet_serve::protocol::RemoteClient;
-use blurnet_serve::{classify_single, ClassifyService, ServeConfig};
+use blurnet_serve::{classify_single, ClassifyService, ServeConfig, ServeError};
 use blurnet_tensor::Tensor;
 use serde::Value;
 
@@ -44,10 +44,38 @@ const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.j
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--smoke] [--out PATH] [--connect HOST:PORT] \
+        "usage: loadgen [--smoke] [--out PATH] [--connect HOST:PORT] [--shed] [--deadline-us U] \
          [--defense baseline|input-filter:K|feature-filter:K]"
     );
     std::process::exit(2)
+}
+
+/// Reports a startup failure on stderr and exits nonzero — operational
+/// errors (failed training, unreachable server) are not bugs, so no
+/// panic backtrace.
+fn fail(msg: String) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(1)
+}
+
+/// Retries `op` whenever a shedding service rejects with
+/// [`ServeError::QueueFull`], sleeping an exponentially growing backoff
+/// (50 µs doubling up to ~6.4 ms) between attempts; every other outcome
+/// is returned as-is. The closed-loop clients never give a request up —
+/// shedding trades their queue wait for explicit retries.
+fn retry_queue_full<T>(
+    mut op: impl FnMut() -> blurnet_serve::Result<T>,
+) -> blurnet_serve::Result<T> {
+    let mut backoff = Duration::from_micros(50);
+    loop {
+        match op() {
+            Err(ServeError::QueueFull) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_micros(6400));
+            }
+            other => return other,
+        }
+    }
 }
 
 struct Args {
@@ -55,6 +83,8 @@ struct Args {
     out: std::path::PathBuf,
     connect: Option<String>,
     defense: DefenseKind,
+    shed: bool,
+    deadline: Option<Duration>,
 }
 
 fn parse_defense(spec: &str) -> Option<DefenseKind> {
@@ -76,6 +106,8 @@ fn parse_args() -> Args {
         out: std::path::PathBuf::from(OUT_PATH),
         connect: None,
         defense: DefenseKind::InputFilter { kernel: 3 },
+        shed: false,
+        deadline: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -85,6 +117,11 @@ fn parse_args() -> Args {
             "--out" => args.out = value().into(),
             "--connect" => args.connect = Some(value()),
             "--defense" => args.defense = parse_defense(&value()).unwrap_or_else(|| usage()),
+            "--shed" => args.shed = true,
+            "--deadline-us" => {
+                let us: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.deadline = Some(Duration::from_micros(us));
+            }
             _ => usage(),
         }
     }
@@ -194,10 +231,10 @@ fn run_local(args: &Args) {
         args.defense.label()
     );
     let mut zoo = ModelZoo::new(scale, EXPERIMENT_SEED)
-        .unwrap_or_else(|e| panic!("failed to build the model zoo: {e}"));
+        .unwrap_or_else(|e| fail(format!("failed to build the model zoo: {e}")));
     let model = zoo
         .get_or_train_shared(&args.defense)
-        .unwrap_or_else(|e| panic!("failed to train/load the model: {e}"));
+        .unwrap_or_else(|e| fail(format!("failed to train/load the model: {e}")));
     drop(zoo);
 
     let (client_counts, per_client): (&[usize], usize) = if args.smoke {
@@ -243,14 +280,15 @@ fn run_local(args: &Args) {
                     flush_window: Duration::from_micros(window_us),
                     workers,
                     queue_depth: 1024,
+                    shed: args.shed,
+                    deadline: args.deadline,
                 },
             )
-            .expect("service");
+            .unwrap_or_else(|e| fail(format!("cannot start the service: {e}")));
             let handle = service.client();
             for &clients in client_counts {
                 let stats = drive(clients, per_client, &images, |_, image| {
-                    handle
-                        .classify(image.clone())
+                    retry_queue_full(|| handle.classify(image.clone()))
                         .expect("in-process classification");
                 });
                 stats.print(&format!(
@@ -280,7 +318,7 @@ fn run_local(args: &Args) {
 
     let json = serde_json::to_string_pretty(&Value::Map(entries)).expect("bench JSON");
     std::fs::write(&args.out, json + "\n")
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out.display()));
+        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", args.out.display())));
     eprintln!("# wrote {}", args.out.display());
 }
 
@@ -297,6 +335,7 @@ fn gate_bit_identity(model: &Arc<DefendedModel>, images: &[Tensor]) {
             flush_window: Duration::from_micros(500),
             workers: 4,
             queue_depth: 1024,
+            ..ServeConfig::default()
         },
     )
     .expect("gate service");
@@ -328,7 +367,8 @@ fn gate_bit_identity(model: &Arc<DefendedModel>, images: &[Tensor]) {
 /// Drives an external server over TCP: one connection per client, the
 /// same closed loop, results printed only.
 fn run_remote(addr: &str, smoke: bool) {
-    let probe = RemoteClient::connect(addr).expect("connect to serve");
+    let probe =
+        RemoteClient::connect(addr).unwrap_or_else(|e| fail(format!("cannot reach {addr}: {e}")));
     let handshake = probe.handshake().clone();
     probe.goodbye().expect("goodbye");
     eprintln!(
@@ -345,7 +385,8 @@ fn run_remote(addr: &str, smoke: bool) {
 
     // Repeat-identity gate: the same payload must produce byte-identical
     // responses however it lands in the server's batches.
-    let mut gate = RemoteClient::connect(addr).expect("connect to serve");
+    let mut gate =
+        RemoteClient::connect(addr).unwrap_or_else(|e| fail(format!("cannot reach {addr}: {e}")));
     let first = gate.classify(images[0].data()).expect("gate request");
     for _ in 0..4 {
         let again = gate.classify(images[0].data()).expect("gate request");
@@ -359,14 +400,16 @@ fn run_remote(addr: &str, smoke: bool) {
 
     for &clients in client_counts {
         let connections: Vec<std::sync::Mutex<RemoteClient>> = (0..clients)
-            .map(|_| std::sync::Mutex::new(RemoteClient::connect(addr).expect("connect to serve")))
+            .map(|_| {
+                std::sync::Mutex::new(
+                    RemoteClient::connect(addr)
+                        .unwrap_or_else(|e| fail(format!("cannot reach {addr}: {e}"))),
+                )
+            })
             .collect();
         let stats = drive(clients, per_client, &images, |c, image| {
-            connections[c]
-                .lock()
-                .expect("connection lock")
-                .classify(image.data())
-                .expect("remote classification");
+            let mut conn = connections[c].lock().expect("connection lock");
+            retry_queue_full(|| conn.classify(image.data())).expect("remote classification");
         });
         stats.print("json-serve remote ");
         for conn in connections {

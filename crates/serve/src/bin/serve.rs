@@ -34,10 +34,18 @@ const DEFAULT_SEED: u64 = 7;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--defense baseline|input-filter:K|feature-filter:K] \
-         [--batch-max N] [--window-us U] [--workers N] [--queue-depth N] [--seed S] \
-         [--max-conns N] [--ready-file PATH]"
+         [--batch-max N] [--window-us U] [--workers N] [--queue-depth N] [--shed] \
+         [--deadline-us U] [--seed S] [--max-conns N] [--ready-file PATH]"
     );
     std::process::exit(2)
+}
+
+/// Reports a startup failure on stderr and exits nonzero — operational
+/// errors (bad address, failed training) are not bugs, so no panic
+/// backtrace.
+fn fail(msg: String) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(1)
 }
 
 struct Args {
@@ -92,6 +100,11 @@ fn parse_args() -> Args {
             "--queue-depth" => {
                 args.config.queue_depth = value().parse().unwrap_or_else(|_| usage());
             }
+            "--shed" => args.config.shed = true,
+            "--deadline-us" => {
+                let us: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.config.deadline = Some(Duration::from_micros(us));
+            }
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--max-conns" => {
                 args.max_conns = Some(value().parse().unwrap_or_else(|_| usage()));
@@ -115,21 +128,21 @@ fn main() {
     );
 
     let mut zoo = ModelZoo::new(scale, args.seed)
-        .unwrap_or_else(|e| panic!("failed to build the model zoo: {e}"));
+        .unwrap_or_else(|e| fail(format!("failed to build the model zoo: {e}")));
     let model = zoo
         .get_or_train_shared(&args.defense)
-        .unwrap_or_else(|e| panic!("failed to train/load the model: {e}"));
+        .unwrap_or_else(|e| fail(format!("failed to train/load the model: {e}")));
     drop(zoo);
 
     let max_batch = args.config.max_batch.max(1);
     let flush_window = args.config.flush_window;
     let service = ClassifyService::new(Arc::clone(&model), args.config)
-        .unwrap_or_else(|e| panic!("cannot start the service: {e}"));
+        .unwrap_or_else(|e| fail(format!("cannot start the service: {e}")));
     let handshake = Handshake::new(service.info(), max_batch, flush_window);
     let client = service.client();
 
-    let listener =
-        TcpListener::bind(&args.addr).unwrap_or_else(|e| panic!("cannot bind {}: {e}", args.addr));
+    let listener = TcpListener::bind(&args.addr)
+        .unwrap_or_else(|e| fail(format!("cannot bind {}: {e}", args.addr)));
     let bound = listener
         .local_addr()
         .map(|a| a.to_string())
@@ -137,14 +150,21 @@ fn main() {
     eprintln!("# listening on {bound}");
     if let Some(path) = &args.ready_file {
         std::fs::write(path, &bound)
-            .unwrap_or_else(|e| panic!("cannot write ready file {}: {e}", path.display()));
+            .unwrap_or_else(|e| fail(format!("cannot write ready file {}: {e}", path.display())));
     }
 
     if let Err(e) = serve_connections(&listener, &client, &handshake, args.max_conns) {
         eprintln!("serve: listener failed: {e}");
         std::process::exit(1);
     }
+    let health = service.health();
+    if health != blurnet_serve::ServiceHealth::default() {
+        eprintln!(
+            "# supervisor respawned {} batcher(s) and {} worker(s) during the run",
+            health.batcher_restarts, health.worker_restarts
+        );
+    }
     service
         .shutdown()
-        .unwrap_or_else(|e| panic!("shutdown failed: {e}"));
+        .unwrap_or_else(|e| fail(format!("shutdown failed: {e}")));
 }

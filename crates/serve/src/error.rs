@@ -15,6 +15,12 @@ pub enum ServeError {
     Shutdown(String),
     /// A batch worker failed while evaluating the model.
     Worker(String),
+    /// The admission queue is full and the service is configured to shed
+    /// load instead of blocking; retry with backoff.
+    QueueFull,
+    /// The request's deadline passed while it was still queued; it was
+    /// shed without being evaluated.
+    DeadlineExceeded,
     /// A socket-level failure in the TCP protocol layer.
     Io(std::io::Error),
     /// A malformed message on the TCP wire.
@@ -28,6 +34,15 @@ impl fmt::Display for ServeError {
             ServeError::BadConfig(msg) => write!(f, "bad serve config: {msg}"),
             ServeError::Shutdown(msg) => write!(f, "service shutting down: {msg}"),
             ServeError::Worker(msg) => write!(f, "batch worker failed: {msg}"),
+            ServeError::QueueFull => {
+                write!(
+                    f,
+                    "queue full: admission queue is shedding load, retry with backoff"
+                )
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline exceeded: request shed before evaluation")
+            }
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }

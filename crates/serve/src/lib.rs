@@ -57,6 +57,20 @@
 //! thread: requests admitted before the close are always answered, and
 //! new submissions fail fast with [`ServeError::Shutdown`].
 //!
+//! # Failure model & recovery
+//!
+//! The batcher and workers run under a **supervisor** that respawns any
+//! thread that panics mid-run ([`ServiceHealth`] counts the respawns); a
+//! batch held by a dying thread is re-enqueued for a surviving worker.
+//! A request that deterministically panics the forward pass is isolated
+//! by **bisecting its batch** — only the poisoned request gets an error,
+//! its batch-mates are recomputed and still return bit-identical answers.
+//! Overload is explicit: [`ServeConfig::shed`] turns a full admission
+//! queue into [`ServeError::QueueFull`] (retry with backoff), and
+//! [`ServeConfig::deadline`] sheds stale queued requests with
+//! [`ServeError::DeadlineExceeded`]. See `ARCHITECTURE.md` § "Failure
+//! model & recovery".
+//!
 //! # Wire protocol
 //!
 //! The [`protocol`] module puts the service behind TCP: a one-line JSON
@@ -73,7 +87,7 @@ mod service;
 pub use error::ServeError;
 pub use service::{
     classify_single, Classification, ClassifyService, DefenseVerdict, ModelInfo, ServeClient,
-    ServeConfig, Ticket,
+    ServeConfig, ServiceHealth, Ticket,
 };
 
 /// Convenient result alias used across the crate.

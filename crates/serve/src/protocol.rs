@@ -15,7 +15,17 @@
 //!                     0 (ok):    u32 LE label, u32 LE confidence f32 bits,
 //!                                u8 verdict (0 = clean, 1 = flagged)
 //!                     1 (error): u32 LE byte length, UTF-8 message
+//!                     2 (queue_full):        no body — admission shed the
+//!                                            request; retry with backoff
+//!                     3 (deadline_exceeded): no body — the request went
+//!                                            stale in the queue
 //! ```
+//!
+//! A request whose element count exceeds [`MAX_FRAME_ELEMENTS`] is
+//! answered with an error response and its payload is drained in bounded
+//! chunks (never buffered whole), keeping the connection usable — a
+//! hostile or corrupt length prefix cannot make the server allocate
+//! gigabytes.
 //!
 //! Requests on one connection are answered in order; concurrency comes
 //! from opening multiple connections, which all feed the same
@@ -37,6 +47,16 @@ pub const SCHEMA: &str = "blurnet-serve/1";
 const STATUS_OK: u8 = 0;
 /// Response status byte: request failed; an error message follows.
 const STATUS_ERR: u8 = 1;
+/// Response status byte: admission queue full, request shed (no body).
+const STATUS_QUEUE_FULL: u8 = 2;
+/// Response status byte: per-request deadline exceeded (no body).
+const STATUS_DEADLINE: u8 = 3;
+
+/// Hard cap on the element count of one request frame (4 MiB of `f32`s —
+/// three orders of magnitude above any image this service classifies). A
+/// larger length prefix is answered with an error response and the
+/// payload is drained without ever being buffered whole.
+pub const MAX_FRAME_ELEMENTS: usize = 1 << 20;
 
 /// The server's opening JSON line, describing the model and batching
 /// profile so clients can size payloads without out-of-band knowledge.
@@ -185,7 +205,7 @@ fn read_u8(reader: &mut impl Read) -> std::io::Result<u8> {
     Ok(buf[0])
 }
 
-/// Writes one response message (either status) to `writer`.
+/// Writes one response message (any status) to `writer`.
 fn write_response(writer: &mut impl Write, result: &Result<Classification>) -> std::io::Result<()> {
     match result {
         Ok(c) => {
@@ -197,6 +217,8 @@ fn write_response(writer: &mut impl Write, result: &Result<Classification>) -> s
                 DefenseVerdict::Flagged => 1u8,
             }])?;
         }
+        Err(ServeError::QueueFull) => writer.write_all(&[STATUS_QUEUE_FULL])?,
+        Err(ServeError::DeadlineExceeded) => writer.write_all(&[STATUS_DEADLINE])?,
         Err(e) => {
             let msg = e.to_string();
             writer.write_all(&[STATUS_ERR])?;
@@ -207,20 +229,37 @@ fn write_response(writer: &mut impl Write, result: &Result<Classification>) -> s
     writer.flush()
 }
 
-/// Serves one accepted connection until the client says goodbye (element
-/// count 0) or the socket drops. Malformed-size requests are answered
-/// with an error response and the payload is drained, keeping the
-/// connection usable.
-fn serve_connection(stream: TcpStream, client: &ServeClient, handshake: &Handshake) -> Result<()> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+/// Discards exactly `bytes` from `reader` in bounded chunks, so an
+/// oversized frame is consumed without a matching allocation.
+fn drain_payload(reader: &mut impl Read, bytes: u64) -> std::io::Result<()> {
+    let copied = std::io::copy(&mut reader.take(bytes), &mut std::io::sink())?;
+    if copied < bytes {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-payload",
+        ));
+    }
+    Ok(())
+}
+
+/// Serves one framed request stream until the client says goodbye
+/// (element count 0) or the stream ends — the transport-agnostic core of
+/// [`serve_connections`], directly drivable from in-memory buffers in
+/// tests. Malformed-size and oversized requests are answered with an
+/// error response and their payloads drained, keeping the stream usable.
+pub fn serve_stream(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    client: &ServeClient,
+    handshake: &Handshake,
+) -> Result<()> {
     writer.write_all(handshake.to_json().as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()?;
 
     let expected = handshake.elements();
     loop {
-        let count = match read_u32(&mut reader) {
+        let count = match read_u32(reader) {
             Ok(count) => count as usize,
             // A hangup between requests is a normal goodbye.
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
@@ -229,14 +268,36 @@ fn serve_connection(stream: TcpStream, client: &ServeClient, handshake: &Handsha
         if count == 0 {
             return Ok(());
         }
+        if count > MAX_FRAME_ELEMENTS {
+            drain_payload(reader, count as u64 * 4)?;
+            let err = Err(ServeError::BadInput(format!(
+                "frame of {count} elements exceeds the {MAX_FRAME_ELEMENTS}-element cap"
+            )));
+            write_response(writer, &err)?;
+            continue;
+        }
         let mut payload = vec![0u8; count * 4];
         reader.read_exact(&mut payload)?;
         if count != expected {
             let err = Err(ServeError::BadInput(format!(
                 "expected {expected} f32 elements per image, got {count}"
             )));
-            write_response(&mut writer, &err)?;
+            write_response(writer, &err)?;
             continue;
+        }
+        // Fault site `serve.tcp.frame`: a fired fault turns this frame
+        // into a per-request error response; the payload is already
+        // consumed, so the connection stays in sync.
+        #[cfg(feature = "fault-injection")]
+        {
+            if blurnet::fault::fire(blurnet::fault::sites::SERVE_TCP_FRAME) {
+                let err = Err(ServeError::Protocol(format!(
+                    "{}: injected frame error",
+                    blurnet::fault::MARKER
+                )));
+                write_response(writer, &err)?;
+                continue;
+            }
         }
         let values: Vec<f32> = payload
             .chunks_exact(4)
@@ -245,8 +306,15 @@ fn serve_connection(stream: TcpStream, client: &ServeClient, handshake: &Handsha
         let result = Tensor::from_vec(values, &handshake.input_dims)
             .map_err(ServeError::from)
             .and_then(|image| client.classify(image));
-        write_response(&mut writer, &result)?;
+        write_response(writer, &result)?;
     }
+}
+
+/// Serves one accepted TCP connection via [`serve_stream`].
+fn serve_connection(stream: TcpStream, client: &ServeClient, handshake: &Handshake) -> Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    serve_stream(&mut reader, &mut writer, client, handshake)
 }
 
 /// Accepts connections on `listener` and serves each on its own thread,
@@ -374,6 +442,8 @@ impl RemoteClient {
                     String::from_utf8_lossy(&msg).into_owned(),
                 ))
             }
+            STATUS_QUEUE_FULL => Err(ServeError::QueueFull),
+            STATUS_DEADLINE => Err(ServeError::DeadlineExceeded),
             other => Err(ServeError::Protocol(format!(
                 "unknown response status byte {other}"
             ))),

@@ -65,6 +65,7 @@ fn micro_batched_matches_single_request_bitwise() {
                         flush_window: Duration::from_micros(200),
                         workers,
                         queue_depth: 64,
+                        ..ServeConfig::default()
                     },
                 )
                 .expect("service starts");
@@ -103,6 +104,7 @@ fn zero_window_still_answers_every_request() {
             flush_window: Duration::ZERO,
             workers: 2,
             queue_depth: 64,
+            ..ServeConfig::default()
         },
     )
     .expect("service starts");
@@ -130,6 +132,7 @@ fn repeated_payload_is_stable_across_batches() {
             flush_window: Duration::from_micros(100),
             workers: 2,
             queue_depth: 64,
+            ..ServeConfig::default()
         },
     )
     .expect("service starts");

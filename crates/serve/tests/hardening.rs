@@ -1,0 +1,165 @@
+//! Protocol- and admission-hardening regression tests: oversized frames
+//! are refused per-request without dropping the connection, non-finite
+//! payloads are rejected before they reach the engine, and per-request
+//! deadlines surface as the dedicated `deadline_exceeded` status. These
+//! run without the `fault-injection` feature — they cover the always-on
+//! hardening, not the injected-fault paths.
+
+use std::io::BufRead;
+use std::sync::Arc;
+use std::time::Duration;
+
+use blurnet_defenses::DefenseKind;
+use blurnet_serve::protocol::{serve_stream, Handshake, MAX_FRAME_ELEMENTS};
+use blurnet_serve::{ClassifyService, ServeConfig, ServeError};
+use blurnet_tensor::Tensor;
+use blurnet_test_support::{tiny_defended_model, uniform_images, TINY_IMAGE_SIZE};
+
+fn service(config: ServeConfig) -> ClassifyService {
+    let model = Arc::new(tiny_defended_model(DefenseKind::Baseline, 3));
+    ClassifyService::new(model, config).expect("service starts")
+}
+
+fn frame(values: &[f32]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(4 + values.len() * 4);
+    bytes.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    bytes
+}
+
+/// Runs `request` through the in-memory stream server and returns the
+/// response bytes with the handshake line already consumed.
+fn drive(svc: &ClassifyService, request: &[u8]) -> Vec<u8> {
+    let handshake = Handshake::new(svc.info(), 4, Duration::from_millis(1));
+    let client = svc.client();
+    let mut reader: &[u8] = request;
+    let mut response = Vec::new();
+    serve_stream(&mut reader, &mut response, &client, &handshake).expect("stream serves");
+    let mut body: &[u8] = &response;
+    let mut line = String::new();
+    body.read_line(&mut line).expect("handshake line");
+    assert!(Handshake::from_json(line.trim_end()).is_ok());
+    body.to_vec()
+}
+
+#[test]
+fn an_oversized_frame_is_refused_and_the_connection_survives() {
+    let svc = service(ServeConfig::default());
+    let elements = svc.info().input_dims.iter().product::<usize>();
+
+    // One frame over the cap (with its full payload, which the server
+    // must drain without allocating), then a well-formed frame, then
+    // goodbye.
+    let oversized = MAX_FRAME_ELEMENTS + 1;
+    let mut request = Vec::new();
+    request.extend_from_slice(&(oversized as u32).to_le_bytes());
+    request.extend(std::iter::repeat_n(0u8, oversized * 4));
+    request.extend_from_slice(&frame(&vec![0.5; elements]));
+    request.extend_from_slice(&0u32.to_le_bytes());
+
+    let body = drive(&svc, &request);
+
+    // First response: a per-request error naming the cap.
+    assert_eq!(body[0], 1, "oversized frame answers with an error status");
+    let len = u32::from_le_bytes([body[1], body[2], body[3], body[4]]) as usize;
+    let msg = String::from_utf8_lossy(&body[5..5 + len]);
+    assert!(
+        msg.contains("exceeds") && msg.contains(&MAX_FRAME_ELEMENTS.to_string()),
+        "error should name the cap: {msg}"
+    );
+
+    // Second response on the SAME connection: a normal classification.
+    let rest = &body[5 + len..];
+    assert_eq!(rest[0], 0, "the connection stays usable after the refusal");
+    assert_eq!(
+        rest.len(),
+        10,
+        "ok response is status + label + confidence + verdict"
+    );
+    svc.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn a_non_finite_payload_is_rejected_before_the_engine() {
+    let svc = service(ServeConfig::default());
+    let elements = svc.info().input_dims.iter().product::<usize>();
+
+    let mut poisoned = vec![0.25f32; elements];
+    poisoned[7] = f32::NAN;
+    let mut request = frame(&poisoned);
+    request.extend_from_slice(&frame(&vec![0.25; elements]));
+    request.extend_from_slice(&0u32.to_le_bytes());
+
+    let body = drive(&svc, &request);
+    assert_eq!(body[0], 1, "NaN payload answers with an error status");
+    let len = u32::from_le_bytes([body[1], body[2], body[3], body[4]]) as usize;
+    let msg = String::from_utf8_lossy(&body[5..5 + len]);
+    assert!(msg.contains("non-finite"), "error should say why: {msg}");
+
+    // The clean follow-up frame still classifies.
+    let rest = &body[5 + len..];
+    assert_eq!(
+        rest[0], 0,
+        "the connection stays usable after the rejection"
+    );
+    svc.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn submit_rejects_non_finite_images_directly() {
+    let svc = service(ServeConfig::default());
+    let dims = svc.info().input_dims;
+    let elements = dims.iter().product::<usize>();
+
+    for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let mut values = vec![0.5f32; elements];
+        values[0] = bad;
+        let image = Tensor::from_vec(values, &dims).expect("shape is valid");
+        let err = svc
+            .client()
+            .submit(image)
+            .expect_err("non-finite values must be refused at admission");
+        assert!(
+            matches!(err, ServeError::BadInput(ref msg) if msg.contains("non-finite")),
+            "got: {err}"
+        );
+    }
+    svc.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn an_expired_deadline_sheds_the_request_with_its_own_error() {
+    // A zero deadline expires before the batcher can possibly flush it.
+    let svc = service(ServeConfig {
+        deadline: Some(Duration::ZERO),
+        flush_window: Duration::from_millis(5),
+        ..ServeConfig::default()
+    });
+    let image = uniform_images(1, TINY_IMAGE_SIZE, 9).remove(0);
+    let err = svc
+        .client()
+        .classify(image)
+        .expect_err("a zero deadline can never be met");
+    assert!(matches!(err, ServeError::DeadlineExceeded), "got: {err}");
+    svc.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn an_expired_deadline_maps_to_the_deadline_status_byte() {
+    let svc = service(ServeConfig {
+        deadline: Some(Duration::ZERO),
+        flush_window: Duration::from_millis(5),
+        ..ServeConfig::default()
+    });
+    let elements = svc.info().input_dims.iter().product::<usize>();
+    let mut request = frame(&vec![0.5; elements]);
+    request.extend_from_slice(&0u32.to_le_bytes());
+
+    let body = drive(&svc, &request);
+    // Status 3 = deadline_exceeded, deliberately body-less so clients can
+    // cheaply retry without parsing.
+    assert_eq!(body, vec![3u8]);
+    svc.shutdown().expect("clean shutdown");
+}

@@ -21,6 +21,7 @@ fn in_flight_requests_drain_on_shutdown() {
             flush_window: Duration::from_millis(50),
             workers: 2,
             queue_depth: 64,
+            ..ServeConfig::default()
         },
     )
     .expect("service starts");

@@ -39,6 +39,7 @@ fn tcp_roundtrip_matches_reference_bitwise() {
         flush_window: Duration::from_micros(200),
         workers: 2,
         queue_depth: 64,
+        ..ServeConfig::default()
     };
     let service = ClassifyService::new(Arc::clone(&model), config.clone()).expect("service");
     let (addr, server) = spawn_server(&service, &config, 3);

@@ -1,0 +1,307 @@
+//! Chaos suite for the core fault sites (`core.*`): every registered
+//! queue/scheduler fault point is exercised one at a time, and the
+//! survival invariants are asserted each time:
+//!
+//! * queue-level faults (spurious refusals, lost wakeups, spurious
+//!   timeouts) never change the scheduler's report — resilient callers
+//!   retry, so `results.json` stays **byte-identical** to a clean run;
+//! * scheduler-node faults without `--retry-failed` degrade gracefully:
+//!   the hit node is `Failed`, its dependents are `Skipped`, and every
+//!   unaffected cell's report entry is byte-identical to the clean run;
+//! * with `retry_failed(1)`, a once-firing fault is fully absorbed: the
+//!   retried node succeeds and the whole report is byte-identical.
+//!
+//! The fault registry is process-global, so every test serializes around
+//! one lock. Compile with `--features fault-injection`.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use blurnet::experiments::grid::{CellKind, CellSpec, ExperimentGrid};
+use blurnet::experiments::table1::Table1Victim;
+use blurnet::fault::{self, sites, FaultKind, FaultSpec, MARKER};
+use blurnet::queue::{BoundedQueue, PopTimeout};
+use blurnet::{CellStatus, ExperimentScheduler, Scale, ScheduledRun};
+
+/// The registry is global; chaos tests serialize around this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    // A previous test's assertion failure must not cascade into lock
+    // poisoning noise.
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The deterministic report as bytes — the byte-identity currency.
+fn report_bytes(run: &ScheduledRun) -> Vec<u8> {
+    serde_json::to_string(&run.report)
+        .expect("report serializes")
+        .into_bytes()
+}
+
+fn scheduler() -> ExperimentScheduler {
+    ExperimentScheduler::new(Scale::Smoke, 7).threads(2)
+}
+
+#[test]
+fn queue_faults_leave_the_scheduler_report_byte_identical() {
+    let _guard = serialized();
+    fault::disarm_all();
+    let grid = ExperimentGrid::micro();
+    let clean = scheduler().run(&grid).expect("clean run");
+    assert!(clean.report.all_ok());
+
+    for site in [sites::QUEUE_PUSH, sites::QUEUE_POP] {
+        fault::disarm_all();
+        fault::arm(site, FaultSpec::seeded(FaultKind::Error, 0xB10B, 0.25));
+        let chaotic = scheduler().run(&grid).expect("chaotic run completes");
+        assert!(
+            fault::hits(site) > 0,
+            "{site}: the scenario never reached its fault point"
+        );
+        assert!(
+            fault::fires(site) > 0,
+            "{site}: the fault never actually fired"
+        );
+        assert_eq!(
+            report_bytes(&chaotic),
+            report_bytes(&clean),
+            "{site}: queue-level faults must be invisible in the report"
+        );
+    }
+    fault::disarm_all();
+}
+
+#[test]
+fn spurious_pop_timeouts_do_not_lose_queued_items() {
+    let _guard = serialized();
+    fault::disarm_all();
+    // `core.queue.pop_timeout` models a spurious timeout: the resilient
+    // consumer pattern (retry until `Closed`) still drains everything.
+    fault::arm(
+        sites::QUEUE_POP_TIMEOUT,
+        FaultSpec::on_hit(FaultKind::Error, 1),
+    );
+    let queue = BoundedQueue::new(4);
+    queue.push(42u32).expect("open queue accepts");
+    assert_eq!(
+        queue.pop_timeout(Duration::from_millis(50)),
+        PopTimeout::TimedOut,
+        "the armed fault reports a spurious timeout despite a queued item"
+    );
+    assert_eq!(
+        queue.pop_timeout(Duration::from_millis(50)),
+        PopTimeout::Item(42),
+        "a retrying consumer recovers the item"
+    );
+    assert_eq!(fault::fires(sites::QUEUE_POP_TIMEOUT), 1);
+    fault::disarm_all();
+}
+
+#[test]
+fn a_failed_train_node_skips_only_its_dependents() {
+    let _guard = serialized();
+    fault::disarm_all();
+    let grid = ExperimentGrid::micro();
+    // Single worker: node order is deterministic, so the first train node
+    // (grid order) takes the injected failure.
+    let clean = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .run(&grid)
+        .expect("clean run");
+
+    fault::arm(sites::SCHED_TRAIN, FaultSpec::on_hit(FaultKind::Error, 1));
+    let faulty = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .run(&grid)
+        .expect("faulty run still reports");
+    fault::disarm_all();
+
+    assert!(!faulty.report.all_ok());
+    let mut skipped = 0;
+    for (cell, clean_cell) in faulty.report.cells.iter().zip(&clean.report.cells) {
+        match &cell.status {
+            CellStatus::Skipped { reason } => {
+                assert!(
+                    reason.contains(MARKER),
+                    "skip reason should carry the injected cause, got: {reason}"
+                );
+                skipped += 1;
+            }
+            CellStatus::Ok => {
+                assert_eq!(cell, clean_cell, "unaffected cell diverged from clean run");
+            }
+            other => panic!("unexpected cell status {other:?}"),
+        }
+    }
+    // Exactly the failed variant's cells are skipped (micro grid: two
+    // cells per variant), everything else survived.
+    assert_eq!(skipped, 2);
+}
+
+#[test]
+fn retry_failed_absorbs_a_transient_train_fault_byte_identically() {
+    let _guard = serialized();
+    fault::disarm_all();
+    let grid = ExperimentGrid::micro();
+    let clean = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .run(&grid)
+        .expect("clean run");
+
+    fault::arm(sites::SCHED_TRAIN, FaultSpec::on_hit(FaultKind::Error, 1));
+    let retried = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .retry_failed(1)
+        .run(&grid)
+        .expect("retried run");
+    assert_eq!(fault::fires(sites::SCHED_TRAIN), 1);
+    fault::disarm_all();
+
+    assert!(retried.report.all_ok());
+    assert_eq!(
+        report_bytes(&retried),
+        report_bytes(&clean),
+        "a successfully retried node must leave no trace in the report"
+    );
+}
+
+#[test]
+fn retry_failed_absorbs_an_injected_cell_panic() {
+    let _guard = serialized();
+    fault::disarm_all();
+    let grid = ExperimentGrid::micro();
+    let clean = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .run(&grid)
+        .expect("clean run");
+
+    // Panic kind: the cell's catch_unwind isolation feeds the retry path.
+    fault::arm(sites::SCHED_CELL, FaultSpec::on_hit(FaultKind::Panic, 1));
+    let retried = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .retry_failed(1)
+        .run(&grid)
+        .expect("retried run");
+    assert_eq!(fault::fires(sites::SCHED_CELL), 1);
+    fault::disarm_all();
+
+    assert!(retried.report.all_ok());
+    assert_eq!(report_bytes(&retried), report_bytes(&clean));
+}
+
+#[test]
+fn an_unretried_cell_fault_fails_only_that_cell() {
+    let _guard = serialized();
+    fault::disarm_all();
+    let grid = ExperimentGrid::micro();
+    let clean = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .run(&grid)
+        .expect("clean run");
+
+    fault::arm(sites::SCHED_CELL, FaultSpec::on_hit(FaultKind::Error, 1));
+    let faulty = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .run(&grid)
+        .expect("faulty run still reports");
+    fault::disarm_all();
+
+    let failed: Vec<usize> = faulty
+        .report
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c.status, CellStatus::Failed { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly one cell takes the fault");
+    match &faulty.report.cells[failed[0]].status {
+        CellStatus::Failed { error } => assert!(error.contains(MARKER)),
+        _ => unreachable!(),
+    }
+    for (i, (cell, clean_cell)) in faulty
+        .report
+        .cells
+        .iter()
+        .zip(&clean.report.cells)
+        .enumerate()
+    {
+        if i != failed[0] {
+            assert_eq!(cell, clean_cell, "sibling cell {i} diverged");
+        }
+    }
+}
+
+#[test]
+fn retry_failed_regenerates_a_faulted_artifact() {
+    let _guard = serialized();
+    fault::disarm_all();
+    // A grid with one Table I cell forces the shared transfer-set
+    // artifact node into the DAG.
+    let grid = ExperimentGrid::custom(vec![CellSpec {
+        experiment: "table1",
+        label: Table1Victim::Baseline.label(),
+        kind: CellKind::Table1(Table1Victim::Baseline),
+    }]);
+    let clean = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .run(&grid)
+        .expect("clean run");
+    assert!(clean.report.all_ok());
+
+    // Without retries the artifact failure cascades into a skip...
+    fault::arm(
+        sites::SCHED_ARTIFACT,
+        FaultSpec::on_hit(FaultKind::Error, 1),
+    );
+    let faulty = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .run(&grid)
+        .expect("faulty run still reports");
+    match &faulty.report.cells[0].status {
+        CellStatus::Skipped { reason } => assert!(reason.contains(MARKER)),
+        other => panic!("expected the cell to be skipped, got {other:?}"),
+    }
+
+    // ...with one retry the artifact regenerates deterministically.
+    fault::disarm_all();
+    fault::arm(
+        sites::SCHED_ARTIFACT,
+        FaultSpec::on_hit(FaultKind::Error, 1),
+    );
+    let retried = ExperimentScheduler::new(Scale::Smoke, 7)
+        .threads(1)
+        .retry_failed(1)
+        .run(&grid)
+        .expect("retried run");
+    assert_eq!(fault::fires(sites::SCHED_ARTIFACT), 1);
+    fault::disarm_all();
+
+    assert!(retried.report.all_ok());
+    assert_eq!(report_bytes(&retried), report_bytes(&clean));
+}
+
+#[test]
+fn every_core_fault_site_has_a_chaos_scenario() {
+    // The sites this suite exercises; `crates/serve/tests/chaos.rs` owns
+    // the `serve.*` half of the registry.
+    let covered = [
+        sites::QUEUE_PUSH,
+        sites::QUEUE_POP,
+        sites::QUEUE_POP_TIMEOUT,
+        sites::SCHED_TRAIN,
+        sites::SCHED_ARTIFACT,
+        sites::SCHED_CELL,
+    ];
+    for site in fault::all_sites() {
+        if site.starts_with("core.") {
+            assert!(
+                covered.contains(site),
+                "core fault site {site} has no chaos scenario"
+            );
+        }
+    }
+}
