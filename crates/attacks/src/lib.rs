@@ -22,6 +22,7 @@
 pub mod adaptive;
 mod error;
 pub mod metrics;
+pub mod persist;
 pub mod pgd;
 pub mod rp2;
 pub mod transfer;

@@ -14,14 +14,21 @@
 //! stdout instead of rendered tables. The emitted `results.json` is
 //! bit-identical at every `--threads` value and to the sequential
 //! reference path (`--sequential`).
+//!
+//! `--cache-dir DIR` persists trained variants and shared attack
+//! artifacts under `DIR` and reuses them on later runs. `--resume DIR`
+//! replays every completed cell from `DIR/results.json` and schedules
+//! only the delta; a resume of a fully completed run executes zero nodes
+//! and re-emits the byte-identical report.
 
 use blurnet::experiments::grid::ExperimentGrid;
-use blurnet::{ExperimentScheduler, ModelZoo, RunReport, Scale};
+use blurnet::{resume_run, ExperimentScheduler, ModelZoo, RunReport, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--threads N] [--grid full|tables|micro] [--out PATH] \
-         [--retry-failed N] [--json] [--sequential] [--verbose]"
+         [--retry-failed N] [--cache-dir DIR] [--resume DIR] [--json] [--sequential] \
+         [--verbose]"
     );
     std::process::exit(2)
 }
@@ -31,6 +38,8 @@ struct Args {
     retry_failed: usize,
     grid: String,
     out: Option<std::path::PathBuf>,
+    cache_dir: Option<std::path::PathBuf>,
+    resume: Option<std::path::PathBuf>,
     json: bool,
     sequential: bool,
     verbose: bool,
@@ -42,6 +51,8 @@ fn parse_args() -> Args {
         retry_failed: 0,
         grid: "full".to_string(),
         out: Some(std::path::PathBuf::from("results.json")),
+        cache_dir: None,
+        resume: None,
         json: false,
         sequential: false,
         verbose: false,
@@ -60,13 +71,36 @@ fn parse_args() -> Args {
             "--grid" => args.grid = iter.next().unwrap_or_else(|| usage()),
             "--out" => args.out = Some(iter.next().unwrap_or_else(|| usage()).into()),
             "--no-out" => args.out = None,
+            "--cache-dir" => args.cache_dir = Some(iter.next().unwrap_or_else(|| usage()).into()),
+            "--resume" => args.resume = Some(iter.next().unwrap_or_else(|| usage()).into()),
             "--json" => args.json = true,
             "--sequential" => args.sequential = true,
             "--verbose" => args.verbose = true,
             _ => usage(),
         }
     }
+    if args.sequential && (args.resume.is_some() || args.cache_dir.is_some()) {
+        eprintln!("error: --resume/--cache-dir require the scheduler path (drop --sequential)");
+        std::process::exit(2);
+    }
     args
+}
+
+/// Reads the prior run's `results.json` from a `--resume` directory (the
+/// directory a previous run wrote its report into, or the report file
+/// itself).
+fn read_prior(dir: &std::path::Path) -> RunReport {
+    let path = if dir.is_dir() {
+        dir.join("results.json")
+    } else {
+        dir.to_path_buf()
+    };
+    let bytes = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("failed to read prior report {}: {e}", path.display()));
+    let text = String::from_utf8(bytes)
+        .unwrap_or_else(|e| panic!("prior report {} is not UTF-8: {e}", path.display()));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("failed to parse prior report {}: {e}", path.display()))
 }
 
 fn main() {
@@ -104,18 +138,42 @@ fn main() {
         if let Some(threads) = args.threads {
             scheduler = scheduler.threads(threads);
         }
-        let run = scheduler
-            .run(&grid)
-            .unwrap_or_else(|e| panic!("scheduler run failed: {e}"));
-        eprintln!(
-            "# {} cells in {:.1}s — {:.2} cells/s, pool utilization {:.0}% ({} workers)",
-            run.profile.cell_count,
-            run.profile.wall_ns as f64 / 1e9,
-            run.profile.cells_per_sec(),
-            run.profile.utilization() * 100.0,
-            run.profile.workers
-        );
-        run.report
+        if let Some(dir) = &args.cache_dir {
+            scheduler = scheduler.cache_dir(dir.clone());
+        }
+        if let Some(resume_dir) = &args.resume {
+            let prior = read_prior(resume_dir);
+            let resumed = resume_run(&scheduler, &grid, &prior)
+                .unwrap_or_else(|e| panic!("resume failed: {e}"));
+            eprintln!(
+                "# resume: replayed {} cells, scheduling {}",
+                resumed.replayed, resumed.executed
+            );
+            if let Some(profile) = &resumed.profile {
+                eprintln!(
+                    "# {} cells in {:.1}s — {:.2} cells/s, pool utilization {:.0}% ({} workers)",
+                    profile.cell_count,
+                    profile.wall_ns as f64 / 1e9,
+                    profile.cells_per_sec(),
+                    profile.utilization() * 100.0,
+                    profile.workers
+                );
+            }
+            resumed.report
+        } else {
+            let run = scheduler
+                .run(&grid)
+                .unwrap_or_else(|e| panic!("scheduler run failed: {e}"));
+            eprintln!(
+                "# {} cells in {:.1}s — {:.2} cells/s, pool utilization {:.0}% ({} workers)",
+                run.profile.cell_count,
+                run.profile.wall_ns as f64 / 1e9,
+                run.profile.cells_per_sec(),
+                run.profile.utilization() * 100.0,
+                run.profile.workers
+            );
+            run.report
+        }
     };
 
     if args.json {

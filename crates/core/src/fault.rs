@@ -70,6 +70,10 @@ pub mod sites {
     /// The TCP framing layer, per received request frame. Error kind: the
     /// request is answered with an error response.
     pub const SERVE_TCP_FRAME: &str = "serve.tcp.frame";
+    /// A disk-cache load inside a scheduler train/artifact node. Error
+    /// kind: the load reports corruption, forcing the fall-back path that
+    /// regenerates the entry from scratch.
+    pub const CACHE_LOAD: &str = "core.cache.load";
 }
 
 /// Every registered fault site, in declaration order. The chaos suites
@@ -86,6 +90,7 @@ pub fn all_sites() -> &'static [&'static str] {
         sites::SERVE_WORKER_BATCH,
         sites::SERVE_WORKER_REQUEST,
         sites::SERVE_TCP_FRAME,
+        sites::CACHE_LOAD,
     ]
 }
 

@@ -39,6 +39,7 @@ pub mod experiments;
 pub mod fault;
 pub mod queue;
 pub mod report;
+pub mod resume;
 pub mod runner;
 pub mod scale;
 pub mod scheduler;
@@ -47,6 +48,7 @@ pub mod zoo;
 pub use error::BlurNetError;
 pub use queue::{run_workers, BoundedQueue, PopTimeout, TryPush};
 pub use report::{CellOutput, CellReport, CellStatus, RunReport, Table};
+pub use resume::{plan_resume, resume_run, ResumePlan, ResumedRun};
 pub use runner::BatchRunner;
 pub use scale::Scale;
 pub use scheduler::{ExperimentScheduler, RunProfile, ScheduledRun};

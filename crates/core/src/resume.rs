@@ -1,0 +1,241 @@
+//! `--resume`: replay completed cells from a prior `results.json` and
+//! schedule only the delta.
+//!
+//! A resumed run must be **indistinguishable** from a cold run of the same
+//! grid: replayed cells are copied verbatim from the prior report, delta
+//! cells are re-executed through the ordinary [`ExperimentScheduler`]
+//! (which regenerates — or loads from the disk cache — every artifact the
+//! delta needs), and the merged report lists cells in grid order exactly
+//! as a cold run would. Because every cell's bytes are deterministic in
+//! (grid, scale, seed), the merged `results.json` is **byte-identical** to
+//! the cold run's — pinned by `tests/golden_resume.rs`.
+//!
+//! Only [`CellStatus::Ok`] cells replay; failed or skipped prior cells are
+//! rescheduled, so `--resume` doubles as a retry of a partially failed
+//! run. A prior report whose schema, scale or seed disagrees with the
+//! requested run is rejected outright — silently merging incompatible
+//! results would fabricate a run that never happened.
+
+use crate::experiments::grid::ExperimentGrid;
+use crate::report::{CellStatus, RunReport, RESULTS_SCHEMA};
+use crate::scheduler::{ExperimentScheduler, RunProfile};
+use crate::{BlurNetError, Result};
+
+/// Which grid cells replay from the prior report and which must run.
+#[derive(Debug)]
+pub struct ResumePlan {
+    /// For each grid cell (grid order): the index into the prior report's
+    /// cells to replay, or `None` if the cell must be executed.
+    sources: Vec<Option<usize>>,
+}
+
+impl ResumePlan {
+    /// Number of cells that replay from the prior report.
+    pub fn replayed(&self) -> usize {
+        self.sources.iter().flatten().count()
+    }
+
+    /// Number of cells that must be (re-)executed.
+    pub fn delta(&self) -> usize {
+        self.sources.iter().filter(|s| s.is_none()).count()
+    }
+}
+
+/// A finished resumed run.
+#[derive(Debug)]
+pub struct ResumedRun {
+    /// The merged deterministic report (byte-identical to a cold run).
+    pub report: RunReport,
+    /// Cells copied verbatim from the prior report.
+    pub replayed: usize,
+    /// Cells executed by the scheduler this run.
+    pub executed: usize,
+    /// The delta run's timing profile (`None` when nothing ran).
+    pub profile: Option<RunProfile>,
+}
+
+/// Matches a prior report against a grid: every grid cell whose
+/// (experiment, label) appears in the prior report with
+/// [`CellStatus::Ok`] replays; everything else is delta.
+///
+/// # Errors
+///
+/// Returns [`BlurNetError::BadConfig`] when the prior report's schema,
+/// scale or seed does not match the requested run.
+pub fn plan_resume(
+    grid: &ExperimentGrid,
+    prior: &RunReport,
+    scale: &str,
+    seed: u64,
+) -> Result<ResumePlan> {
+    if prior.schema != RESULTS_SCHEMA {
+        return Err(BlurNetError::BadConfig(format!(
+            "cannot resume: prior report schema '{}' does not match '{RESULTS_SCHEMA}'",
+            prior.schema
+        )));
+    }
+    if prior.scale != scale {
+        return Err(BlurNetError::BadConfig(format!(
+            "cannot resume: prior report ran at scale '{}', this run is '{scale}'",
+            prior.scale
+        )));
+    }
+    if prior.seed != seed {
+        return Err(BlurNetError::BadConfig(format!(
+            "cannot resume: prior report used seed {}, this run uses {seed}",
+            prior.seed
+        )));
+    }
+    let sources = grid
+        .cells()
+        .iter()
+        .map(|spec| {
+            prior.cells.iter().position(|c| {
+                c.experiment == spec.experiment
+                    && c.label == spec.label
+                    && c.status == CellStatus::Ok
+            })
+        })
+        .collect();
+    Ok(ResumePlan { sources })
+}
+
+/// Resumes `grid` from `prior`: replays every completed cell and runs
+/// only the delta through `scheduler`. When the prior report covers the
+/// whole grid, **no node executes at all** — the scheduler is never
+/// invoked.
+///
+/// # Errors
+///
+/// Returns [`BlurNetError::BadConfig`] for an incompatible prior report,
+/// plus any structural scheduler error from the delta run.
+pub fn resume_run(
+    scheduler: &ExperimentScheduler,
+    grid: &ExperimentGrid,
+    prior: &RunReport,
+) -> Result<ResumedRun> {
+    let plan = plan_resume(
+        grid,
+        prior,
+        &scheduler.scale().to_string(),
+        scheduler.seed(),
+    )?;
+    let delta_specs: Vec<_> = grid
+        .cells()
+        .iter()
+        .zip(&plan.sources)
+        .filter(|(_, source)| source.is_none())
+        .map(|(spec, _)| spec.clone())
+        .collect();
+    let delta_run = if delta_specs.is_empty() {
+        None
+    } else {
+        Some(scheduler.run(&ExperimentGrid::custom(delta_specs))?)
+    };
+
+    let mut delta_cells = delta_run
+        .as_ref()
+        .map(|run| run.report.cells.iter())
+        .unwrap_or_default();
+    let cells =
+        plan.sources
+            .iter()
+            .map(|source| match source {
+                Some(prior_idx) => Ok(prior.cells[*prior_idx].clone()),
+                None => delta_cells.next().cloned().ok_or_else(|| {
+                    BlurNetError::BadConfig("delta run returned too few cells".into())
+                }),
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+    Ok(ResumedRun {
+        report: RunReport {
+            schema: RESULTS_SCHEMA.to_string(),
+            scale: scheduler.scale().to_string(),
+            seed: scheduler.seed(),
+            cells,
+        },
+        replayed: plan.replayed(),
+        executed: plan.delta(),
+        profile: delta_run.map(|run| run.profile),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CellReport;
+    use crate::Scale;
+
+    fn fake_report(scale: &str, seed: u64, labels: &[(&str, &str, CellStatus)]) -> RunReport {
+        RunReport {
+            schema: RESULTS_SCHEMA.to_string(),
+            scale: scale.to_string(),
+            seed,
+            cells: labels
+                .iter()
+                .map(|(experiment, label, status)| CellReport {
+                    experiment: experiment.to_string(),
+                    label: label.to_string(),
+                    status: status.clone(),
+                    output: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn mismatched_runs_are_rejected() {
+        let grid = ExperimentGrid::micro();
+        let scale = Scale::Smoke.to_string();
+        let mut wrong_schema = fake_report(&scale, 7, &[]);
+        wrong_schema.schema = "blurnet-results/v999".to_string();
+        assert!(plan_resume(&grid, &wrong_schema, &scale, 7).is_err());
+        let wrong_scale = fake_report("paper", 7, &[]);
+        assert!(plan_resume(&grid, &wrong_scale, &scale, 7).is_err());
+        let wrong_seed = fake_report(&scale, 8, &[]);
+        assert!(plan_resume(&grid, &wrong_seed, &scale, 7).is_err());
+    }
+
+    #[test]
+    fn only_ok_cells_replay() {
+        let grid = ExperimentGrid::micro();
+        let scale = Scale::Smoke.to_string();
+        let specs = grid.cells();
+        // Prior report: first cell Ok, second Failed, rest absent.
+        let prior = fake_report(
+            &scale,
+            7,
+            &[
+                (specs[0].experiment, &specs[0].label, CellStatus::Ok),
+                (
+                    specs[1].experiment,
+                    &specs[1].label,
+                    CellStatus::Failed {
+                        error: "boom".into(),
+                    },
+                ),
+            ],
+        );
+        let plan = plan_resume(&grid, &prior, &scale, 7).unwrap();
+        assert_eq!(plan.replayed(), 1);
+        assert_eq!(plan.delta(), grid.len() - 1);
+    }
+
+    #[test]
+    fn fully_covered_grids_schedule_nothing() {
+        let grid = ExperimentGrid::micro();
+        let scale = Scale::Smoke.to_string();
+        let all_ok: Vec<_> = grid
+            .cells()
+            .iter()
+            .map(|s| (s.experiment, s.label.as_str(), CellStatus::Ok))
+            .collect();
+        let entries: Vec<(&str, &str, CellStatus)> =
+            all_ok.iter().map(|(e, l, s)| (*e, *l, s.clone())).collect();
+        let prior = fake_report(&scale, 7, &entries);
+        let plan = plan_resume(&grid, &prior, &scale, 7).unwrap();
+        assert_eq!(plan.replayed(), grid.len());
+        assert_eq!(plan.delta(), 0);
+    }
+}

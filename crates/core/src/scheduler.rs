@@ -67,12 +67,19 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use blurnet_attacks::persist::{
+    rp2_result_from_bytes, rp2_result_to_bytes, transfer_set_from_bytes, transfer_set_to_bytes,
+};
 use blurnet_attacks::{Rp2Result, TransferSet};
 use blurnet_data::SignDataset;
-use blurnet_defenses::{train_defended_model, DefendedModel, DefenseKind, VariantCache};
+use blurnet_defenses::{
+    train_defended_model, DefendedModel, DefenseKind, DiskVariantCache, VariantCache,
+};
+use blurnet_tensor::persist::{read_file_verified, write_file_atomic};
 use blurnet_tensor::Tensor;
 
 use crate::experiments::grid::{execute_cell, CellSpec, ExperimentGrid};
@@ -181,6 +188,7 @@ pub struct ExperimentScheduler {
     verbose: bool,
     retry_failed: usize,
     warm_variants: Option<Arc<VariantCache>>,
+    cache_dir: Option<PathBuf>,
 }
 
 impl ExperimentScheduler {
@@ -194,7 +202,18 @@ impl ExperimentScheduler {
             verbose: false,
             retry_failed: 0,
             warm_variants: None,
+            cache_dir: None,
         }
+    }
+
+    /// The scale profile this scheduler runs at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The dataset/zoo seed this scheduler runs with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Caps the number of scheduler workers (defaults to the ambient rayon
@@ -227,6 +246,19 @@ impl ExperimentScheduler {
     /// run's own trained variants land, so it can warm a later run.
     pub fn with_variants(mut self, variants: Arc<VariantCache>) -> Self {
         self.warm_variants = Some(variants);
+        self
+    }
+
+    /// Persists expensive artifacts under `dir` and reuses them on later
+    /// runs: trained variants go through a [`DiskVariantCache`] (keyed by
+    /// architecture + defense + trainer config, so a seed or
+    /// hyper-parameter change is a clean miss), and the shared
+    /// transfer-set / sticker artifacts are stored per `(scale, seed)`.
+    /// Every entry rides the checksummed atomic file container; a
+    /// missing, torn or bit-rotted entry falls back to regenerating from
+    /// scratch — a warm cache can make a run faster, never different.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
         self
     }
 
@@ -282,6 +314,10 @@ impl ExperimentScheduler {
             .threads
             .unwrap_or_else(rayon::current_num_threads)
             .clamp(1, nodes.len());
+        let disk = match &self.cache_dir {
+            Some(dir) => Some(DiskStore::open(dir, self.scale, self.seed)?),
+            None => None,
+        };
 
         let exec = Executor::new(
             nodes,
@@ -292,6 +328,7 @@ impl ExperimentScheduler {
             self.warm_variants
                 .clone()
                 .unwrap_or_else(|| Arc::new(VariantCache::new())),
+            disk,
             panic_cell,
             self.verbose,
             self.retry_failed,
@@ -381,6 +418,25 @@ fn build_dag(grid: &ExperimentGrid, scale: Scale) -> Vec<Node> {
     nodes
 }
 
+/// The on-disk side of a cached run: the model cache plus the per-
+/// `(scale, seed)` artifact files, all under one directory.
+struct DiskStore {
+    models: DiskVariantCache,
+    transfer_path: PathBuf,
+    sticker_path: PathBuf,
+}
+
+impl DiskStore {
+    fn open(dir: &Path, scale: Scale, seed: u64) -> Result<Self> {
+        let models = DiskVariantCache::open(dir).map_err(BlurNetError::Defense)?;
+        Ok(DiskStore {
+            transfer_path: dir.join(format!("transfer-{scale}-{seed}.bnxs")),
+            sticker_path: dir.join(format!("sticker-{scale}-{seed}.bnrp")),
+            models,
+        })
+    }
+}
+
 /// Mutable scheduling state guarded by one mutex (map operations only —
 /// never node execution).
 struct SchedState {
@@ -407,6 +463,7 @@ struct Executor {
     dataset: SignDataset,
     images: Vec<Tensor>,
     variants: Arc<VariantCache>,
+    disk: Option<DiskStore>,
     transfer: Mutex<Option<Arc<TransferSet>>>,
     sticker: Mutex<Option<Arc<Rp2Result>>>,
     cell_slots: Vec<CellSlot>,
@@ -430,6 +487,7 @@ impl Executor {
         dataset: SignDataset,
         images: Vec<Tensor>,
         variants: Arc<VariantCache>,
+        disk: Option<DiskStore>,
         panic_cell: Option<usize>,
         verbose: bool,
         retry_limit: usize,
@@ -472,6 +530,7 @@ impl Executor {
             dataset,
             images,
             variants,
+            disk,
             transfer: Mutex::new(None),
             sticker: Mutex::new(None),
             cell_slots,
@@ -670,23 +729,52 @@ impl Executor {
                     )));
                 }
                 if self.variants.get(&defense.label()).is_none() {
-                    let model =
-                        train_defended_model(defense, &self.dataset, &self.scale.train_config())?;
+                    let model = match self.load_cached_model(defense) {
+                        Some(model) => model,
+                        None => {
+                            let model = train_defended_model(
+                                defense,
+                                &self.dataset,
+                                &self.scale.train_config(),
+                            )?;
+                            self.store_model(&model);
+                            model
+                        }
+                    };
                     self.variants.insert(model);
                 }
                 Ok(())
             }
             NodeKind::TransferSet => {
                 self.artifact_fault_point()?;
-                let baseline = self.variant(&DefenseKind::Baseline)?;
-                let set = table1::transfer_set(self.scale, &baseline, &self.images)?;
+                let set = match self.load_cached_transfer() {
+                    Some(set) => set,
+                    None => {
+                        let baseline = self.variant(&DefenseKind::Baseline)?;
+                        let set = table1::transfer_set(self.scale, &baseline, &self.images)?;
+                        if let Some(disk) = &self.disk {
+                            self.store_artifact(&disk.transfer_path, &transfer_set_to_bytes(&set));
+                        }
+                        set
+                    }
+                };
                 *self.transfer.lock().expect("transfer slot poisoned") = Some(Arc::new(set));
                 Ok(())
             }
             NodeKind::Sticker => {
                 self.artifact_fault_point()?;
-                let baseline = self.variant(&DefenseKind::Baseline)?;
-                let result = figures::sticker_artifact(self.scale, &baseline, &self.images)?;
+                let result = match self.load_cached_sticker() {
+                    Some(result) => result,
+                    None => {
+                        let baseline = self.variant(&DefenseKind::Baseline)?;
+                        let result =
+                            figures::sticker_artifact(self.scale, &baseline, &self.images)?;
+                        if let Some(disk) = &self.disk {
+                            self.store_artifact(&disk.sticker_path, &rp2_result_to_bytes(&result));
+                        }
+                        result
+                    }
+                };
                 *self.sticker.lock().expect("sticker slot poisoned") = Some(Arc::new(result));
                 Ok(())
             }
@@ -752,6 +840,113 @@ impl Executor {
     #[inline(always)]
     fn artifact_fault_point(&self) -> Result<()> {
         Ok(())
+    }
+
+    /// Fault site `core.cache.load`, evaluated once per disk-cache probe:
+    /// an `Error` fault makes the probe report corruption, forcing the
+    /// regenerate-from-scratch fall-back. Returns `true` when the probe
+    /// should be treated as poisoned.
+    #[cfg(feature = "fault-injection")]
+    fn cache_load_poisoned(&self) -> bool {
+        crate::fault::fire(crate::fault::sites::CACHE_LOAD)
+    }
+
+    /// No-op without the `fault-injection` feature.
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    fn cache_load_poisoned(&self) -> bool {
+        false
+    }
+
+    /// Probes the disk cache for a trained variant. Misses **and** damaged
+    /// entries both come back `None` — corruption downgrades to a retrain,
+    /// never a failed node — but damage is reported to stderr (a silent
+    /// downgrade would hide bit-rot forever).
+    fn load_cached_model(&self, defense: &DefenseKind) -> Option<DefendedModel> {
+        let disk = self.disk.as_ref()?;
+        if self.cache_load_poisoned() {
+            eprintln!(
+                "[sched] cache probe for {} poisoned (injected); retraining",
+                defense.label()
+            );
+            return None;
+        }
+        match disk.models.load(
+            defense,
+            &self.scale.train_config(),
+            self.dataset.image_size(),
+            self.dataset.num_classes(),
+        ) {
+            Ok(found) => found,
+            Err(e) => {
+                eprintln!(
+                    "[sched] cache entry for {} unreadable ({e}); retraining",
+                    defense.label()
+                );
+                None
+            }
+        }
+    }
+
+    /// Writes a freshly trained variant to the disk cache (best-effort: a
+    /// full disk must not fail the run that just paid for the training).
+    fn store_model(&self, model: &DefendedModel) {
+        if let Some(disk) = &self.disk {
+            if let Err(e) = disk.models.store(
+                model,
+                &self.scale.train_config(),
+                self.dataset.image_size(),
+                self.dataset.num_classes(),
+            ) {
+                eprintln!(
+                    "[sched] failed to cache trained {}: {e}",
+                    model.defense().label()
+                );
+            }
+        }
+    }
+
+    /// Probes the disk cache for the Table I transfer set (same
+    /// miss/corruption semantics as [`Executor::load_cached_model`]).
+    fn load_cached_transfer(&self) -> Option<TransferSet> {
+        let disk = self.disk.as_ref()?;
+        if !disk.transfer_path.exists() {
+            return None;
+        }
+        if self.cache_load_poisoned() {
+            eprintln!("[sched] transfer-set cache probe poisoned (injected); regenerating");
+            return None;
+        }
+        read_file_verified(&disk.transfer_path)
+            .map_err(|e| e.to_string())
+            .and_then(|payload| transfer_set_from_bytes(&payload).map_err(|e| e.to_string()))
+            .map_err(|e| eprintln!("[sched] cached transfer set unreadable ({e}); regenerating"))
+            .ok()
+    }
+
+    /// Probes the disk cache for the Figure 1/2 sticker artifact.
+    fn load_cached_sticker(&self) -> Option<Rp2Result> {
+        let disk = self.disk.as_ref()?;
+        if !disk.sticker_path.exists() {
+            return None;
+        }
+        if self.cache_load_poisoned() {
+            eprintln!("[sched] sticker cache probe poisoned (injected); regenerating");
+            return None;
+        }
+        read_file_verified(&disk.sticker_path)
+            .map_err(|e| e.to_string())
+            .and_then(|payload| rp2_result_from_bytes(&payload).map_err(|e| e.to_string()))
+            .map_err(|e| eprintln!("[sched] cached sticker unreadable ({e}); regenerating"))
+            .ok()
+    }
+
+    /// Writes a freshly generated artifact to its cache file
+    /// (best-effort, like [`Executor::store_model`]).
+    fn store_artifact(&self, path: &Path, payload: &[u8]) {
+        if let Err(e) = write_file_atomic(path, payload) {
+            eprintln!("[sched] failed to cache artifact {}: {e}", path.display());
+        }
     }
 
     /// The trained variant for a defense (must have been produced by a

@@ -1,0 +1,309 @@
+//! A disk-backed complement to the in-memory [`VariantCache`]: trained
+//! [`DefendedModel`]s keyed by everything that determines their weights.
+//!
+//! # Cache key
+//!
+//! A variant's identity is the tuple **(architecture, defense config,
+//! trainer config, dataset dims)** — `TrainConfig` carries the seed, and
+//! [`build_architecture`] derives the architecture deterministically from
+//! the defense, dims and seed, so the key is computable *before* training
+//! (the whole point: a scheduler can probe the cache instead of paying for
+//! the train). The tuple is serialized to canonical JSON and FNV-1a-hashed
+//! into the file name, alongside a human-readable defense slug:
+//!
+//! ```text
+//! <cache-dir>/baseline-93ab…f2.bndm
+//! <cache-dir>/feature-filter-3x3-07cd…11.bndm
+//! ```
+//!
+//! # Integrity
+//!
+//! Entries are `BNDM` model records inside the checksummed `BNPF` file
+//! container, written atomically (temp sibling + rename). [`DiskVariantCache::load`]
+//! distinguishes **absent** (`Ok(None)`) from **corrupt** (`Err` with the
+//! typed persist error), so callers can treat corruption as a cache miss
+//! and retrain — never serve a half-written or bit-rotted model.
+//!
+//! [`VariantCache`]: crate::VariantCache
+
+use std::path::{Path, PathBuf};
+
+use blurnet_nn::LisaCnnConfig;
+use blurnet_tensor::persist::{fnv1a, read_file_verified, write_file_atomic};
+use serde::Serialize;
+
+use crate::persist::{model_from_bytes, model_to_bytes};
+use crate::trainer::build_architecture;
+use crate::{DefendedModel, DefenseError, DefenseKind, Result, TrainConfig};
+
+/// File extension of persisted model entries.
+pub const MODEL_EXT: &str = "bndm";
+
+/// The serialized form of a cache key; hashing its JSON gives the file
+/// name. Field order is fixed by this struct, so the encoding is
+/// canonical. (Owned fields: the vendored derive does not handle
+/// lifetime-generic types.)
+#[derive(Serialize)]
+struct KeyRecord {
+    defense: DefenseKind,
+    train: TrainConfig,
+    image_size: usize,
+    num_classes: usize,
+    arch: LisaCnnConfig,
+}
+
+/// A directory of trained models, one checksummed file per variant.
+#[derive(Debug, Clone)]
+pub struct DiskVariantCache {
+    dir: PathBuf,
+}
+
+impl DiskVariantCache {
+    /// Opens (creating if necessary) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::Tensor`] wrapping the I/O failure if the
+    /// directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            DefenseError::Tensor(blurnet_tensor::TensorError::Io(format!(
+                "creating cache dir {}: {e}",
+                dir.display()
+            )))
+        })?;
+        Ok(DiskVariantCache { dir })
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a variant with this identity lives at (whether or not it
+    /// exists yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::BadConfig`] for defense parameters the
+    /// architecture builder rejects.
+    pub fn model_path(
+        &self,
+        defense: &DefenseKind,
+        train: &TrainConfig,
+        image_size: usize,
+        num_classes: usize,
+    ) -> Result<PathBuf> {
+        // The architecture is deterministic in (defense, dims, seed), so
+        // deriving it here keeps it part of the key without the caller
+        // having trained anything.
+        let (_, arch) = build_architecture(defense, image_size, num_classes, train.seed)?;
+        let record = KeyRecord {
+            defense: defense.clone(),
+            train: *train,
+            image_size,
+            num_classes,
+            arch,
+        };
+        let json = serde_json::to_vec(&record)
+            .map_err(|e| DefenseError::BadConfig(format!("encoding cache key: {e}")))?;
+        let hash = fnv1a(&json);
+        let slug = slugify(&defense.label());
+        Ok(self.dir.join(format!("{slug}-{hash:016x}.{MODEL_EXT}")))
+    }
+
+    /// Loads the cached model for this identity, distinguishing a miss
+    /// (`Ok(None)`) from a damaged entry (`Err`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed persist errors for torn, truncated, bit-flipped
+    /// or future-versioned entries, and [`DefenseError::BadConfig`] if the
+    /// entry decodes but holds a different defense than requested (a hash
+    /// collision or a tampered file — either way, not the asked-for model).
+    pub fn load(
+        &self,
+        defense: &DefenseKind,
+        train: &TrainConfig,
+        image_size: usize,
+        num_classes: usize,
+    ) -> Result<Option<DefendedModel>> {
+        let path = self.model_path(defense, train, image_size, num_classes)?;
+        if !path.exists() {
+            return Ok(None);
+        }
+        let payload = read_file_verified(&path).map_err(DefenseError::Tensor)?;
+        let model = model_from_bytes(&payload)?;
+        if model.defense() != defense {
+            return Err(DefenseError::BadConfig(format!(
+                "cache entry {} holds defense '{}', expected '{}'",
+                path.display(),
+                model.defense().label(),
+                defense.label()
+            )));
+        }
+        Ok(Some(model))
+    }
+
+    /// Stores a trained model under its identity, atomically. Returns the
+    /// entry's path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::Tensor`] for filesystem failures.
+    pub fn store(
+        &self,
+        model: &DefendedModel,
+        train: &TrainConfig,
+        image_size: usize,
+        num_classes: usize,
+    ) -> Result<PathBuf> {
+        let path = self.model_path(model.defense(), train, image_size, num_classes)?;
+        let payload = model_to_bytes(model)?;
+        write_file_atomic(&path, &payload).map_err(DefenseError::Tensor)?;
+        Ok(path)
+    }
+
+    /// Number of model entries currently on disk.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == MODEL_EXT))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether no model entries exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Lowercases a defense label into a filesystem-safe slug.
+fn slugify(label: &str) -> String {
+    let mut slug = String::with_capacity(label.len());
+    for ch in label.chars() {
+        if ch.is_ascii_alphanumeric() {
+            slug.push(ch.to_ascii_lowercase());
+        } else if !slug.ends_with('-') {
+            slug.push('-');
+        }
+    }
+    slug.trim_matches('-').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blurnet_tensor::{Tensor, TensorError};
+
+    fn temp_cache(tag: &str) -> DiskVariantCache {
+        let dir =
+            std::env::temp_dir().join(format!("blurnet-disk-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskVariantCache::open(dir).unwrap()
+    }
+
+    fn tiny_model(defense: DefenseKind, train: &TrainConfig) -> DefendedModel {
+        let (net, arch) = build_architecture(&defense, 16, 18, train.seed).unwrap();
+        DefendedModel::new(
+            net,
+            defense,
+            arch,
+            crate::TrainingReport {
+                epoch_losses: vec![1.0],
+                test_accuracy: 0.5,
+            },
+        )
+    }
+
+    #[test]
+    fn store_then_load_is_bitwise_identical() {
+        let cache = temp_cache("roundtrip");
+        let train = TrainConfig::tiny();
+        let defense = DefenseKind::FeatureFilter { kernel: 3 };
+        let mut model = tiny_model(defense.clone(), &train);
+        cache.store(&model, &train, 16, 18).unwrap();
+        assert_eq!(cache.len(), 1);
+        let mut loaded = cache.load(&defense, &train, 16, 18).unwrap().unwrap();
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::full(&[3, 16, 16], 0.1 + 0.3 * i as f32))
+            .collect();
+        assert_eq!(
+            model.classify_set(&images).unwrap(),
+            loaded.classify_set(&images).unwrap()
+        );
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn absent_entries_are_a_miss_not_an_error() {
+        let cache = temp_cache("miss");
+        assert!(cache
+            .load(&DefenseKind::Baseline, &TrainConfig::tiny(), 16, 18)
+            .unwrap()
+            .is_none());
+        assert!(cache.is_empty());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn key_separates_defense_seed_and_trainer() {
+        let cache = temp_cache("keys");
+        let base = TrainConfig::tiny();
+        let other_seed = TrainConfig { seed: 8, ..base };
+        let other_lr = TrainConfig {
+            learning_rate: 1e-4,
+            ..base
+        };
+        let p0 = cache
+            .model_path(&DefenseKind::Baseline, &base, 16, 18)
+            .unwrap();
+        let p1 = cache
+            .model_path(&DefenseKind::InputFilter { kernel: 3 }, &base, 16, 18)
+            .unwrap();
+        let p2 = cache
+            .model_path(&DefenseKind::Baseline, &other_seed, 16, 18)
+            .unwrap();
+        let p3 = cache
+            .model_path(&DefenseKind::Baseline, &other_lr, 16, 18)
+            .unwrap();
+        let p4 = cache
+            .model_path(&DefenseKind::Baseline, &base, 32, 18)
+            .unwrap();
+        let paths = [&p0, &p1, &p2, &p3, &p4];
+        for (i, a) in paths.iter().enumerate() {
+            for b in &paths[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_an_error_not_a_silent_miss() {
+        let cache = temp_cache("corrupt");
+        let train = TrainConfig::tiny();
+        let defense = DefenseKind::Baseline;
+        let path = cache
+            .store(&tiny_model(defense.clone(), &train), &train, 16, 18)
+            .unwrap();
+        // Flip one byte in the middle of the weights.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            cache.load(&defense, &train, 16, 18),
+            Err(DefenseError::Tensor(TensorError::ChecksumMismatch { .. }))
+        ));
+        // Truncation is typed too.
+        std::fs::write(&path, &bytes[..mid]).unwrap();
+        assert!(cache.load(&defense, &train, 16, 18).is_err());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+}

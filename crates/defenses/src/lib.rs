@@ -24,18 +24,22 @@
 pub mod augment;
 pub mod cache;
 pub mod config;
+pub mod disk;
 mod error;
 pub mod filtering;
 pub mod model;
+pub mod persist;
 pub mod regularizers;
 pub mod smoothing;
 pub mod trainer;
 
 pub use cache::VariantCache;
 pub use config::DefenseKind;
+pub use disk::DiskVariantCache;
 pub use error::DefenseError;
 pub use filtering::{filter_image, filter_images};
-pub use model::{DefendedModel, TrainingReport};
+pub use model::{DefendedModel, TrainingReport, SMOOTHING_SEED};
+pub use persist::{model_from_bytes, model_to_bytes};
 pub use regularizers::FeatureRegularizer;
 pub use smoothing::smoothed_predict;
 pub use trainer::{build_architecture, train_defended_model, TrainConfig};

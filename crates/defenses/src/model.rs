@@ -4,7 +4,7 @@ use blurnet_attacks::Classifier;
 use blurnet_data::Batch;
 use blurnet_nn::{LisaCnnConfig, Sequential};
 use blurnet_tensor::Tensor;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +38,11 @@ pub struct DefendedModel {
     smoothing_rng: ChaCha8Rng,
 }
 
+/// Seed of the Monte-Carlo smoothing RNG every [`DefendedModel`] starts
+/// from — fixed so the randomized-smoothing evaluation is reproducible and
+/// a persisted model can restore the stream by replaying its draw count.
+pub const SMOOTHING_SEED: u64 = 0xB1A2;
+
 impl DefendedModel {
     /// Wraps a trained network.
     pub fn new(
@@ -51,7 +56,26 @@ impl DefendedModel {
             defense,
             arch,
             report,
-            smoothing_rng: ChaCha8Rng::seed_from_u64(0xB1A2),
+            smoothing_rng: ChaCha8Rng::seed_from_u64(SMOOTHING_SEED),
+        }
+    }
+
+    /// Number of RNG words the smoothing stream has consumed since
+    /// construction. ChaCha is counter-based, so this single number is the
+    /// complete RNG state: persisting it and replaying the same count via
+    /// [`DefendedModel::advance_smoothing_rng`] restores the stream
+    /// bit-exactly.
+    pub fn smoothing_draws(&self) -> u64 {
+        let fresh = ChaCha8Rng::seed_from_u64(SMOOTHING_SEED).get_word_pos();
+        self.smoothing_rng.get_word_pos() - fresh
+    }
+
+    /// Fast-forwards the smoothing RNG by `draws` words (see
+    /// [`DefendedModel::smoothing_draws`]) — the restore side of
+    /// persistence for randomized-smoothing models.
+    pub fn advance_smoothing_rng(&mut self, draws: u64) {
+        for _ in 0..draws {
+            let _ = self.smoothing_rng.next_u32();
         }
     }
 

@@ -1,0 +1,192 @@
+//! Versioned binary persistence for [`DefendedModel`].
+//!
+//! # Layout (`BNDM`, version 1)
+//!
+//! ```text
+//! magic       4 bytes   b"BNDM"
+//! version     u16 LE
+//! header_len  u64 LE
+//! header      JSON (vendored serde): defense, arch, report, smoothing_draws
+//! network     embedded BNSQ record (blurnet_nn::persist)
+//! ```
+//!
+//! The header rides the vendored serde JSON because everything in it is
+//! small structured config (the [`DefenseKind`], the [`LisaCnnConfig`] —
+//! including the fixed-blur kernel, whose f32s round-trip exactly through
+//! the workspace's JSON — and the [`TrainingReport`]); the weight payload
+//! stays binary via the `BNSQ`/`BNTR` records. `smoothing_draws` persists
+//! the randomized-smoothing RNG position (see
+//! [`DefendedModel::smoothing_draws`]), so a reloaded model continues the
+//! exact Monte-Carlo stream the saved one would have — without it, a
+//! warm-cache grid run would diverge from a cold one on every
+//! smoothing cell after the first.
+
+use blurnet_nn::persist::{read_sequential, write_sequential};
+use blurnet_nn::LisaCnnConfig;
+use blurnet_tensor::persist::{put_u64, ByteReader};
+use blurnet_tensor::TensorError;
+use serde::{Deserialize, Serialize};
+
+use crate::model::TrainingReport;
+use crate::{DefendedModel, DefenseError, DefenseKind, Result};
+
+/// Magic bytes opening a serialized [`DefendedModel`].
+pub const MODEL_MAGIC: [u8; 4] = *b"BNDM";
+/// Newest model format version this build reads and writes.
+pub const MODEL_VERSION: u16 = 1;
+
+/// The JSON header of a persisted model: everything except the weights.
+#[derive(Debug, Serialize, Deserialize)]
+struct ModelHeader {
+    defense: DefenseKind,
+    arch: LisaCnnConfig,
+    report: TrainingReport,
+    smoothing_draws: u64,
+}
+
+fn tensor_fail(e: TensorError) -> DefenseError {
+    DefenseError::Tensor(e)
+}
+
+/// Serializes a model as a standalone binary record.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::BadConfig`] if the header cannot be encoded (a
+/// bug, not an input condition).
+pub fn model_to_bytes(model: &DefendedModel) -> Result<Vec<u8>> {
+    let header = ModelHeader {
+        defense: model.defense().clone(),
+        arch: model.arch().clone(),
+        report: model.training_report().clone(),
+        smoothing_draws: model.smoothing_draws(),
+    };
+    let header_json = serde_json::to_vec(&header)
+        .map_err(|e| DefenseError::BadConfig(format!("encoding model header: {e}")))?;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MODEL_MAGIC);
+    buf.extend_from_slice(&MODEL_VERSION.to_le_bytes());
+    put_u64(&mut buf, header_json.len() as u64);
+    buf.extend_from_slice(&header_json);
+    write_sequential(&mut buf, model.network());
+    Ok(buf)
+}
+
+/// Deserializes a standalone model record, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Tensor`] for the typed persist errors (wrong
+/// magic, future version, truncation), [`DefenseError::BadConfig`] for a
+/// malformed header and [`DefenseError::Network`] for a malformed weight
+/// section.
+pub fn model_from_bytes(bytes: &[u8]) -> Result<DefendedModel> {
+    let mut reader = ByteReader::new(bytes);
+    reader.expect_magic(MODEL_MAGIC).map_err(tensor_fail)?;
+    reader.expect_version(MODEL_VERSION).map_err(tensor_fail)?;
+    let header_len = reader.usize_le().map_err(tensor_fail)?;
+    let header_json = reader.take(header_len).map_err(tensor_fail)?;
+    let header: ModelHeader = serde_json::from_slice(header_json)
+        .map_err(|e| DefenseError::BadConfig(format!("decoding model header: {e}")))?;
+    let net = read_sequential(&mut reader)?;
+    reader.finish().map_err(tensor_fail)?;
+    let mut model = DefendedModel::new(net, header.defense, header.arch, header.report);
+    model.advance_smoothing_rng(header.smoothing_draws);
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SMOOTHING_SEED;
+    use blurnet_nn::LisaCnn;
+    use blurnet_tensor::Tensor;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn untrained(defense: DefenseKind) -> DefendedModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let builder = LisaCnn::new(18).input_size(16).conv1_filters(4);
+        let net = builder.build(&mut rng).unwrap();
+        DefendedModel::new(
+            net,
+            defense,
+            builder.config().clone(),
+            TrainingReport {
+                epoch_losses: vec![0.5, 0.25],
+                test_accuracy: 0.75,
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_classification_bitwise() {
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::full(&[3, 16, 16], 0.2 + 0.2 * i as f32))
+            .collect();
+        for defense in [
+            DefenseKind::Baseline,
+            DefenseKind::InputFilter { kernel: 3 },
+            DefenseKind::FeatureFilter { kernel: 5 },
+        ] {
+            let mut model = untrained(defense);
+            let mut restored = model_from_bytes(&model_to_bytes(&model).unwrap()).unwrap();
+            assert_eq!(model.defense(), restored.defense());
+            assert_eq!(model.arch(), restored.arch());
+            assert_eq!(model.training_report(), restored.training_report());
+            assert_eq!(
+                model.classify_set(&images).unwrap(),
+                restored.classify_set(&images).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn smoothing_rng_position_survives_the_roundtrip() {
+        let mut model = untrained(DefenseKind::RandomizedSmoothing {
+            sigma: 0.1,
+            samples: 5,
+        });
+        let image = Tensor::full(&[3, 16, 16], 0.4);
+        // Consume some of the stream before saving.
+        let _ = model.classify_one(&image).unwrap();
+        let draws = model.smoothing_draws();
+        assert!(draws > 0);
+        let mut restored = model_from_bytes(&model_to_bytes(&model).unwrap()).unwrap();
+        assert_eq!(restored.smoothing_draws(), draws);
+        // Both continue the stream identically.
+        assert_eq!(
+            model.classify_one(&image).unwrap(),
+            restored.classify_one(&image).unwrap()
+        );
+    }
+
+    #[test]
+    fn fresh_models_start_at_draw_zero() {
+        let model = untrained(DefenseKind::Baseline);
+        assert_eq!(model.smoothing_draws(), 0);
+        // Draw counting is relative to a fresh RNG at the fixed seed, so
+        // zero means "restore needs no replay", whatever the vendored
+        // ChaCha's absolute starting position is.
+        let _ = SMOOTHING_SEED;
+    }
+
+    #[test]
+    fn wrong_magic_and_future_versions_are_typed() {
+        let bytes = model_to_bytes(&untrained(DefenseKind::Baseline)).unwrap();
+        let mut wrong = bytes.clone();
+        wrong[0] = b'Z';
+        assert!(matches!(
+            model_from_bytes(&wrong),
+            Err(DefenseError::Tensor(TensorError::WrongMagic { .. }))
+        ));
+        let mut future = bytes.clone();
+        future[4] = 0x7F;
+        future[5] = 0x7F;
+        assert!(matches!(
+            model_from_bytes(&future),
+            Err(DefenseError::Tensor(TensorError::UnsupportedVersion { .. }))
+        ));
+        assert!(model_from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

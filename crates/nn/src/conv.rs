@@ -64,6 +64,40 @@ impl Conv2d {
         })
     }
 
+    /// Reassembles a layer from persisted parameters: `weight` must be
+    /// `[F, C, KH, KW]` and `bias` `[F]`. Gradient accumulators start at
+    /// zero and caches empty — exactly the state of a freshly trained
+    /// layer whose gradients were zeroed, so save→load→infer is
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the shapes disagree.
+    pub fn from_parts(weight: Tensor, bias: Tensor, spec: ConvSpec) -> Result<Self> {
+        if weight.shape().rank() != 4 {
+            return Err(NnError::BadConfig(format!(
+                "conv2d weight must be rank 4, got {}",
+                weight.shape()
+            )));
+        }
+        if bias.shape().rank() != 1 || bias.dims()[0] != weight.dims()[0] {
+            return Err(NnError::BadConfig(format!(
+                "conv2d bias must be [{}], got {}",
+                weight.dims()[0],
+                bias.shape()
+            )));
+        }
+        Ok(Conv2d {
+            d_weight: Tensor::zeros(weight.dims()),
+            d_bias: Tensor::zeros(bias.dims()),
+            weight,
+            bias,
+            spec,
+            cached_input: None,
+            scratch: Scratch::new(),
+        })
+    }
+
     /// The convolution stride/padding spec.
     pub fn spec(&self) -> ConvSpec {
         self.spec

@@ -49,6 +49,36 @@ impl Dense {
         })
     }
 
+    /// Reassembles a layer from persisted parameters: `weight` must be
+    /// `[out, in]` and `bias` `[out]`. Gradient accumulators start at zero
+    /// and the forward cache empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the shapes disagree.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Result<Self> {
+        if weight.shape().rank() != 2 {
+            return Err(NnError::BadConfig(format!(
+                "dense weight must be rank 2, got {}",
+                weight.shape()
+            )));
+        }
+        if bias.shape().rank() != 1 || bias.dims()[0] != weight.dims()[0] {
+            return Err(NnError::BadConfig(format!(
+                "dense bias must be [{}], got {}",
+                weight.dims()[0],
+                bias.shape()
+            )));
+        }
+        Ok(Dense {
+            d_weight: Tensor::zeros(weight.dims()),
+            d_bias: Tensor::zeros(bias.dims()),
+            weight,
+            bias,
+            cached_input: None,
+        })
+    }
+
     /// The weight matrix `[out, in]`.
     pub fn weight(&self) -> &Tensor {
         &self.weight

@@ -87,9 +87,56 @@ impl DepthwiseConv2d {
         })
     }
 
+    /// Reassembles a layer from persisted parameters: `weight` must be
+    /// `[C, K, K]` with square kernels and `bias` `[C]`. Gradient
+    /// accumulators start at zero and the forward cache empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the shapes disagree.
+    pub fn from_parts(
+        weight: Tensor,
+        bias: Tensor,
+        spec: ConvSpec,
+        trainable: bool,
+    ) -> Result<Self> {
+        if weight.shape().rank() != 3 || weight.dims()[1] != weight.dims()[2] {
+            return Err(NnError::BadConfig(format!(
+                "depthwise weight must be [C, K, K], got {}",
+                weight.shape()
+            )));
+        }
+        if bias.shape().rank() != 1 || bias.dims()[0] != weight.dims()[0] {
+            return Err(NnError::BadConfig(format!(
+                "depthwise bias must be [{}], got {}",
+                weight.dims()[0],
+                bias.shape()
+            )));
+        }
+        Ok(DepthwiseConv2d {
+            d_weight: Tensor::zeros(weight.dims()),
+            d_bias: Tensor::zeros(bias.dims()),
+            weight,
+            bias,
+            spec,
+            trainable,
+            cached_input: None,
+        })
+    }
+
     /// The per-channel kernels `[C, K, K]`.
     pub fn weight(&self) -> &Tensor {
         &self.weight
+    }
+
+    /// The per-channel bias vector `[C]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// The convolution stride/padding spec.
+    pub fn spec(&self) -> ConvSpec {
+        self.spec
     }
 
     /// Whether the layer's kernels are updated during training.

@@ -58,6 +58,7 @@ pub mod loss;
 pub mod model;
 pub mod network;
 pub mod optim;
+pub mod persist;
 pub mod pool;
 
 pub use conv::Conv2d;

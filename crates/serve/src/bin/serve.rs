@@ -17,15 +17,29 @@
 //! have been handled (the shape CI's smoke run uses). `--ready-file PATH`
 //! writes the bound address once the listener is up, so orchestration
 //! scripts can wait for readiness without polling the port.
+//!
+//! Two flags skip the startup training entirely:
+//!
+//! * `--model-path FILE` loads a persisted `DefendedModel` (the `.bndm`
+//!   files the experiment scheduler's `--cache-dir` writes) and serves
+//!   it as-is — the file's own defense configuration wins over
+//!   `--defense`;
+//! * `--cache-dir DIR` probes the shared disk cache for the requested
+//!   (defense, scale, seed) variant, trains and stores it on a miss, so
+//!   repeated service restarts pay for training exactly once.
+//!
+//! Either way the served weights are bit-identical to the freshly trained
+//! in-process model (pinned by `crates/serve/tests/from_disk.rs`).
 
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
 use blurnet::{ModelZoo, Scale};
-use blurnet_defenses::DefenseKind;
+use blurnet_defenses::{model_from_bytes, DefendedModel, DefenseKind, DiskVariantCache};
 use blurnet_serve::protocol::{serve_connections, Handshake};
 use blurnet_serve::{ClassifyService, ServeConfig};
+use blurnet_tensor::persist::read_file_verified;
 
 /// Seed matching the experiment binaries (`blurnet_bench::EXPERIMENT_SEED`)
 /// so the served weights are the same ones the tables were produced from.
@@ -34,8 +48,9 @@ const DEFAULT_SEED: u64 = 7;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--defense baseline|input-filter:K|feature-filter:K] \
-         [--batch-max N] [--window-us U] [--workers N] [--queue-depth N] [--shed] \
-         [--deadline-us U] [--seed S] [--max-conns N] [--ready-file PATH]"
+         [--model-path FILE] [--cache-dir DIR] [--batch-max N] [--window-us U] [--workers N] \
+         [--queue-depth N] [--shed] [--deadline-us U] [--seed S] [--max-conns N] \
+         [--ready-file PATH]"
     );
     std::process::exit(2)
 }
@@ -55,6 +70,8 @@ struct Args {
     seed: u64,
     max_conns: Option<usize>,
     ready_file: Option<std::path::PathBuf>,
+    model_path: Option<std::path::PathBuf>,
+    cache_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_defense(spec: &str) -> Option<DefenseKind> {
@@ -78,6 +95,8 @@ fn parse_args() -> Args {
         seed: DEFAULT_SEED,
         max_conns: None,
         ready_file: None,
+        model_path: None,
+        cache_dir: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -110,29 +129,78 @@ fn parse_args() -> Args {
                 args.max_conns = Some(value().parse().unwrap_or_else(|_| usage()));
             }
             "--ready-file" => args.ready_file = Some(value().into()),
+            "--model-path" => args.model_path = Some(value().into()),
+            "--cache-dir" => args.cache_dir = Some(value().into()),
             _ => usage(),
         }
     }
     args
 }
 
+/// Produces the model to serve: a persisted file (`--model-path`) wins,
+/// then the shared disk cache (`--cache-dir`, trained and stored on a
+/// miss), then an in-process training via the [`ModelZoo`].
+fn resolve_model(args: &Args, scale: Scale) -> Arc<DefendedModel> {
+    if let Some(path) = &args.model_path {
+        let bytes = read_file_verified(path)
+            .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", path.display())));
+        let model = model_from_bytes(&bytes)
+            .unwrap_or_else(|e| fail(format!("cannot decode {}: {e}", path.display())));
+        eprintln!(
+            "# loaded {} ({} defense)",
+            path.display(),
+            model.defense().label()
+        );
+        return Arc::new(model);
+    }
+
+    if let Some(dir) = &args.cache_dir {
+        let cache = DiskVariantCache::open(dir)
+            .unwrap_or_else(|e| fail(format!("cannot open cache {}: {e}", dir.display())));
+        let train = scale.train_config();
+        let image_size = scale.dataset_config().image_size;
+        let num_classes = blurnet::data::NUM_CLASSES;
+        match cache.load(&args.defense, &train, image_size, num_classes) {
+            Ok(Some(model)) => {
+                eprintln!(
+                    "# cache hit: {} from {}",
+                    args.defense.label(),
+                    dir.display()
+                );
+                return Arc::new(model);
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("# cache entry unreadable ({e}); retraining"),
+        }
+        let mut zoo = ModelZoo::new(scale, args.seed)
+            .unwrap_or_else(|e| fail(format!("failed to build the model zoo: {e}")));
+        let model = zoo
+            .get_or_train_shared(&args.defense)
+            .unwrap_or_else(|e| fail(format!("failed to train the model: {e}")));
+        match cache.store(&model, &train, image_size, num_classes) {
+            Ok(path) => eprintln!("# cached trained model at {}", path.display()),
+            Err(e) => eprintln!("# warning: could not cache the trained model: {e}"),
+        }
+        return model;
+    }
+
+    let mut zoo = ModelZoo::new(scale, args.seed)
+        .unwrap_or_else(|e| fail(format!("failed to build the model zoo: {e}")));
+    zoo.get_or_train_shared(&args.defense)
+        .unwrap_or_else(|e| fail(format!("failed to train/load the model: {e}")))
+}
+
 fn main() {
     let args = parse_args();
     let scale = Scale::from_env();
+    let model = resolve_model(&args, scale);
     eprintln!(
         "# blurnet serve — scale: {scale}, defense: {}, flush at batch {} or {:?}, {} worker(s)",
-        args.defense.label(),
+        model.defense().label(),
         args.config.max_batch.max(1),
         args.config.flush_window,
         args.config.workers.max(1),
     );
-
-    let mut zoo = ModelZoo::new(scale, args.seed)
-        .unwrap_or_else(|e| fail(format!("failed to build the model zoo: {e}")));
-    let model = zoo
-        .get_or_train_shared(&args.defense)
-        .unwrap_or_else(|e| fail(format!("failed to train/load the model: {e}")));
-    drop(zoo);
 
     let max_batch = args.config.max_batch.max(1);
     let flush_window = args.config.flush_window;

@@ -1,0 +1,117 @@
+//! Serving from disk: a `DefendedModel` loaded back from its persisted
+//! `.bndm` file (the `--model-path` / `--cache-dir` startup paths of the
+//! `serve` binary) must answer **bitwise identically** to the freshly
+//! trained in-process model — through the single-request oracle
+//! (`classify_single`) and through the micro-batching service.
+
+use std::sync::Arc;
+
+use blurnet_defenses::{
+    model_from_bytes, model_to_bytes, DefenseKind, DiskVariantCache, TrainConfig,
+};
+use blurnet_serve::{classify_single, Classification, ClassifyService, ServeConfig};
+use blurnet_tensor::persist::{read_file_verified, write_file_atomic};
+use blurnet_test_support::{tiny_defended_model, uniform_images, TINY_IMAGE_SIZE};
+
+fn bits(c: &Classification) -> (usize, u32, blurnet_serve::DefenseVerdict) {
+    (c.label, c.confidence.to_bits(), c.verdict)
+}
+
+/// A scratch dir under the system temp dir, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("blurnet-from-disk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn a_model_loaded_from_file_answers_bitwise_like_the_oracle() {
+    let dir = TempDir::new("model-path");
+    for defense in [
+        DefenseKind::Baseline,
+        DefenseKind::InputFilter { kernel: 3 },
+        DefenseKind::FeatureFilter { kernel: 3 },
+    ] {
+        let fresh = Arc::new(tiny_defended_model(defense.clone(), 11));
+        let images = uniform_images(12, TINY_IMAGE_SIZE, 17);
+        let oracle: Vec<_> = images
+            .iter()
+            .map(|image| classify_single(&fresh, image).expect("oracle path"))
+            .collect();
+
+        // The exact bytes `serve --model-path` reads: the checksummed
+        // container around the model record.
+        let path = dir.0.join("model.bndm");
+        write_file_atomic(&path, &model_to_bytes(&fresh).expect("serializes"))
+            .expect("atomic write");
+        let loaded = Arc::new(
+            model_from_bytes(&read_file_verified(&path).expect("verified read")).expect("decodes"),
+        );
+        assert_eq!(loaded.defense(), fresh.defense());
+
+        for (i, (image, expected)) in images.iter().zip(&oracle).enumerate() {
+            let got = classify_single(&loaded, image).expect("loaded model answers");
+            assert_eq!(
+                bits(expected),
+                bits(&got),
+                "image {i} diverged after disk roundtrip ({})",
+                defense.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn the_batched_service_over_a_cached_model_matches_the_fresh_one() {
+    let dir = TempDir::new("cache-dir");
+    let defense = DefenseKind::InputFilter { kernel: 3 };
+    let fresh = Arc::new(tiny_defended_model(defense.clone(), 23));
+    let images = uniform_images(16, TINY_IMAGE_SIZE, 29);
+
+    // Store and re-load through the shared disk cache — the exact
+    // `serve --cache-dir` warm-start path.
+    let train = TrainConfig::tiny();
+    let cache = DiskVariantCache::open(&dir.0).expect("cache opens");
+    cache
+        .store(&fresh, &train, TINY_IMAGE_SIZE, 18)
+        .expect("store succeeds");
+    let loaded = Arc::new(
+        cache
+            .load(&defense, &train, TINY_IMAGE_SIZE, 18)
+            .expect("load succeeds")
+            .expect("entry is a hit"),
+    );
+
+    let reference: Vec<_> = images
+        .iter()
+        .map(|image| classify_single(&fresh, image).expect("fresh oracle"))
+        .collect();
+    let service =
+        ClassifyService::new(Arc::clone(&loaded), ServeConfig::default()).expect("service starts");
+    let client = service.client();
+    let served: Vec<_> = images
+        .iter()
+        .map(|image| client.classify(image.clone()).expect("service answers"))
+        .collect();
+    service.shutdown().expect("clean shutdown");
+
+    for (i, (expected, got)) in reference.iter().zip(&served).enumerate() {
+        assert_eq!(
+            bits(expected),
+            bits(got),
+            "image {i}: cached-model service diverged from the fresh model"
+        );
+    }
+}

@@ -42,6 +42,50 @@ pub enum TensorError {
     },
     /// An empty tensor was passed to a reduction that requires data.
     EmptyTensor,
+    /// A persisted record carried the wrong magic bytes (e.g. a model file
+    /// handed to the tensor reader, or plain garbage).
+    WrongMagic {
+        /// The four bytes found at the record head.
+        found: [u8; 4],
+        /// The magic the reader expected.
+        expected: [u8; 4],
+    },
+    /// A persisted record was written by a newer format version than this
+    /// build can read.
+    UnsupportedVersion {
+        /// Version stamped in the record.
+        found: u16,
+        /// Newest version this reader supports.
+        supported: u16,
+    },
+    /// A persisted record carried an element type this build cannot decode.
+    UnsupportedDtype {
+        /// The dtype tag found in the record.
+        found: u8,
+    },
+    /// A persisted record ended before its declared contents.
+    Truncated {
+        /// Bytes the reader needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A persisted record was followed by bytes it does not account for.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A persisted file failed checksum validation (bit rot, a torn write,
+    /// or deliberate corruption).
+    ChecksumMismatch {
+        /// Checksum stored in the file trailer.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// An I/O operation on a persisted file failed (message retains the
+    /// `std::io::Error` text; the error itself is kept `Clone + Eq`).
+    Io(String),
 }
 
 impl fmt::Display for TensorError {
@@ -69,6 +113,29 @@ impl fmt::Display for TensorError {
                 write!(f, "index {index} out of bounds for tensor of length {len}")
             }
             TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
+            TensorError::WrongMagic { found, expected } => write!(
+                f,
+                "wrong magic bytes: found {found:?}, expected {expected:?}"
+            ),
+            TensorError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "format version {found} is newer than the supported version {supported}"
+            ),
+            TensorError::UnsupportedDtype { found } => {
+                write!(f, "unsupported element dtype tag {found}")
+            }
+            TensorError::Truncated { needed, available } => write!(
+                f,
+                "record truncated: needed {needed} more bytes, only {available} remain"
+            ),
+            TensorError::TrailingBytes { extra } => {
+                write!(f, "record followed by {extra} unaccounted bytes")
+            }
+            TensorError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            TensorError::Io(msg) => write!(f, "persistence I/O error: {msg}"),
         }
     }
 }

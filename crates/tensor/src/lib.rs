@@ -23,6 +23,7 @@ mod conv;
 mod error;
 mod init;
 mod matmul;
+pub mod persist;
 mod pool;
 mod scratch;
 mod shape;

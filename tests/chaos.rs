@@ -284,6 +284,112 @@ fn retry_failed_regenerates_a_faulted_artifact() {
     assert_eq!(report_bytes(&retried), report_bytes(&clean));
 }
 
+/// A per-test scratch directory under the system temp dir, removed on
+/// drop so chaos runs never leak warm caches into each other.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("blurnet-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create chaos temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn a_poisoned_cache_probe_falls_back_to_retraining() {
+    let _guard = serialized();
+    fault::disarm_all();
+    let grid = ExperimentGrid::micro();
+    let clean = scheduler().run(&grid).expect("clean run");
+    assert!(clean.report.all_ok());
+
+    // Warm the disk cache with a clean cached run first, so the poisoned
+    // run below actually has entries to refuse.
+    let cache = TempDir::new("cache-load");
+    let warm = scheduler()
+        .cache_dir(cache.path())
+        .run(&grid)
+        .expect("warm cached run");
+    assert_eq!(
+        report_bytes(&warm),
+        report_bytes(&clean),
+        "writing the cache must not change the report"
+    );
+
+    // `core.cache.load`: every probe reports corruption, so the scheduler
+    // must take the regenerate-from-scratch path for every entry — and
+    // still produce the byte-identical report, because a cache is only an
+    // accelerator, never a source of truth.
+    fault::arm(sites::CACHE_LOAD, FaultSpec::always(FaultKind::Error));
+    let poisoned = scheduler()
+        .cache_dir(cache.path())
+        .run(&grid)
+        .expect("poisoned-cache run completes");
+    assert!(
+        fault::fires(sites::CACHE_LOAD) > 0,
+        "the cached run never probed the disk cache"
+    );
+    fault::disarm_all();
+
+    assert!(poisoned.report.all_ok(), "no cell may fail on a bad cache");
+    assert_eq!(
+        report_bytes(&poisoned),
+        report_bytes(&clean),
+        "a poisoned cache must downgrade to retraining, not change results"
+    );
+}
+
+#[test]
+fn on_disk_cache_corruption_downgrades_to_regeneration() {
+    let _guard = serialized();
+    fault::disarm_all();
+    let grid = ExperimentGrid::micro();
+    let clean = scheduler().run(&grid).expect("clean run");
+
+    let cache = TempDir::new("cache-rot");
+    scheduler()
+        .cache_dir(cache.path())
+        .run(&grid)
+        .expect("warm cached run");
+
+    // Flip one payload byte in every cached file — checksum validation
+    // must catch each one and the scheduler must regenerate instead of
+    // serving rot (or panicking).
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(cache.path()).expect("read cache dir") {
+        let path = entry.expect("dir entry").path();
+        let mut bytes = std::fs::read(&path).expect("read cache file");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write corrupted file");
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "the warm run cached nothing");
+
+    let recovered = scheduler()
+        .cache_dir(cache.path())
+        .run(&grid)
+        .expect("run over a rotten cache completes");
+    assert!(recovered.report.all_ok());
+    assert_eq!(
+        report_bytes(&recovered),
+        report_bytes(&clean),
+        "corrupt cache entries must be regenerated, not trusted"
+    );
+}
+
 #[test]
 fn every_core_fault_site_has_a_chaos_scenario() {
     // The sites this suite exercises; `crates/serve/tests/chaos.rs` owns
@@ -295,6 +401,7 @@ fn every_core_fault_site_has_a_chaos_scenario() {
         sites::SCHED_TRAIN,
         sites::SCHED_ARTIFACT,
         sites::SCHED_CELL,
+        sites::CACHE_LOAD,
     ];
     for site in fault::all_sites() {
         if site.starts_with("core.") {

@@ -1,0 +1,117 @@
+//! Golden resume tests: `--resume` must be **indistinguishable** from a
+//! cold run.
+//!
+//! * Resuming a fully completed micro-grid run executes **zero** cells
+//!   (the scheduler is never invoked) and re-emits the byte-identical
+//!   `results.json`.
+//! * Deleting one cell from the prior report reruns **exactly** that
+//!   cell, and the merged report is still byte-identical to the cold
+//!   run's.
+//! * A cached (`--cache-dir`) delta run changes nothing either: the
+//!   disk cache is an accelerator, not a source of truth.
+
+use blurnet::experiments::grid::ExperimentGrid;
+use blurnet::{plan_resume, resume_run, CellStatus, ExperimentScheduler, RunReport, Scale};
+
+const SEED: u64 = 7;
+
+fn scheduler() -> ExperimentScheduler {
+    ExperimentScheduler::new(Scale::Smoke, SEED).threads(2)
+}
+
+/// A cold micro-grid run plus its serialized `results.json` bytes — and
+/// the prior-report value a `--resume` run would parse back from disk
+/// (the JSON round-trip IS the persistence path).
+fn cold_run() -> (RunReport, String) {
+    let report = scheduler()
+        .run(&ExperimentGrid::micro())
+        .expect("cold micro grid")
+        .report;
+    let json = report.to_json();
+    let reparsed: RunReport = serde_json::from_str(&json).expect("results.json parses back");
+    assert_eq!(reparsed, report, "results.json round-trip must be lossless");
+    (reparsed, json)
+}
+
+#[test]
+fn resuming_a_completed_run_executes_zero_cells() {
+    let grid = ExperimentGrid::micro();
+    let (prior, cold_json) = cold_run();
+
+    let resumed = resume_run(&scheduler(), &grid, &prior).expect("resume succeeds");
+    assert_eq!(resumed.executed, 0, "a completed run has no delta");
+    assert_eq!(resumed.replayed, grid.len());
+    assert!(
+        resumed.profile.is_none(),
+        "zero delta means the scheduler never ran at all"
+    );
+    assert_eq!(
+        resumed.report.to_json(),
+        cold_json,
+        "the resumed results.json must be byte-identical to the cold run"
+    );
+}
+
+#[test]
+fn a_deleted_cell_is_the_only_one_that_reruns() {
+    let grid = ExperimentGrid::micro();
+    let (mut prior, cold_json) = cold_run();
+
+    // Drop the second cell from the prior report, as if the first run
+    // died before finishing it.
+    let dropped = prior.cells.remove(1);
+
+    let plan = plan_resume(&grid, &prior, &Scale::Smoke.to_string(), SEED).expect("plan");
+    assert_eq!(plan.delta(), 1, "exactly the dropped cell is delta");
+    assert_eq!(plan.replayed(), grid.len() - 1);
+
+    let resumed = resume_run(&scheduler(), &grid, &prior).expect("resume succeeds");
+    assert_eq!(resumed.executed, 1);
+    assert_eq!(resumed.replayed, grid.len() - 1);
+    let rerun = &resumed.report.cells[1];
+    assert_eq!(rerun.experiment, dropped.experiment);
+    assert_eq!(rerun.label, dropped.label);
+    assert_eq!(
+        resumed.report.to_json(),
+        cold_json,
+        "rerunning the missing cell must reproduce the cold bytes exactly"
+    );
+}
+
+#[test]
+fn failed_prior_cells_are_rescheduled_not_replayed() {
+    let grid = ExperimentGrid::micro();
+    let (mut prior, cold_json) = cold_run();
+
+    // A cell that failed last time must not replay its failure.
+    prior.cells[0].status = CellStatus::Failed {
+        error: "previous run died here".into(),
+    };
+    prior.cells[0].output = None;
+
+    let resumed = resume_run(&scheduler(), &grid, &prior).expect("resume succeeds");
+    assert_eq!(resumed.executed, 1, "the failed cell reruns");
+    assert_eq!(resumed.report.cells[0].status, CellStatus::Ok);
+    assert_eq!(resumed.report.to_json(), cold_json);
+}
+
+#[test]
+fn a_cached_delta_run_is_still_byte_identical() {
+    let grid = ExperimentGrid::micro();
+    let (mut prior, cold_json) = cold_run();
+    prior.cells.pop();
+
+    let cache = std::env::temp_dir().join(format!("blurnet-resume-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let resumed = resume_run(&scheduler().cache_dir(&*cache), &grid, &prior).expect("resume");
+    assert_eq!(resumed.executed, 1);
+    assert_eq!(resumed.report.to_json(), cold_json);
+
+    // Resume again over the now-warm cache: the delta cell loads its
+    // model from disk instead of training — same bytes out.
+    let mut prior2: RunReport = serde_json::from_str(&cold_json).expect("parses");
+    prior2.cells.pop();
+    let warm = resume_run(&scheduler().cache_dir(&*cache), &grid, &prior2).expect("warm resume");
+    assert_eq!(warm.report.to_json(), cold_json);
+    let _ = std::fs::remove_dir_all(&cache);
+}
