@@ -48,6 +48,29 @@ fn fail(e: TensorError) -> AttackError {
     AttackError::Tensor(e)
 }
 
+/// Smallest possible encoded tensor record: magic + version + dtype +
+/// rank + len, with rank 0 and no payload.
+const MIN_TENSOR_RECORD: usize = 16;
+
+/// Rejects a declared element count the remaining input cannot possibly
+/// satisfy at `min_size` bytes per element — the guard that keeps a
+/// crafted count field from driving a huge up-front allocation before
+/// any element has been read.
+fn check_declared_count(count: usize, min_size: usize, remaining: usize) -> Result<()> {
+    let needed = count.checked_mul(min_size).ok_or_else(|| {
+        fail(TensorError::InvalidSpec(format!(
+            "declared count {count} overflows usize"
+        )))
+    })?;
+    if remaining < needed {
+        return Err(fail(TensorError::Truncated {
+            needed,
+            available: remaining,
+        }));
+    }
+    Ok(())
+}
+
 /// Serializes a transfer set as a standalone binary record.
 pub fn transfer_set_to_bytes(set: &TransferSet) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -79,6 +102,8 @@ pub fn transfer_set_from_bytes(bytes: &[u8]) -> Result<TransferSet> {
     reader.expect_version(TRANSFER_VERSION).map_err(fail)?;
     let target = reader.usize_le().map_err(fail)?;
     let count = reader.usize_le().map_err(fail)?;
+    // Every image costs at least a u64 label plus two tensor records.
+    check_declared_count(count, 8 + 2 * MIN_TENSOR_RECORD, reader.remaining())?;
     let mut labels = Vec::with_capacity(count);
     for _ in 0..count {
         labels.push(reader.usize_le().map_err(fail)?);
@@ -124,6 +149,7 @@ pub fn rp2_result_from_bytes(bytes: &[u8]) -> Result<Rp2Result> {
     reader.expect_magic(RP2_MAGIC).map_err(fail)?;
     reader.expect_version(RP2_VERSION).map_err(fail)?;
     let trace_len = reader.usize_le().map_err(fail)?;
+    check_declared_count(trace_len, 4, reader.remaining())?;
     let mut loss_trace = Vec::with_capacity(trace_len);
     for _ in 0..trace_len {
         let b = reader.take(4).map_err(fail)?;
@@ -194,6 +220,40 @@ mod tests {
         let trace_bits: Vec<u32> = restored.loss_trace.iter().map(|v| v.to_bits()).collect();
         let expect_bits: Vec<u32> = result.loss_trace.iter().map(|v| v.to_bits()).collect();
         assert_eq!(trace_bits, expect_bits);
+    }
+
+    #[test]
+    fn huge_declared_counts_are_rejected_before_allocating() {
+        // A header-only payload claiming 2^40 images must come back as a
+        // typed truncation, not abort the process allocating for them.
+        let mut transfer = Vec::new();
+        transfer.extend_from_slice(&TRANSFER_MAGIC);
+        transfer.extend_from_slice(&TRANSFER_VERSION.to_le_bytes());
+        put_u64(&mut transfer, 0); // target
+        put_u64(&mut transfer, 1 << 40); // count
+        assert!(matches!(
+            transfer_set_from_bytes(&transfer),
+            Err(AttackError::Tensor(TensorError::Truncated { .. }))
+        ));
+
+        let mut rp2 = Vec::new();
+        rp2.extend_from_slice(&RP2_MAGIC);
+        rp2.extend_from_slice(&RP2_VERSION.to_le_bytes());
+        put_u64(&mut rp2, 1 << 40); // trace_len
+        assert!(matches!(
+            rp2_result_from_bytes(&rp2),
+            Err(AttackError::Tensor(TensorError::Truncated { .. }))
+        ));
+
+        // A count whose byte cost overflows usize is typed too.
+        let mut overflow = Vec::new();
+        overflow.extend_from_slice(&RP2_MAGIC);
+        overflow.extend_from_slice(&RP2_VERSION.to_le_bytes());
+        put_u64(&mut overflow, u64::MAX);
+        assert!(matches!(
+            rp2_result_from_bytes(&overflow),
+            Err(AttackError::Tensor(TensorError::InvalidSpec(_)))
+        ));
     }
 
     #[test]

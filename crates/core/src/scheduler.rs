@@ -251,8 +251,8 @@ impl ExperimentScheduler {
 
     /// Persists expensive artifacts under `dir` and reuses them on later
     /// runs: trained variants go through a [`DiskVariantCache`] (keyed by
-    /// architecture + defense + trainer config, so a seed or
-    /// hyper-parameter change is a clean miss), and the shared
+    /// architecture + defense + trainer config + dataset seed, so a seed
+    /// or hyper-parameter change is a clean miss), and the shared
     /// transfer-set / sticker artifacts are stored per `(scale, seed)`.
     /// Every entry rides the checksummed atomic file container; a
     /// missing, torn or bit-rotted entry falls back to regenerating from
@@ -422,6 +422,9 @@ fn build_dag(grid: &ExperimentGrid, scale: Scale) -> Vec<Node> {
 /// `(scale, seed)` artifact files, all under one directory.
 struct DiskStore {
     models: DiskVariantCache,
+    /// The dataset/zoo seed of this run — part of every model's cache
+    /// identity, since it selects the generated training set.
+    seed: u64,
     transfer_path: PathBuf,
     sticker_path: PathBuf,
 }
@@ -432,6 +435,7 @@ impl DiskStore {
         Ok(DiskStore {
             transfer_path: dir.join(format!("transfer-{scale}-{seed}.bnxs")),
             sticker_path: dir.join(format!("sticker-{scale}-{seed}.bnrp")),
+            seed,
             models,
         })
     }
@@ -876,6 +880,7 @@ impl Executor {
             &self.scale.train_config(),
             self.dataset.image_size(),
             self.dataset.num_classes(),
+            disk.seed,
         ) {
             Ok(found) => found,
             Err(e) => {
@@ -897,6 +902,7 @@ impl Executor {
                 &self.scale.train_config(),
                 self.dataset.image_size(),
                 self.dataset.num_classes(),
+                disk.seed,
             ) {
                 eprintln!(
                     "[sched] failed to cache trained {}: {e}",

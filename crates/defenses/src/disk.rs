@@ -4,7 +4,9 @@
 //! # Cache key
 //!
 //! A variant's identity is the tuple **(architecture, defense config,
-//! trainer config, dataset dims)** — `TrainConfig` carries the seed, and
+//! trainer config, dataset seed, dims)** — `TrainConfig` carries the
+//! optimizer seed, the dataset seed pins the generated training set (two
+//! runs with different `--seed`s train different weights), and
 //! [`build_architecture`] derives the architecture deterministically from
 //! the defense, dims and seed, so the key is computable *before* training
 //! (the whole point: a scheduler can probe the cache instead of paying for
@@ -18,18 +20,23 @@
 //!
 //! # Integrity
 //!
-//! Entries are `BNDM` model records inside the checksummed `BNPF` file
-//! container, written atomically (temp sibling + rename). [`DiskVariantCache::load`]
+//! Entries are `BNCE` records — the canonical key JSON followed by the
+//! embedded `BNDM` model — inside the checksummed `BNPF` file container,
+//! written atomically (temp sibling + rename). [`DiskVariantCache::load`]
 //! distinguishes **absent** (`Ok(None)`) from **corrupt** (`Err` with the
 //! typed persist error), so callers can treat corruption as a cache miss
-//! and retrain — never serve a half-written or bit-rotted model.
+//! and retrain — never serve a half-written or bit-rotted model. Because
+//! the full key rides inside the entry, a load compares it byte-for-byte
+//! against the requested identity: a 64-bit file-name hash collision, a
+//! renamed file or a tampered header all surface as a typed mismatch
+//! instead of silently serving the wrong weights.
 //!
 //! [`VariantCache`]: crate::VariantCache
 
 use std::path::{Path, PathBuf};
 
 use blurnet_nn::LisaCnnConfig;
-use blurnet_tensor::persist::{fnv1a, read_file_verified, write_file_atomic};
+use blurnet_tensor::persist::{fnv1a, put_u64, read_file_verified, write_file_atomic, ByteReader};
 use serde::Serialize;
 
 use crate::persist::{model_from_bytes, model_to_bytes};
@@ -39,14 +46,21 @@ use crate::{DefendedModel, DefenseError, DefenseKind, Result, TrainConfig};
 /// File extension of persisted model entries.
 pub const MODEL_EXT: &str = "bndm";
 
+/// Magic bytes opening a cache entry (key header + embedded model).
+pub const ENTRY_MAGIC: [u8; 4] = *b"BNCE";
+/// Newest cache-entry format version this build reads and writes.
+pub const ENTRY_VERSION: u16 = 1;
+
 /// The serialized form of a cache key; hashing its JSON gives the file
-/// name. Field order is fixed by this struct, so the encoding is
-/// canonical. (Owned fields: the vendored derive does not handle
-/// lifetime-generic types.)
+/// name, and the JSON itself is embedded in the entry so a load can
+/// verify it got the identity it asked for. Field order is fixed by this
+/// struct, so the encoding is canonical. (Owned fields: the vendored
+/// derive does not handle lifetime-generic types.)
 #[derive(Serialize)]
 struct KeyRecord {
     defense: DefenseKind,
     train: TrainConfig,
+    dataset_seed: u64,
     image_size: usize,
     num_classes: usize,
     arch: LisaCnnConfig,
@@ -81,6 +95,37 @@ impl DiskVariantCache {
         &self.dir
     }
 
+    /// The canonical key JSON for a variant identity.
+    fn key_json(
+        defense: &DefenseKind,
+        train: &TrainConfig,
+        image_size: usize,
+        num_classes: usize,
+        dataset_seed: u64,
+    ) -> Result<Vec<u8>> {
+        // The architecture is deterministic in (defense, dims, seed), so
+        // deriving it here keeps it part of the key without the caller
+        // having trained anything.
+        let (_, arch) = build_architecture(defense, image_size, num_classes, train.seed)?;
+        let record = KeyRecord {
+            defense: defense.clone(),
+            train: *train,
+            dataset_seed,
+            image_size,
+            num_classes,
+            arch,
+        };
+        serde_json::to_vec(&record)
+            .map_err(|e| DefenseError::BadConfig(format!("encoding cache key: {e}")))
+    }
+
+    /// The file name a key hashes to.
+    fn entry_path(&self, defense: &DefenseKind, key_json: &[u8]) -> PathBuf {
+        let hash = fnv1a(key_json);
+        let slug = slugify(&defense.label());
+        self.dir.join(format!("{slug}-{hash:016x}.{MODEL_EXT}"))
+    }
+
     /// The file a variant with this identity lives at (whether or not it
     /// exists yet).
     ///
@@ -94,23 +139,10 @@ impl DiskVariantCache {
         train: &TrainConfig,
         image_size: usize,
         num_classes: usize,
+        dataset_seed: u64,
     ) -> Result<PathBuf> {
-        // The architecture is deterministic in (defense, dims, seed), so
-        // deriving it here keeps it part of the key without the caller
-        // having trained anything.
-        let (_, arch) = build_architecture(defense, image_size, num_classes, train.seed)?;
-        let record = KeyRecord {
-            defense: defense.clone(),
-            train: *train,
-            image_size,
-            num_classes,
-            arch,
-        };
-        let json = serde_json::to_vec(&record)
-            .map_err(|e| DefenseError::BadConfig(format!("encoding cache key: {e}")))?;
-        let hash = fnv1a(&json);
-        let slug = slugify(&defense.label());
-        Ok(self.dir.join(format!("{slug}-{hash:016x}.{MODEL_EXT}")))
+        let json = Self::key_json(defense, train, image_size, num_classes, dataset_seed)?;
+        Ok(self.entry_path(defense, &json))
     }
 
     /// Loads the cached model for this identity, distinguishing a miss
@@ -120,27 +152,29 @@ impl DiskVariantCache {
     ///
     /// Returns the typed persist errors for torn, truncated, bit-flipped
     /// or future-versioned entries, and [`DefenseError::BadConfig`] if the
-    /// entry decodes but holds a different defense than requested (a hash
-    /// collision or a tampered file — either way, not the asked-for model).
+    /// entry decodes but its embedded key differs from the requested one
+    /// (a file-name hash collision, a renamed file or a tampered header —
+    /// either way, not the asked-for model).
     pub fn load(
         &self,
         defense: &DefenseKind,
         train: &TrainConfig,
         image_size: usize,
         num_classes: usize,
+        dataset_seed: u64,
     ) -> Result<Option<DefendedModel>> {
-        let path = self.model_path(defense, train, image_size, num_classes)?;
+        let expected = Self::key_json(defense, train, image_size, num_classes, dataset_seed)?;
+        let path = self.entry_path(defense, &expected);
         if !path.exists() {
             return Ok(None);
         }
         let payload = read_file_verified(&path).map_err(DefenseError::Tensor)?;
-        let model = model_from_bytes(&payload)?;
-        if model.defense() != defense {
+        let (stored_key, model) = entry_from_bytes(&payload)?;
+        if stored_key != expected {
             return Err(DefenseError::BadConfig(format!(
-                "cache entry {} holds defense '{}', expected '{}'",
-                path.display(),
-                model.defense().label(),
-                defense.label()
+                "cache entry {} holds a different variant identity than requested \
+                 (hash collision or tampered/renamed file)",
+                path.display()
             )));
         }
         Ok(Some(model))
@@ -158,9 +192,17 @@ impl DiskVariantCache {
         train: &TrainConfig,
         image_size: usize,
         num_classes: usize,
+        dataset_seed: u64,
     ) -> Result<PathBuf> {
-        let path = self.model_path(model.defense(), train, image_size, num_classes)?;
-        let payload = model_to_bytes(model)?;
+        let key = Self::key_json(
+            model.defense(),
+            train,
+            image_size,
+            num_classes,
+            dataset_seed,
+        )?;
+        let path = self.entry_path(model.defense(), &key);
+        let payload = entry_to_bytes(&key, model)?;
         write_file_atomic(&path, &payload).map_err(DefenseError::Tensor)?;
         Ok(path)
     }
@@ -183,6 +225,55 @@ impl DiskVariantCache {
     }
 }
 
+/// Serializes a cache entry: the canonical key JSON followed by the
+/// embedded model record.
+fn entry_to_bytes(key_json: &[u8], model: &DefendedModel) -> Result<Vec<u8>> {
+    let model_bytes = model_to_bytes(model)?;
+    let mut buf = Vec::with_capacity(14 + key_json.len() + model_bytes.len());
+    buf.extend_from_slice(&ENTRY_MAGIC);
+    buf.extend_from_slice(&ENTRY_VERSION.to_le_bytes());
+    put_u64(&mut buf, key_json.len() as u64);
+    buf.extend_from_slice(key_json);
+    buf.extend_from_slice(&model_bytes);
+    Ok(buf)
+}
+
+/// Deserializes a cache entry into its key JSON and model.
+fn entry_from_bytes(bytes: &[u8]) -> Result<(Vec<u8>, DefendedModel)> {
+    let mut reader = ByteReader::new(bytes);
+    reader
+        .expect_magic(ENTRY_MAGIC)
+        .map_err(DefenseError::Tensor)?;
+    reader
+        .expect_version(ENTRY_VERSION)
+        .map_err(DefenseError::Tensor)?;
+    let key_len = reader.usize_le().map_err(DefenseError::Tensor)?;
+    let key = reader.take(key_len).map_err(DefenseError::Tensor)?.to_vec();
+    let model = model_from_bytes(
+        reader
+            .take(reader.remaining())
+            .map_err(DefenseError::Tensor)?,
+    )?;
+    Ok((key, model))
+}
+
+/// Decodes the payload of a verified model file — either a bare `BNDM`
+/// model record (the `serve --model-path` export shape) or a `BNCE`
+/// cache entry, whose key header is skipped. This is what lets a file
+/// written by the scheduler's `--cache-dir` be handed straight to
+/// `serve --model-path`.
+///
+/// # Errors
+///
+/// Returns the typed persist errors of either record format.
+pub fn model_from_file_bytes(bytes: &[u8]) -> Result<DefendedModel> {
+    if bytes.len() >= 4 && bytes[..4] == ENTRY_MAGIC {
+        let (_, model) = entry_from_bytes(bytes)?;
+        return Ok(model);
+    }
+    model_from_bytes(bytes)
+}
+
 /// Lowercases a defense label into a filesystem-safe slug.
 fn slugify(label: &str) -> String {
     let mut slug = String::with_capacity(label.len());
@@ -200,6 +291,8 @@ fn slugify(label: &str) -> String {
 mod tests {
     use super::*;
     use blurnet_tensor::{Tensor, TensorError};
+
+    const SEED: u64 = 7;
 
     fn temp_cache(tag: &str) -> DiskVariantCache {
         let dir =
@@ -227,9 +320,9 @@ mod tests {
         let train = TrainConfig::tiny();
         let defense = DefenseKind::FeatureFilter { kernel: 3 };
         let mut model = tiny_model(defense.clone(), &train);
-        cache.store(&model, &train, 16, 18).unwrap();
+        cache.store(&model, &train, 16, 18, SEED).unwrap();
         assert_eq!(cache.len(), 1);
-        let mut loaded = cache.load(&defense, &train, 16, 18).unwrap().unwrap();
+        let mut loaded = cache.load(&defense, &train, 16, 18, SEED).unwrap().unwrap();
         let images: Vec<Tensor> = (0..3)
             .map(|i| Tensor::full(&[3, 16, 16], 0.1 + 0.3 * i as f32))
             .collect();
@@ -244,7 +337,7 @@ mod tests {
     fn absent_entries_are_a_miss_not_an_error() {
         let cache = temp_cache("miss");
         assert!(cache
-            .load(&DefenseKind::Baseline, &TrainConfig::tiny(), 16, 18)
+            .load(&DefenseKind::Baseline, &TrainConfig::tiny(), 16, 18, SEED)
             .unwrap()
             .is_none());
         assert!(cache.is_empty());
@@ -252,7 +345,7 @@ mod tests {
     }
 
     #[test]
-    fn key_separates_defense_seed_and_trainer() {
+    fn key_separates_defense_seeds_and_trainer() {
         let cache = temp_cache("keys");
         let base = TrainConfig::tiny();
         let other_seed = TrainConfig { seed: 8, ..base };
@@ -261,21 +354,26 @@ mod tests {
             ..base
         };
         let p0 = cache
-            .model_path(&DefenseKind::Baseline, &base, 16, 18)
+            .model_path(&DefenseKind::Baseline, &base, 16, 18, SEED)
             .unwrap();
         let p1 = cache
-            .model_path(&DefenseKind::InputFilter { kernel: 3 }, &base, 16, 18)
+            .model_path(&DefenseKind::InputFilter { kernel: 3 }, &base, 16, 18, SEED)
             .unwrap();
         let p2 = cache
-            .model_path(&DefenseKind::Baseline, &other_seed, 16, 18)
+            .model_path(&DefenseKind::Baseline, &other_seed, 16, 18, SEED)
             .unwrap();
         let p3 = cache
-            .model_path(&DefenseKind::Baseline, &other_lr, 16, 18)
+            .model_path(&DefenseKind::Baseline, &other_lr, 16, 18, SEED)
             .unwrap();
         let p4 = cache
-            .model_path(&DefenseKind::Baseline, &base, 32, 18)
+            .model_path(&DefenseKind::Baseline, &base, 32, 18, SEED)
             .unwrap();
-        let paths = [&p0, &p1, &p2, &p3, &p4];
+        // The dataset seed alone must separate entries: same defense, same
+        // trainer, same dims, different generated training set.
+        let p5 = cache
+            .model_path(&DefenseKind::Baseline, &base, 16, 18, SEED + 1)
+            .unwrap();
+        let paths = [&p0, &p1, &p2, &p3, &p4, &p5];
         for (i, a) in paths.iter().enumerate() {
             for b in &paths[i + 1..] {
                 assert_ne!(a, b);
@@ -285,12 +383,56 @@ mod tests {
     }
 
     #[test]
+    fn a_renamed_entry_is_rejected_not_served() {
+        let cache = temp_cache("renamed");
+        let train = TrainConfig::tiny();
+        let defense = DefenseKind::Baseline;
+        let stored = cache
+            .store(&tiny_model(defense.clone(), &train), &train, 16, 18, SEED)
+            .unwrap();
+        // Move the seed-7 entry to where the seed-8 entry would live: the
+        // checksum still passes, but the embedded key must not.
+        let other = cache
+            .model_path(&defense, &train, 16, 18, SEED + 1)
+            .unwrap();
+        std::fs::rename(&stored, &other).unwrap();
+        assert!(matches!(
+            cache.load(&defense, &train, 16, 18, SEED + 1),
+            Err(DefenseError::BadConfig(_))
+        ));
+        // The original identity is now simply absent.
+        assert!(cache
+            .load(&defense, &train, 16, 18, SEED)
+            .unwrap()
+            .is_none());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn cache_entries_decode_via_the_model_path_loader() {
+        let cache = temp_cache("entry-decode");
+        let train = TrainConfig::tiny();
+        let defense = DefenseKind::InputFilter { kernel: 3 };
+        let path = cache
+            .store(&tiny_model(defense.clone(), &train), &train, 16, 18, SEED)
+            .unwrap();
+        let payload = read_file_verified(&path).unwrap();
+        // The `serve --model-path` loader accepts both shapes.
+        let from_entry = model_from_file_bytes(&payload).unwrap();
+        assert_eq!(from_entry.defense(), &defense);
+        let bare = model_to_bytes(&from_entry).unwrap();
+        let from_bare = model_from_file_bytes(&bare).unwrap();
+        assert_eq!(from_bare.defense(), &defense);
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
     fn corruption_is_an_error_not_a_silent_miss() {
         let cache = temp_cache("corrupt");
         let train = TrainConfig::tiny();
         let defense = DefenseKind::Baseline;
         let path = cache
-            .store(&tiny_model(defense.clone(), &train), &train, 16, 18)
+            .store(&tiny_model(defense.clone(), &train), &train, 16, 18, SEED)
             .unwrap();
         // Flip one byte in the middle of the weights.
         let mut bytes = std::fs::read(&path).unwrap();
@@ -298,12 +440,12 @@ mod tests {
         bytes[mid] ^= 0x10;
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
-            cache.load(&defense, &train, 16, 18),
+            cache.load(&defense, &train, 16, 18, SEED),
             Err(DefenseError::Tensor(TensorError::ChecksumMismatch { .. }))
         ));
         // Truncation is typed too.
         std::fs::write(&path, &bytes[..mid]).unwrap();
-        assert!(cache.load(&defense, &train, 16, 18).is_err());
+        assert!(cache.load(&defense, &train, 16, 18, SEED).is_err());
         std::fs::remove_dir_all(cache.dir()).unwrap();
     }
 }

@@ -35,7 +35,7 @@ pub mod trainer;
 
 pub use cache::VariantCache;
 pub use config::DefenseKind;
-pub use disk::DiskVariantCache;
+pub use disk::{model_from_file_bytes, DiskVariantCache};
 pub use error::DefenseError;
 pub use filtering::{filter_image, filter_images};
 pub use model::{DefendedModel, TrainingReport, SMOOTHING_SEED};

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use blurnet::{ModelZoo, Scale};
-use blurnet_defenses::{model_from_bytes, DefendedModel, DefenseKind, DiskVariantCache};
+use blurnet_defenses::{model_from_file_bytes, DefendedModel, DefenseKind, DiskVariantCache};
 use blurnet_serve::protocol::{serve_connections, Handshake};
 use blurnet_serve::{ClassifyService, ServeConfig};
 use blurnet_tensor::persist::read_file_verified;
@@ -144,7 +144,7 @@ fn resolve_model(args: &Args, scale: Scale) -> Arc<DefendedModel> {
     if let Some(path) = &args.model_path {
         let bytes = read_file_verified(path)
             .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", path.display())));
-        let model = model_from_bytes(&bytes)
+        let model = model_from_file_bytes(&bytes)
             .unwrap_or_else(|e| fail(format!("cannot decode {}: {e}", path.display())));
         eprintln!(
             "# loaded {} ({} defense)",
@@ -160,7 +160,7 @@ fn resolve_model(args: &Args, scale: Scale) -> Arc<DefendedModel> {
         let train = scale.train_config();
         let image_size = scale.dataset_config().image_size;
         let num_classes = blurnet::data::NUM_CLASSES;
-        match cache.load(&args.defense, &train, image_size, num_classes) {
+        match cache.load(&args.defense, &train, image_size, num_classes, args.seed) {
             Ok(Some(model)) => {
                 eprintln!(
                     "# cache hit: {} from {}",
@@ -177,7 +177,7 @@ fn resolve_model(args: &Args, scale: Scale) -> Arc<DefendedModel> {
         let model = zoo
             .get_or_train_shared(&args.defense)
             .unwrap_or_else(|e| fail(format!("failed to train the model: {e}")));
-        match cache.store(&model, &train, image_size, num_classes) {
+        match cache.store(&model, &train, image_size, num_classes, args.seed) {
             Ok(path) => eprintln!("# cached trained model at {}", path.display()),
             Err(e) => eprintln!("# warning: could not cache the trained model: {e}"),
         }

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use blurnet_defenses::{
-    model_from_bytes, model_to_bytes, DefenseKind, DiskVariantCache, TrainConfig,
+    model_from_file_bytes, model_to_bytes, DefenseKind, DiskVariantCache, TrainConfig,
 };
 use blurnet_serve::{classify_single, Classification, ClassifyService, ServeConfig};
 use blurnet_tensor::persist::{read_file_verified, write_file_atomic};
@@ -57,7 +57,8 @@ fn a_model_loaded_from_file_answers_bitwise_like_the_oracle() {
         write_file_atomic(&path, &model_to_bytes(&fresh).expect("serializes"))
             .expect("atomic write");
         let loaded = Arc::new(
-            model_from_bytes(&read_file_verified(&path).expect("verified read")).expect("decodes"),
+            model_from_file_bytes(&read_file_verified(&path).expect("verified read"))
+                .expect("decodes"),
         );
         assert_eq!(loaded.defense(), fresh.defense());
 
@@ -83,16 +84,21 @@ fn the_batched_service_over_a_cached_model_matches_the_fresh_one() {
     // Store and re-load through the shared disk cache — the exact
     // `serve --cache-dir` warm-start path.
     let train = TrainConfig::tiny();
+    let seed = 23;
     let cache = DiskVariantCache::open(&dir.0).expect("cache opens");
-    cache
-        .store(&fresh, &train, TINY_IMAGE_SIZE, 18)
+    let entry = cache
+        .store(&fresh, &train, TINY_IMAGE_SIZE, 18, seed)
         .expect("store succeeds");
     let loaded = Arc::new(
         cache
-            .load(&defense, &train, TINY_IMAGE_SIZE, 18)
+            .load(&defense, &train, TINY_IMAGE_SIZE, 18, seed)
             .expect("load succeeds")
             .expect("entry is a hit"),
     );
+    // The same cache file must be servable via `--model-path` too.
+    let via_model_path = model_from_file_bytes(&read_file_verified(&entry).expect("readable"))
+        .expect("cache entry decodes as a model file");
+    assert_eq!(via_model_path.defense(), &defense);
 
     let reference: Vec<_> = images
         .iter()

@@ -20,7 +20,11 @@
 //! and gathers the payload into a contiguous tensor — the same
 //! data + shape + strides triple `kornia-rs` serializes, so records
 //! produced by foreign layouts (transposed views, padded rows) round-trip
-//! into the canonical layout instead of being rejected.
+//! into the canonical layout instead of being rejected. Aliasing layouts
+//! — a zero stride, or a logical volume exceeding the payload's element
+//! count — are rejected as [`TensorError::InvalidSpec`], so a small
+//! crafted record can never declare (and force allocation of) a huge
+//! logical tensor.
 //!
 //! # File container (`BNPF`, version 1)
 //!
@@ -274,7 +278,15 @@ pub fn write_tensor_strided(
 
 /// Payload elements a `(dims, strides)` layout must provide: zero for an
 /// empty tensor, otherwise one past the largest reachable flat offset.
+/// Zero strides on a non-degenerate dimension are rejected — they alias
+/// every index of that dimension onto one payload element, which lets a
+/// tiny payload declare an arbitrarily large logical volume.
 fn strided_extent(dims: &[usize], strides: &[usize]) -> Result<usize> {
+    if let Some((d, _)) = dims.iter().zip(strides).find(|&(&d, &s)| s == 0 && d > 1) {
+        return Err(TensorError::InvalidSpec(format!(
+            "zero stride for dimension of size {d} (aliasing layout)"
+        )));
+    }
     if dims.contains(&0) {
         return Ok(0);
     }
@@ -330,8 +342,20 @@ pub fn read_tensor(reader: &mut ByteReader<'_>) -> Result<Tensor> {
             available: len * 4,
         });
     }
+    // An injective layout reaches at least `volume` distinct payload
+    // positions, so a logical volume beyond the payload's element count
+    // necessarily aliases — reject it before sizing the gather buffer by
+    // it (overflow included: `len` itself is bounded by the input bytes).
+    let volume = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .filter(|&v| v <= len)
+        .ok_or_else(|| {
+            TensorError::InvalidSpec(format!(
+                "layout {dims:?} declares more elements than the {len}-element payload holds"
+            ))
+        })?;
     let shape = Shape::new(&dims);
-    let volume = shape.volume();
     let row_major = shape.strides();
     let decode = |i: usize| {
         let b = &payload_bytes[i * 4..i * 4 + 4];
@@ -481,6 +505,59 @@ mod tests {
         let t = tensor_from_bytes(&buf).unwrap();
         assert_eq!(t.dims(), &[2, 3]);
         assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    /// Encodes a raw record with the given layout fields, bypassing the
+    /// writer's validation — the attacker-controlled shape of input.
+    fn raw_record(dims: &[u64], strides: &[u64], payload: &[f32]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&TENSOR_MAGIC);
+        buf.extend_from_slice(&TENSOR_VERSION.to_le_bytes());
+        buf.push(DTYPE_F32);
+        buf.push(dims.len() as u8);
+        for &d in dims {
+            put_u64(&mut buf, d);
+        }
+        for &s in strides {
+            put_u64(&mut buf, s);
+        }
+        put_u64(&mut buf, payload.len() as u64);
+        for v in payload {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    #[test]
+    fn aliasing_layouts_are_rejected() {
+        // A zero stride would repeat one payload element across a whole
+        // dimension — a 4-byte payload claiming a size-1000000 axis.
+        let zero = raw_record(&[1_000_000], &[0], &[1.0]);
+        assert!(matches!(
+            tensor_from_bytes(&zero),
+            Err(TensorError::InvalidSpec(_))
+        ));
+        // The writer refuses to produce such a record in the first place.
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_tensor_strided(&mut buf, &[1.0], &[4], &[0]),
+            Err(TensorError::InvalidSpec(_))
+        ));
+        // Overlapping nonzero strides: dims [3, 3] over a 5-element
+        // payload declares 9 logical elements — more than the payload
+        // holds, so the layout cannot be injective.
+        let overlapping = raw_record(&[3, 3], &[1, 1], &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(matches!(
+            tensor_from_bytes(&overlapping),
+            Err(TensorError::InvalidSpec(_))
+        ));
+        // A degenerate dimension of size 1 may carry stride 0 (it indexes
+        // nothing), as NumPy-style exporters emit.
+        let degenerate = raw_record(&[1, 3], &[0, 1], &[1.0, 2.0, 3.0]);
+        assert_eq!(
+            tensor_from_bytes(&degenerate).unwrap().data(),
+            &[1.0, 2.0, 3.0]
+        );
     }
 
     #[test]
