@@ -17,18 +17,30 @@
 //!
 //! `--cache-dir DIR` persists trained variants and shared attack
 //! artifacts under `DIR` and reuses them on later runs. `--resume DIR`
-//! replays every completed cell from `DIR/results.json` and schedules
-//! only the delta; a resume of a fully completed run executes zero nodes
-//! and re-emits the byte-identical report.
+//! replays every completed cell from `DIR/results.json` — or, when the
+//! prior run died before writing its report, from the crash-safe
+//! `run.journal` beside it — and schedules only the delta; a resume of a
+//! fully completed run executes zero nodes and re-emits the
+//! byte-identical report.
+//!
+//! Scheduler runs write-ahead journal every completed cell to
+//! `run.journal` next to `--out` (fsynced per cell), so a run killed at
+//! *any* point — SIGKILL, OOM, power loss — resumes from its last
+//! completed cell. `--journal PATH` moves the journal, `--no-journal`
+//! disables it.
 
 use blurnet::experiments::grid::ExperimentGrid;
-use blurnet::{resume_run, ExperimentScheduler, ModelZoo, RunReport, Scale};
+use blurnet::journal::JOURNAL_FILE;
+use blurnet::{
+    recover_prior, resume_run, resume_run_with_journal, ExperimentScheduler, ModelZoo, RunReport,
+    Scale,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--threads N] [--grid full|tables|micro] [--out PATH] \
-         [--retry-failed N] [--cache-dir DIR] [--resume DIR] [--json] [--sequential] \
-         [--verbose]"
+         [--retry-failed N] [--cache-dir DIR] [--resume DIR] [--journal PATH] \
+         [--no-journal] [--json] [--sequential] [--verbose]"
     );
     std::process::exit(2)
 }
@@ -40,6 +52,8 @@ struct Args {
     out: Option<std::path::PathBuf>,
     cache_dir: Option<std::path::PathBuf>,
     resume: Option<std::path::PathBuf>,
+    journal: Option<std::path::PathBuf>,
+    no_journal: bool,
     json: bool,
     sequential: bool,
     verbose: bool,
@@ -53,6 +67,8 @@ fn parse_args() -> Args {
         out: Some(std::path::PathBuf::from("results.json")),
         cache_dir: None,
         resume: None,
+        journal: None,
+        no_journal: false,
         json: false,
         sequential: false,
         verbose: false,
@@ -73,37 +89,50 @@ fn parse_args() -> Args {
             "--no-out" => args.out = None,
             "--cache-dir" => args.cache_dir = Some(iter.next().unwrap_or_else(|| usage()).into()),
             "--resume" => args.resume = Some(iter.next().unwrap_or_else(|| usage()).into()),
+            "--journal" => args.journal = Some(iter.next().unwrap_or_else(|| usage()).into()),
+            "--no-journal" => args.no_journal = true,
             "--json" => args.json = true,
             "--sequential" => args.sequential = true,
             "--verbose" => args.verbose = true,
             _ => usage(),
         }
     }
-    if args.sequential && (args.resume.is_some() || args.cache_dir.is_some()) {
-        eprintln!("error: --resume/--cache-dir require the scheduler path (drop --sequential)");
+    if args.sequential
+        && (args.resume.is_some() || args.cache_dir.is_some() || args.journal.is_some())
+    {
+        eprintln!(
+            "error: --resume/--cache-dir/--journal require the scheduler path (drop --sequential)"
+        );
         std::process::exit(2);
     }
     args
 }
 
-/// Reads the prior run's `results.json` from a `--resume` directory (the
-/// directory a previous run wrote its report into, or the report file
-/// itself).
-fn read_prior(dir: &std::path::Path) -> RunReport {
-    let path = if dir.is_dir() {
-        dir.join("results.json")
-    } else {
-        dir.to_path_buf()
-    };
-    let bytes = std::fs::read(&path)
-        .unwrap_or_else(|e| panic!("failed to read prior report {}: {e}", path.display()));
-    let text = String::from_utf8(bytes)
-        .unwrap_or_else(|e| panic!("prior report {} is not UTF-8: {e}", path.display()));
-    serde_json::from_str(&text)
-        .unwrap_or_else(|e| panic!("failed to parse prior report {}: {e}", path.display()))
+/// Where this run journals completed cells: an explicit `--journal PATH`
+/// wins, otherwise `run.journal` beside `--out`; `--no-journal` (or
+/// `--no-out` without an explicit journal path, or `--sequential`)
+/// disables journaling.
+fn journal_path(args: &Args) -> Option<std::path::PathBuf> {
+    if args.sequential || args.no_journal {
+        return None;
+    }
+    if let Some(path) = &args.journal {
+        return Some(path.clone());
+    }
+    args.out.as_ref().map(|out| {
+        out.parent()
+            .unwrap_or_else(|| std::path::Path::new(""))
+            .join(JOURNAL_FILE)
+    })
 }
 
 fn main() {
+    // Deterministic fault injection, armed from `BLURNET_FAULT`
+    // (`site:kind[@hit]`, comma-separated) so the process-level chaos
+    // harness can place aborts inside a real subprocess run.
+    #[cfg(feature = "fault-injection")]
+    blurnet::fault::arm_from_env();
+
     let args = parse_args();
     let scale = Scale::from_env();
     let grid = match args.grid.as_str() {
@@ -142,9 +171,19 @@ fn main() {
             scheduler = scheduler.cache_dir(dir.clone());
         }
         if let Some(resume_dir) = &args.resume {
-            let prior = read_prior(resume_dir);
-            let resumed = resume_run(&scheduler, &grid, &prior)
-                .unwrap_or_else(|e| panic!("resume failed: {e}"));
+            let (prior, source) = recover_prior(resume_dir).unwrap_or_else(|e| {
+                eprintln!("reproduce: cannot recover the prior run: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("# resume source: {source}");
+            let resumed = match journal_path(&args) {
+                Some(journal) => resume_run_with_journal(&scheduler, &grid, &prior, &journal),
+                None => resume_run(&scheduler, &grid, &prior),
+            }
+            .unwrap_or_else(|e| {
+                eprintln!("reproduce: resume failed: {e}");
+                std::process::exit(1);
+            });
             eprintln!(
                 "# resume: replayed {} cells, scheduling {}",
                 resumed.replayed, resumed.executed
@@ -161,6 +200,9 @@ fn main() {
             }
             resumed.report
         } else {
+            if let Some(journal) = journal_path(&args) {
+                scheduler = scheduler.journal_path(journal);
+            }
             let run = scheduler
                 .run(&grid)
                 .unwrap_or_else(|e| panic!("scheduler run failed: {e}"));

@@ -1,0 +1,201 @@
+//! Process-level chaos: kill `reproduce` anywhere, resume, demand the
+//! bytes of an uninterrupted run.
+//!
+//! The in-process chaos suite (`tests/chaos.rs` at the workspace root)
+//! proves the scheduler survives faults that stay *inside* the process.
+//! This suite proves the journal makes the process itself expendable: it
+//! re-execs the real `reproduce` binary as a subprocess, arms the
+//! deterministic fault layer (via `BLURNET_FAULT`) to
+//! `std::process::abort()` at a registered fault site — including
+//! kill-after-N-cells points and a genuine torn write flushed mid-append
+//! — then runs `reproduce --resume` over the wreckage and asserts the
+//! recovered `results.json` is **byte-identical** to a cold run's.
+//!
+//! Everything runs on the smoke-scale micro grid (4 cells, 2 variants)
+//! over one shared `--cache-dir`, so only the reference run pays for
+//! training; each killed/resumed run is cache-warm. Work lands under
+//! `target/crash-chaos/` so CI can upload the journals on failure.
+
+#![cfg(feature = "fault-injection")]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::OnceLock;
+
+/// The workspace `target/` directory, derived from the binary path cargo
+/// hands us (`target/<profile>/reproduce`).
+fn work_root() -> PathBuf {
+    let exe = PathBuf::from(env!("CARGO_BIN_EXE_reproduce"));
+    exe.parent()
+        .and_then(Path::parent)
+        .expect("binary lives under target/<profile>/")
+        .join("crash-chaos")
+}
+
+/// Runs `reproduce` on the smoke micro grid with results under `dir`,
+/// the shared warm cache, and optional fault arming / resume source.
+fn run_reproduce(dir: &Path, fault: Option<&str>, resume: Option<&Path>) -> Output {
+    std::fs::create_dir_all(dir).expect("scenario dir");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_reproduce"));
+    cmd.arg("--grid")
+        .arg("micro")
+        .arg("--out")
+        .arg(dir.join("results.json"))
+        .arg("--cache-dir")
+        .arg(work_root().join("cache"))
+        .env("BLURNET_SCALE", "smoke")
+        .env_remove("BLURNET_FAULT");
+    if let Some(spec) = fault {
+        cmd.env("BLURNET_FAULT", spec);
+    }
+    if let Some(prior) = resume {
+        cmd.arg("--resume").arg(prior);
+    }
+    cmd.output().expect("spawn reproduce")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// The uninterrupted cold run every scenario's recovery is compared
+/// against, produced once per process (it also warms the model cache).
+fn reference_bytes() -> &'static [u8] {
+    static REF: OnceLock<Vec<u8>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let dir = work_root().join("reference");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run_reproduce(&dir, None, None);
+        assert!(
+            out.status.success(),
+            "reference run failed:\n{}",
+            stderr_of(&out)
+        );
+        std::fs::read(dir.join("results.json")).expect("reference results.json")
+    })
+}
+
+/// Kills a run at `fault`, asserts it died without a report, resumes it,
+/// and asserts byte-identity with the cold reference.
+fn kill_and_resume(name: &str, fault: &str) {
+    let reference = reference_bytes();
+    let dir = work_root().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let killed = run_reproduce(&dir, Some(fault), None);
+    assert!(
+        !killed.status.success(),
+        "{name}: armed {fault} but the run survived:\n{}",
+        stderr_of(&killed)
+    );
+    assert!(
+        !dir.join("results.json").exists(),
+        "{name}: a killed run must not have written its report"
+    );
+
+    let resumed = run_reproduce(&dir, None, Some(&dir));
+    assert!(
+        resumed.status.success(),
+        "{name}: resume after {fault} failed:\n{}",
+        stderr_of(&resumed)
+    );
+    let recovered = std::fs::read(dir.join("results.json")).expect("recovered results.json");
+    assert_eq!(
+        recovered, reference,
+        "{name}: resumed report differs from the cold run"
+    );
+}
+
+#[test]
+fn every_abort_site_recovers_byte_identically() {
+    // One abort per registered fault site reachable in a micro-grid run:
+    // before training, during the cache probe, inside a cell, and inside
+    // the journal append itself.
+    for (name, fault) in [
+        ("abort-train", "core.sched.train:abort@1"),
+        ("abort-cache-load", "core.cache.load:abort@1"),
+        ("abort-cell-first", "core.sched.cell:abort@1"),
+        ("abort-cell-third", "core.sched.cell:abort@3"),
+    ] {
+        kill_and_resume(name, fault);
+    }
+}
+
+#[test]
+fn every_kill_after_n_cells_point_recovers_byte_identically() {
+    // `core.journal.append` abort at hit N dies after N-1 cells made it
+    // into the journal — sweeping N covers every between-cells kill
+    // point of the 4-cell grid.
+    for hit in 1..=4u32 {
+        kill_and_resume(
+            &format!("kill-after-{}-cells", hit - 1),
+            &format!("core.journal.append:abort@{hit}"),
+        );
+    }
+}
+
+#[test]
+fn a_torn_append_flushed_mid_write_recovers_byte_identically() {
+    // `core.journal.torn` fsyncs a *prefix* of a record and aborts — the
+    // torn-tail case a power cut mid-append leaves on disk.
+    kill_and_resume("torn-first-append", "core.journal.torn:error@1");
+    kill_and_resume("torn-third-append", "core.journal.torn:error@3");
+}
+
+#[test]
+fn a_killed_resume_resumes_again() {
+    // Crash during the original run, then crash during the *resume*, then
+    // resume once more: journals must chain.
+    let reference = reference_bytes();
+    let dir = work_root().join("double-crash");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let first = run_reproduce(&dir, Some("core.journal.append:abort@2"), None);
+    assert!(!first.status.success(), "first kill did not kill");
+
+    // The resume re-journals the 1 replayed cell, so its append hits 1-2
+    // land during replay and hit 3 lands inside the delta run.
+    let second = run_reproduce(&dir, Some("core.journal.append:abort@3"), Some(&dir));
+    assert!(!second.status.success(), "second kill did not kill");
+
+    let final_run = run_reproduce(&dir, None, Some(&dir));
+    assert!(
+        final_run.status.success(),
+        "resume after a killed resume failed:\n{}",
+        stderr_of(&final_run)
+    );
+    let recovered = std::fs::read(dir.join("results.json")).expect("recovered results.json");
+    assert_eq!(recovered, reference, "chained resume diverged");
+}
+
+#[test]
+fn a_failed_append_retires_the_journal_but_not_the_run() {
+    // Error kind (not abort): the append fails, the journal self-retires
+    // so it can never disagree with the report, and the run completes
+    // with the reference bytes regardless.
+    let reference = reference_bytes();
+    let dir = work_root().join("append-error");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = run_reproduce(&dir, Some("core.journal.append:error@2"), None);
+    assert!(
+        out.status.success(),
+        "an append failure must not fail the run:\n{}",
+        stderr_of(&out)
+    );
+    assert!(
+        !dir.join("run.journal").exists(),
+        "a journal that lost an append must retire (delete) itself"
+    );
+    let report = std::fs::read(dir.join("results.json")).expect("results.json");
+    assert_eq!(report, reference, "journal retirement changed the report");
+
+    // The retired journal leaves results.json alone as the resume source.
+    let resumed = run_reproduce(&dir, None, Some(&dir));
+    assert!(resumed.status.success(), "{}", stderr_of(&resumed));
+    let stderr = stderr_of(&resumed);
+    assert!(
+        stderr.contains("# resume: replayed 4 cells, scheduling 0"),
+        "expected a full replay from results.json, got:\n{stderr}"
+    );
+}

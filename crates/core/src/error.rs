@@ -24,6 +24,8 @@ pub enum BlurNetError {
     Attack(AttackError),
     /// A defense failed to build or train.
     Defense(DefenseError),
+    /// The run journal could not be written or recovered.
+    Journal(crate::journal::JournalError),
 }
 
 impl fmt::Display for BlurNetError {
@@ -36,6 +38,7 @@ impl fmt::Display for BlurNetError {
             BlurNetError::Data(e) => write!(f, "data error: {e}"),
             BlurNetError::Attack(e) => write!(f, "attack error: {e}"),
             BlurNetError::Defense(e) => write!(f, "defense error: {e}"),
+            BlurNetError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -49,6 +52,7 @@ impl std::error::Error for BlurNetError {
             BlurNetError::Data(e) => Some(e),
             BlurNetError::Attack(e) => Some(e),
             BlurNetError::Defense(e) => Some(e),
+            BlurNetError::Journal(e) => Some(e),
             _ => None,
         }
     }

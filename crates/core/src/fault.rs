@@ -74,6 +74,17 @@ pub mod sites {
     /// kind: the load reports corruption, forcing the fall-back path that
     /// regenerates the entry from scratch.
     pub const CACHE_LOAD: &str = "core.cache.load";
+    /// The run journal, before appending a completed-cell record. Error
+    /// kind: the append fails and the journal self-retires (best-effort
+    /// durability never fails the run). [`Abort`](super::FaultKind::Abort)
+    /// kind at hit *n* is the kill-after-*n−1*-cells point of the
+    /// process-level chaos sweep.
+    pub const JOURNAL_APPEND: &str = "core.journal.append";
+    /// The run journal, mid-append: an Error-kind firing writes a torn
+    /// prefix of the record and **aborts the process** — a genuine
+    /// kill-mid-append. Never arm this in-process; it is exercised only
+    /// by the subprocess chaos harness (`crates/bench/tests/crash_chaos.rs`).
+    pub const JOURNAL_TORN: &str = "core.journal.torn";
 }
 
 /// Every registered fault site, in declaration order. The chaos suites
@@ -91,6 +102,8 @@ pub fn all_sites() -> &'static [&'static str] {
         sites::SERVE_WORKER_REQUEST,
         sites::SERVE_TCP_FRAME,
         sites::CACHE_LOAD,
+        sites::JOURNAL_APPEND,
+        sites::JOURNAL_TORN,
     ]
 }
 
@@ -104,6 +117,11 @@ pub enum FaultKind {
     /// Report "inject an error" to the site, which maps it to its own
     /// failure mode (refused push, spurious timeout, I/O error, …).
     Error,
+    /// `std::process::abort()` at the site — the process dies on the spot
+    /// with no unwinding, no destructors and no flushes, modelling a
+    /// SIGKILL/OOM-kill at that exact point. Only meaningful from a
+    /// subprocess harness (see [`arm_from_env`]).
+    Abort,
 }
 
 /// When a fault fires, relative to the site's hit counter.
@@ -321,6 +339,59 @@ fn evaluate(site: &str, tag: Option<u64>) -> bool {
         Some(FaultKind::Panic) => {
             panic!("{MARKER}: injected panic at fault site {site}");
         }
+        Some(FaultKind::Abort) => {
+            // The one observable trace before the process vanishes — the
+            // chaos harness greps for it to confirm the kill point.
+            eprintln!("{MARKER}: injected abort at fault site {site}");
+            std::process::abort();
+        }
+    }
+}
+
+/// Environment variable [`arm_from_env`] reads: a comma-separated list of
+/// `site:kind[@hit]` entries, e.g.
+/// `BLURNET_FAULT=core.journal.append:abort@3,core.queue.pop:error`.
+pub const FAULT_ENV: &str = "BLURNET_FAULT";
+
+/// Arms fault sites from the [`FAULT_ENV`] environment variable — the
+/// bridge that lets a chaos harness inject faults into a **subprocess**
+/// it spawns (the registry is per-process). Each entry is
+/// `site:kind[@hit]` with kind one of `panic`, `error`, `abort` or
+/// `delay-<ms>`; `@hit` selects the 1-based invocation that fires
+/// (default 1). Binaries compiled with the feature call this at startup;
+/// an unset or empty variable arms nothing.
+///
+/// # Panics
+///
+/// Panics on an unknown site or malformed entry — a typo in a chaos
+/// scenario should fail loudly, not silently never fire.
+pub fn arm_from_env() {
+    let Ok(value) = std::env::var(FAULT_ENV) else {
+        return;
+    };
+    for entry in value.split(',').filter(|e| !e.trim().is_empty()) {
+        let entry = entry.trim();
+        let (site, rest) = entry
+            .split_once(':')
+            .unwrap_or_else(|| panic!("{MARKER}: malformed {FAULT_ENV} entry {entry:?}"));
+        let (kind, hit) = match rest.split_once('@') {
+            Some((kind, hit)) => (
+                kind,
+                hit.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("{MARKER}: bad hit in {FAULT_ENV} entry {entry:?}")),
+            ),
+            None => (rest, 1),
+        };
+        let kind = match kind {
+            "panic" => FaultKind::Panic,
+            "error" => FaultKind::Error,
+            "abort" => FaultKind::Abort,
+            _ => match kind.strip_prefix("delay-").and_then(|ms| ms.parse().ok()) {
+                Some(ms) => FaultKind::Delay(Duration::from_millis(ms)),
+                None => panic!("{MARKER}: unknown fault kind in {FAULT_ENV} entry {entry:?}"),
+            },
+        };
+        arm(site, FaultSpec::on_hit(kind, hit));
     }
 }
 
@@ -407,6 +478,35 @@ mod tests {
         let t0 = std::time::Instant::now();
         assert!(!fire(sites::QUEUE_POP));
         assert!(t0.elapsed() >= Duration::from_millis(15));
+        disarm_all();
+    }
+
+    #[test]
+    fn arm_from_env_parses_site_kind_and_hit() {
+        let _guard = LOCK.lock().unwrap();
+        disarm_all();
+        std::env::set_var(FAULT_ENV, "core.queue.push:error@2, core.queue.pop:delay-5");
+        arm_from_env();
+        std::env::remove_var(FAULT_ENV);
+        assert!(!fire(sites::QUEUE_PUSH));
+        assert!(fire(sites::QUEUE_PUSH), "error kind fires on hit 2");
+        let t0 = std::time::Instant::now();
+        assert!(!fire(sites::QUEUE_POP), "delay kind pauses, never errors");
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        disarm_all();
+        // Malformed entries fail loudly.
+        for bad in [
+            "no-colon",
+            "core.queue.push:nope",
+            "core.queue.push:error@x",
+        ] {
+            std::env::set_var(FAULT_ENV, bad);
+            assert!(
+                std::panic::catch_unwind(arm_from_env).is_err(),
+                "{bad:?} should be rejected"
+            );
+            std::env::remove_var(FAULT_ENV);
+        }
         disarm_all();
     }
 

@@ -37,6 +37,7 @@ mod error;
 pub mod experiments;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
+pub mod journal;
 pub mod queue;
 pub mod report;
 pub mod resume;
@@ -46,9 +47,13 @@ pub mod scheduler;
 pub mod zoo;
 
 pub use error::BlurNetError;
+pub use journal::{JournalError, JournalHeader, JournalWriter, RecoveredJournal};
 pub use queue::{run_workers, BoundedQueue, PopTimeout, TryPush};
 pub use report::{CellOutput, CellReport, CellStatus, RunReport, Table};
-pub use resume::{plan_resume, resume_run, ResumePlan, ResumedRun};
+pub use resume::{
+    plan_resume, recover_prior, resume_run, resume_run_with_journal, PriorSource, ResumePlan,
+    ResumedRun,
+};
 pub use runner::BatchRunner;
 pub use scale::Scale;
 pub use scheduler::{ExperimentScheduler, RunProfile, ScheduledRun};
@@ -64,7 +69,8 @@ pub use blurnet_tensor as tensor;
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, BlurNetError>;
 
-/// Evaluates a registered fault point (see [`mod@fault`]) — and expands to
+/// Evaluates a registered fault point (see the `fault` module, present
+/// only with the `fault-injection` feature) — and expands to
 /// **nothing** when the invoking crate's `fault-injection` feature is off,
 /// so production builds carry neither the branch nor the site-name string.
 ///
@@ -73,7 +79,7 @@ pub type Result<T> = std::result::Result<T, BlurNetError>;
 /// * `fault_point!(site)` — statement form: executes `Panic`/`Delay`
 ///   faults, ignores `Error` faults (the site has no error path).
 /// * `fault_point!(site, tag = expr)` — like the statement form, but the
-///   invocation carries a tag for [`fault::FaultSpec::tagged`] filters.
+///   invocation carries a tag for `fault::FaultSpec::tagged` filters.
 /// * `fault_point!(site, err = expr)` — executes `Panic`/`Delay` faults
 ///   and `return`s `Err(expr)` from the enclosing function when an
 ///   `Error` fault fires.

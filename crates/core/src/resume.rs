@@ -16,9 +16,14 @@
 //! requested run is rejected outright — silently merging incompatible
 //! results would fabricate a run that never happened.
 
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
 use crate::experiments::grid::ExperimentGrid;
-use crate::report::{CellStatus, RunReport, RESULTS_SCHEMA};
-use crate::scheduler::{ExperimentScheduler, RunProfile};
+use crate::journal::{read_journal, JournalError, JournalHeader, JournalWriter, JOURNAL_FILE};
+use crate::report::{CellReport, CellStatus, RunReport, RESULTS_SCHEMA};
+use crate::scheduler::{ExperimentScheduler, RunProfile, ScheduledRun};
 use crate::{BlurNetError, Result};
 
 /// Which grid cells replay from the prior report and which must run.
@@ -114,12 +119,62 @@ pub fn resume_run(
     grid: &ExperimentGrid,
     prior: &RunReport,
 ) -> Result<ResumedRun> {
+    resume_inner(scheduler, grid, prior, None)
+}
+
+/// [`resume_run`] with write-ahead journaling of the resumed run itself:
+/// a fresh journal at `journal_path` is seeded with a full-grid header
+/// plus every replayed cell (they are known good), and the delta run
+/// appends its cells as they complete — so a crash *during the resume*
+/// leaves a journal from which a second resume recovers everything, and
+/// resumes chain arbitrarily deep.
+///
+/// # Errors
+///
+/// Everything [`resume_run`] returns, plus [`JournalError::Io`] when the
+/// fresh journal cannot be created.
+pub fn resume_run_with_journal(
+    scheduler: &ExperimentScheduler,
+    grid: &ExperimentGrid,
+    prior: &RunReport,
+    journal_path: &Path,
+) -> Result<ResumedRun> {
+    resume_inner(scheduler, grid, prior, Some(journal_path))
+}
+
+fn resume_inner(
+    scheduler: &ExperimentScheduler,
+    grid: &ExperimentGrid,
+    prior: &RunReport,
+    journal_path: Option<&Path>,
+) -> Result<ResumedRun> {
     let plan = plan_resume(
         grid,
         prior,
         &scheduler.scale().to_string(),
         scheduler.seed(),
     )?;
+    let journal = match journal_path {
+        Some(path) => {
+            let writer = Arc::new(JournalWriter::create(
+                path,
+                &JournalHeader {
+                    schema: RESULTS_SCHEMA.to_string(),
+                    scale: scheduler.scale().to_string(),
+                    seed: scheduler.seed(),
+                    cells: grid.len(),
+                },
+            )?);
+            // Re-seed the fresh journal with the replayed cells (grid
+            // order) before the delta runs: the journal stays a complete
+            // record of every known-good cell at all times.
+            for source in plan.sources.iter().flatten() {
+                writer.append_cell(&prior.cells[*source]);
+            }
+            Some(writer)
+        }
+        None => None,
+    };
     let delta_specs: Vec<_> = grid
         .cells()
         .iter()
@@ -127,10 +182,14 @@ pub fn resume_run(
         .filter(|(_, source)| source.is_none())
         .map(|(spec, _)| spec.clone())
         .collect();
-    let delta_run = if delta_specs.is_empty() {
+    let delta_run: Option<ScheduledRun> = if delta_specs.is_empty() {
         None
     } else {
-        Some(scheduler.run(&ExperimentGrid::custom(delta_specs))?)
+        let delta_grid = ExperimentGrid::custom(delta_specs);
+        Some(match &journal {
+            Some(writer) => scheduler.run_with_journal(&delta_grid, Arc::clone(writer))?,
+            None => scheduler.run(&delta_grid)?,
+        })
     };
 
     let mut delta_cells = delta_run
@@ -159,6 +218,118 @@ pub fn resume_run(
         executed: plan.delta(),
         profile: delta_run.map(|run| run.profile),
     })
+}
+
+/// Where [`recover_prior`] found the prior run's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorSource {
+    /// `results.json` alone — the PR 8 path.
+    Report,
+    /// The journal alone — the prior run died before writing its report.
+    Journal,
+    /// Both were present and the journal confirmed every completed cell
+    /// of the report.
+    Verified,
+}
+
+impl fmt::Display for PriorSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PriorSource::Report => write!(f, "results.json"),
+            PriorSource::Journal => write!(f, "run.journal"),
+            PriorSource::Verified => write!(f, "results.json (journal-verified)"),
+        }
+    }
+}
+
+/// Recovers the prior run's state from a `--resume` directory, whatever
+/// the prior run lived to write:
+///
+/// * both `results.json` and `run.journal` → the report, after verifying
+///   the journal **agrees** with it (same run identity, every completed
+///   report cell present verbatim in the journal) — disagreement is a
+///   typed [`JournalError::Mismatch`], never a silent preference;
+/// * only `results.json` → the report (the PR 8 behavior);
+/// * only `run.journal` → the journal's recovered prefix, reshaped as a
+///   report — the crash-recovery path;
+/// * a file path instead of a directory → that file, parsed as a report.
+///
+/// # Errors
+///
+/// [`BlurNetError::BadConfig`] when nothing recoverable exists or the
+/// report does not parse; [`BlurNetError::Journal`] for journal
+/// recovery failures and report/journal disagreement.
+pub fn recover_prior(dir: &Path) -> Result<(RunReport, PriorSource)> {
+    if dir.is_file() {
+        return Ok((parse_report(dir)?, PriorSource::Report));
+    }
+    let report_path = dir.join("results.json");
+    let journal_path = dir.join(JOURNAL_FILE);
+    match (report_path.is_file(), journal_path.is_file()) {
+        (true, true) => {
+            let report = parse_report(&report_path)?;
+            let recovered = read_journal(&journal_path)?;
+            verify_agreement(&report, &recovered.header, &recovered.cells)?;
+            Ok((report, PriorSource::Verified))
+        }
+        (true, false) => Ok((parse_report(&report_path)?, PriorSource::Report)),
+        (false, true) => Ok((
+            read_journal(&journal_path)?.into_report(),
+            PriorSource::Journal,
+        )),
+        (false, false) => Err(BlurNetError::BadConfig(format!(
+            "nothing to resume from: neither results.json nor {JOURNAL_FILE} in {}",
+            dir.display()
+        ))),
+    }
+}
+
+/// Parses a prior `results.json`.
+fn parse_report(path: &Path) -> Result<RunReport> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        BlurNetError::BadConfig(format!(
+            "failed to read prior report {}: {e}",
+            path.display()
+        ))
+    })?;
+    serde_json::from_str(&text).map_err(|e| {
+        BlurNetError::BadConfig(format!(
+            "failed to parse prior report {}: {e}",
+            path.display()
+        ))
+    })
+}
+
+/// The agreement check behind [`PriorSource::Verified`]: the journal must
+/// describe the same run and contain every completed cell of the report
+/// **verbatim** (journal cells ⊇ report's `Ok` cells — the journal may
+/// hold more, e.g. cells completed after the report was last written).
+fn verify_agreement(
+    report: &RunReport,
+    header: &JournalHeader,
+    journal_cells: &[CellReport],
+) -> Result<()> {
+    let mismatch = |detail: String| -> BlurNetError { JournalError::Mismatch(detail).into() };
+    if header.schema != report.schema || header.scale != report.scale || header.seed != report.seed
+    {
+        return Err(mismatch(format!(
+            "journal header ({}/{}/seed {}) vs report ({}/{}/seed {})",
+            header.schema, header.scale, header.seed, report.schema, report.scale, report.seed
+        )));
+    }
+    for cell in &report.cells {
+        if cell.status != CellStatus::Ok {
+            continue;
+        }
+        if !journal_cells.contains(cell) {
+            return Err(mismatch(format!(
+                "report cell {}/{} is marked completed but the journal has no \
+                 identical record of it",
+                cell.experiment, cell.label
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -220,6 +391,95 @@ mod tests {
         let plan = plan_resume(&grid, &prior, &scale, 7).unwrap();
         assert_eq!(plan.replayed(), 1);
         assert_eq!(plan.delta(), grid.len() - 1);
+    }
+
+    fn recover_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("blurnet-recover-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_journal_for(dir: &Path, report: &RunReport) {
+        let writer = JournalWriter::create(
+            dir.join(JOURNAL_FILE),
+            &JournalHeader {
+                schema: report.schema.clone(),
+                scale: report.scale.clone(),
+                seed: report.seed,
+                cells: report.cells.len(),
+            },
+        )
+        .unwrap();
+        for cell in &report.cells {
+            if cell.status == CellStatus::Ok {
+                writer.append_cell(cell);
+            }
+        }
+    }
+
+    #[test]
+    fn recover_prior_uses_whatever_survived() {
+        let scale = Scale::Smoke.to_string();
+        let report = fake_report(&scale, 7, &[("table2", "a", CellStatus::Ok)]);
+
+        // Neither file: typed refusal.
+        let dir = recover_dir("neither");
+        assert!(recover_prior(&dir).is_err());
+
+        // Report alone.
+        report.write_json(&dir.join("results.json")).unwrap();
+        let (got, source) = recover_prior(&dir).unwrap();
+        assert_eq!(source, PriorSource::Report);
+        assert_eq!(got, report);
+
+        // Both, agreeing: verified.
+        write_journal_for(&dir, &report);
+        let (got, source) = recover_prior(&dir).unwrap();
+        assert_eq!(source, PriorSource::Verified);
+        assert_eq!(got, report);
+
+        // Journal alone: the crash-recovery path.
+        std::fs::remove_file(dir.join("results.json")).unwrap();
+        let (got, source) = recover_prior(&dir).unwrap();
+        assert_eq!(source, PriorSource::Journal);
+        assert_eq!(got.cells, report.cells);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disagreeing_report_and_journal_are_a_typed_mismatch() {
+        let scale = Scale::Smoke.to_string();
+        let report = fake_report(
+            &scale,
+            7,
+            &[
+                ("table2", "a", CellStatus::Ok),
+                ("table2", "b", CellStatus::Ok),
+            ],
+        );
+        // The journal only knows about cell "a" — the report claims "b"
+        // completed too.
+        let mut journal_view = report.clone();
+        journal_view.cells.truncate(1);
+        let dir = recover_dir("mismatch");
+        report.write_json(&dir.join("results.json")).unwrap();
+        write_journal_for(&dir, &journal_view);
+        assert!(matches!(
+            recover_prior(&dir),
+            Err(BlurNetError::Journal(JournalError::Mismatch(_)))
+        ));
+
+        // Run identity disagreement is also a mismatch.
+        let mut alien = report.clone();
+        alien.seed = 8;
+        write_journal_for(&dir, &alien);
+        assert!(matches!(
+            recover_prior(&dir),
+            Err(BlurNetError::Journal(JournalError::Mismatch(_)))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -84,6 +84,7 @@ use blurnet_tensor::Tensor;
 
 use crate::experiments::grid::{execute_cell, CellSpec, ExperimentGrid};
 use crate::experiments::{figures, table1};
+use crate::journal::{JournalHeader, JournalWriter};
 use crate::queue::{run_workers, BoundedQueue};
 use crate::report::{CellOutput, CellReport, CellStatus, RunReport, RESULTS_SCHEMA};
 use crate::{BlurNetError, Result, Scale};
@@ -189,6 +190,7 @@ pub struct ExperimentScheduler {
     retry_failed: usize,
     warm_variants: Option<Arc<VariantCache>>,
     cache_dir: Option<PathBuf>,
+    journal: Option<PathBuf>,
 }
 
 impl ExperimentScheduler {
@@ -203,6 +205,7 @@ impl ExperimentScheduler {
             retry_failed: 0,
             warm_variants: None,
             cache_dir: None,
+            journal: None,
         }
     }
 
@@ -262,6 +265,18 @@ impl ExperimentScheduler {
         self
     }
 
+    /// Write-ahead journals the run at `path` (see [`crate::journal`]): a
+    /// header record when the run starts, one fsynced record per
+    /// completed cell as cells finish, so an interrupted run leaves a
+    /// durable prefix `--resume` can replay. Failing to *create* the
+    /// journal fails the run (the caller asked for crash tolerance it
+    /// would not get); failing one *append* retires the journal and lets
+    /// the run continue.
+    pub fn journal_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
     /// Runs the grid and returns the deterministic report plus profile.
     ///
     /// # Errors
@@ -270,7 +285,19 @@ impl ExperimentScheduler {
     /// generation). Per-cell failures are isolated into the report as
     /// [`CellStatus::Failed`] / [`CellStatus::Skipped`].
     pub fn run(&self, grid: &ExperimentGrid) -> Result<ScheduledRun> {
-        self.run_inner(grid, None)
+        self.run_inner(grid, None, None)
+    }
+
+    /// Runs the grid appending completed cells to an already-created
+    /// journal writer — the resume path uses this so the journal it
+    /// re-seeded with replayed cells keeps accumulating the delta run's
+    /// cells instead of being truncated by a fresh header.
+    pub(crate) fn run_with_journal(
+        &self,
+        grid: &ExperimentGrid,
+        journal: Arc<JournalWriter>,
+    ) -> Result<ScheduledRun> {
+        self.run_inner(grid, None, Some(journal))
     }
 
     /// Test hook: runs the grid with a panic injected into the cell at
@@ -281,7 +308,7 @@ impl ExperimentScheduler {
         grid: &ExperimentGrid,
         panic_cell: usize,
     ) -> Result<ScheduledRun> {
-        self.run_inner(grid, Some(panic_cell))
+        self.run_inner(grid, Some(panic_cell), None)
     }
 
     /// The DAG the scheduler would execute, as `(name, dep names)` pairs
@@ -301,12 +328,32 @@ impl ExperimentScheduler {
             .collect()
     }
 
-    fn run_inner(&self, grid: &ExperimentGrid, panic_cell: Option<usize>) -> Result<ScheduledRun> {
+    fn run_inner(
+        &self,
+        grid: &ExperimentGrid,
+        panic_cell: Option<usize>,
+        journal: Option<Arc<JournalWriter>>,
+    ) -> Result<ScheduledRun> {
         if grid.is_empty() {
             return Err(BlurNetError::BadConfig(
                 "cannot schedule an empty experiment grid".into(),
             ));
         }
+        let journal = match journal {
+            Some(writer) => Some(writer),
+            None => match &self.journal {
+                Some(path) => Some(Arc::new(JournalWriter::create(
+                    path,
+                    &JournalHeader {
+                        schema: RESULTS_SCHEMA.to_string(),
+                        scale: self.scale.to_string(),
+                        seed: self.seed,
+                        cells: grid.len(),
+                    },
+                )?)),
+                None => None,
+            },
+        };
         let dataset = SignDataset::generate(&self.scale.dataset_config(), self.seed)?;
         let images = crate::experiments::attack_images_for(&dataset, self.scale);
         let nodes = build_dag(grid, self.scale);
@@ -332,6 +379,7 @@ impl ExperimentScheduler {
             panic_cell,
             self.verbose,
             self.retry_failed,
+            journal,
         );
 
         let started = Instant::now();
@@ -475,6 +523,9 @@ struct Executor {
     specs: Vec<CellSpec>,
     panic_cell: Option<usize>,
     verbose: bool,
+    /// The run's write-ahead journal, when enabled: completed cells are
+    /// appended (and fsynced) as they finish, in completion order.
+    journal: Option<Arc<JournalWriter>>,
     /// Extra attempts granted to a failed node (`--retry-failed N`).
     retry_limit: usize,
     /// Failed attempts consumed per node, guarded by `state`'s lock
@@ -495,6 +546,7 @@ impl Executor {
         panic_cell: Option<usize>,
         verbose: bool,
         retry_limit: usize,
+        journal: Option<Arc<JournalWriter>>,
     ) -> Self {
         let mut dependents = vec![Vec::new(); nodes.len()];
         let mut pending = vec![0usize; nodes.len()];
@@ -523,6 +575,7 @@ impl Executor {
         Executor {
             attempts,
             retry_limit,
+            journal,
             dependents,
             state: Mutex::new(SchedState {
                 pending,
@@ -817,6 +870,17 @@ impl Executor {
                     transfer.as_deref(),
                     sticker.as_deref(),
                 )?;
+                // Write-ahead: the cell's record is durable on disk
+                // before the in-memory slot commits it to the report —
+                // a crash from here on never loses this cell.
+                if let Some(journal) = &self.journal {
+                    journal.append_cell(&CellReport {
+                        experiment: spec.experiment.to_string(),
+                        label: spec.label.clone(),
+                        status: CellStatus::Ok,
+                        output: Some(output.clone()),
+                    });
+                }
                 *self.cell_slots[*cell].lock().expect("cell slot poisoned") =
                     Some((CellStatus::Ok, Some(output)));
                 Ok(())

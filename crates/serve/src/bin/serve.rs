@@ -32,12 +32,13 @@
 //! in-process model (pinned by `crates/serve/tests/from_disk.rs`).
 
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use blurnet::{ModelZoo, Scale};
 use blurnet_defenses::{model_from_file_bytes, DefendedModel, DefenseKind, DiskVariantCache};
-use blurnet_serve::protocol::{serve_connections, Handshake};
+use blurnet_serve::protocol::{serve_connections, Handshake, StreamPolicy};
 use blurnet_serve::{ClassifyService, ServeConfig};
 use blurnet_tensor::persist::read_file_verified;
 
@@ -45,12 +46,64 @@ use blurnet_tensor::persist::read_file_verified;
 /// so the served weights are the same ones the tables were produced from.
 const DEFAULT_SEED: u64 = 7;
 
+/// Which termination signal arrived (0 = none yet). Written by the
+/// async-signal handler, so it only flips an atomic — everything else
+/// (logging, drain, the timeout watchdog) happens on the watcher thread.
+static SIGNAL_RECEIVED: AtomicI32 = AtomicI32::new(0);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(signum: i32) {
+    SIGNAL_RECEIVED.store(signum, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGTERM and SIGINT via the C `signal()`
+/// entry point (no external crates; `signal` is in every libc this
+/// builds against). Best-effort: a failed install leaves the default
+/// kill-immediately disposition.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Bridges the signal flag to the accept loop's drain flag and enforces
+/// the drain timeout: once a signal lands, the drain flag flips (the
+/// accept loop stops admitting, in-flight requests finish) and a
+/// watchdog countdown starts — if the process is still alive when it
+/// expires, it exits 1 rather than hang forever on a stuck client.
+fn spawn_drain_watcher(drain: Arc<AtomicBool>, timeout: Duration) {
+    std::thread::spawn(move || loop {
+        let signum = SIGNAL_RECEIVED.load(Ordering::SeqCst);
+        if signum != 0 {
+            eprintln!(
+                "# received {}, draining (timeout {timeout:?})",
+                if signum == SIGTERM {
+                    "SIGTERM"
+                } else {
+                    "SIGINT"
+                }
+            );
+            drain.store(true, Ordering::SeqCst);
+            std::thread::sleep(timeout);
+            eprintln!("serve: drain timeout expired with work still in flight");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    });
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--defense baseline|input-filter:K|feature-filter:K] \
          [--model-path FILE] [--cache-dir DIR] [--batch-max N] [--window-us U] [--workers N] \
          [--queue-depth N] [--shed] [--deadline-us U] [--seed S] [--max-conns N] \
-         [--ready-file PATH]"
+         [--ready-file PATH] [--drain-timeout-ms MS] [--idle-timeout-ms MS (0 = off)]"
     );
     std::process::exit(2)
 }
@@ -72,6 +125,8 @@ struct Args {
     ready_file: Option<std::path::PathBuf>,
     model_path: Option<std::path::PathBuf>,
     cache_dir: Option<std::path::PathBuf>,
+    drain_timeout: Duration,
+    idle_timeout: Option<Duration>,
 }
 
 fn parse_defense(spec: &str) -> Option<DefenseKind> {
@@ -97,6 +152,8 @@ fn parse_args() -> Args {
         ready_file: None,
         model_path: None,
         cache_dir: None,
+        drain_timeout: Duration::from_millis(10_000),
+        idle_timeout: Some(Duration::from_millis(30_000)),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -131,6 +188,14 @@ fn parse_args() -> Args {
             "--ready-file" => args.ready_file = Some(value().into()),
             "--model-path" => args.model_path = Some(value().into()),
             "--cache-dir" => args.cache_dir = Some(value().into()),
+            "--drain-timeout-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.drain_timeout = Duration::from_millis(ms);
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value().parse().unwrap_or_else(|_| usage());
+                args.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             _ => usage(),
         }
     }
@@ -221,7 +286,19 @@ fn main() {
             .unwrap_or_else(|e| fail(format!("cannot write ready file {}: {e}", path.display())));
     }
 
-    if let Err(e) = serve_connections(&listener, &client, &handshake, args.max_conns) {
+    // Graceful drain: SIGTERM/SIGINT flip an atomic, the watcher thread
+    // flips the drain flag, the accept loop stops admitting, every
+    // in-flight request is answered, and the process exits 0 — or 1 if
+    // the drain timeout expires first.
+    let drain = Arc::new(AtomicBool::new(false));
+    install_signal_handlers();
+    spawn_drain_watcher(Arc::clone(&drain), args.drain_timeout);
+    let policy = StreamPolicy {
+        idle_timeout: args.idle_timeout,
+        drain: Some(Arc::clone(&drain)),
+    };
+
+    if let Err(e) = serve_connections(&listener, &client, &handshake, args.max_conns, &policy) {
         eprintln!("serve: listener failed: {e}");
         std::process::exit(1);
     }
@@ -235,4 +312,8 @@ fn main() {
     service
         .shutdown()
         .unwrap_or_else(|e| fail(format!("shutdown failed: {e}")));
+    if drain.load(Ordering::SeqCst) {
+        eprintln!("# drained cleanly");
+    }
+    std::process::exit(0);
 }

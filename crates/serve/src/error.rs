@@ -21,6 +21,9 @@ pub enum ServeError {
     /// The request's deadline passed while it was still queued; it was
     /// shed without being evaluated.
     DeadlineExceeded,
+    /// The connection sent no bytes for longer than the configured
+    /// idle-read deadline (slowloris defense); it was disconnected.
+    IdleTimeout(std::time::Duration),
     /// A socket-level failure in the TCP protocol layer.
     Io(std::io::Error),
     /// A malformed message on the TCP wire.
@@ -42,6 +45,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::DeadlineExceeded => {
                 write!(f, "deadline exceeded: request shed before evaluation")
+            }
+            ServeError::IdleTimeout(limit) => {
+                write!(f, "idle timeout: no bytes from the client for {limit:?}")
             }
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),

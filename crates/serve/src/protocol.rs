@@ -33,7 +33,9 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use blurnet_tensor::Tensor;
 use serde::Value;
@@ -193,6 +195,105 @@ impl Handshake {
     }
 }
 
+/// Read-side lifecycle policy for a served stream: how long a silent
+/// client may hold the connection, and a drain flag for graceful
+/// shutdown. `StreamPolicy::default()` is fully passive — plain blocking
+/// reads, exactly the pre-policy behavior — so in-memory tests and
+/// embedded callers are unaffected.
+#[derive(Debug, Clone, Default)]
+pub struct StreamPolicy {
+    /// Disconnect a connection that produces **no bytes** for this long
+    /// while a read is outstanding (slowloris defense). Progress — any
+    /// byte — resets the clock. Requires the underlying transport to
+    /// return `WouldBlock`/`TimedOut` on stalled reads (TCP streams get a
+    /// short read timeout from [`serve_connections`] automatically).
+    pub idle_timeout: Option<Duration>,
+    /// When set and flipped true: stop accepting connections, stop
+    /// reading **new** requests at frame boundaries, finish requests
+    /// already in flight. Connections end as if the client said goodbye.
+    pub drain: Option<Arc<AtomicBool>>,
+}
+
+impl StreamPolicy {
+    /// Whether any non-default behavior is configured.
+    fn is_active(&self) -> bool {
+        self.idle_timeout.is_some() || self.drain.is_some()
+    }
+
+    /// Whether a drain has been requested.
+    fn draining(&self) -> bool {
+        self.drain
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+}
+
+/// What a frame-boundary read can resolve to.
+enum FrameRead {
+    /// The buffer was filled.
+    Complete,
+    /// The stream ended cleanly (EOF, or a drain observed at the
+    /// boundary) — only possible when `at_boundary`.
+    End,
+}
+
+/// Fills `buf` from `reader` under `policy`. At a frame boundary
+/// (`at_boundary`), EOF and drain both end the stream cleanly; mid-frame,
+/// EOF is a protocol error and a drain lets the in-flight frame finish.
+/// A stalled transport (`WouldBlock`/`TimedOut`) is retried until the
+/// idle deadline — measured from the last byte of progress — expires.
+fn fill_frame(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    policy: &StreamPolicy,
+    at_boundary: bool,
+) -> Result<FrameRead> {
+    let mut filled = 0usize;
+    let mut last_progress = Instant::now();
+    while filled < buf.len() {
+        if at_boundary && filled == 0 && policy.draining() {
+            return Ok(FrameRead::End);
+        }
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                // A hangup at a frame boundary is a normal goodbye (even
+                // after a partial length prefix, matching the pre-policy
+                // `read_exact` handling); mid-frame it is truncation.
+                return if at_boundary {
+                    Ok(FrameRead::End)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    )
+                    .into())
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if policy.is_active()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                if let Some(limit) = policy.idle_timeout {
+                    if last_progress.elapsed() >= limit {
+                        return Err(ServeError::IdleTimeout(limit));
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(FrameRead::Complete)
+}
+
 fn read_u32(reader: &mut impl Read) -> std::io::Result<u32> {
     let mut buf = [0u8; 4];
     reader.read_exact(&mut buf)?;
@@ -243,7 +344,8 @@ fn drain_payload(reader: &mut impl Read, bytes: u64) -> std::io::Result<()> {
 }
 
 /// Serves one framed request stream until the client says goodbye
-/// (element count 0) or the stream ends — the transport-agnostic core of
+/// (element count 0), the stream ends, or `policy` ends it (idle
+/// deadline, drain at a frame boundary) — the transport-agnostic core of
 /// [`serve_connections`], directly drivable from in-memory buffers in
 /// tests. Malformed-size and oversized requests are answered with an
 /// error response and their payloads drained, keeping the stream usable.
@@ -252,6 +354,7 @@ pub fn serve_stream(
     writer: &mut impl Write,
     client: &ServeClient,
     handshake: &Handshake,
+    policy: &StreamPolicy,
 ) -> Result<()> {
     writer.write_all(handshake.to_json().as_bytes())?;
     writer.write_all(b"\n")?;
@@ -259,11 +362,10 @@ pub fn serve_stream(
 
     let expected = handshake.elements();
     loop {
-        let count = match read_u32(reader) {
-            Ok(count) => count as usize,
-            // A hangup between requests is a normal goodbye.
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e.into()),
+        let mut count_buf = [0u8; 4];
+        let count = match fill_frame(reader, &mut count_buf, policy, true)? {
+            FrameRead::End => return Ok(()),
+            FrameRead::Complete => u32::from_le_bytes(count_buf) as usize,
         };
         if count == 0 {
             return Ok(());
@@ -277,7 +379,7 @@ pub fn serve_stream(
             continue;
         }
         let mut payload = vec![0u8; count * 4];
-        reader.read_exact(&mut payload)?;
+        fill_frame(reader, &mut payload, policy, false)?;
         if count != expected {
             let err = Err(ServeError::BadInput(format!(
                 "expected {expected} f32 elements per image, got {count}"
@@ -310,11 +412,21 @@ pub fn serve_stream(
     }
 }
 
-/// Serves one accepted TCP connection via [`serve_stream`].
-fn serve_connection(stream: TcpStream, client: &ServeClient, handshake: &Handshake) -> Result<()> {
+/// Serves one accepted TCP connection via [`serve_stream`]. An active
+/// policy puts a short read timeout on the socket so stalled reads
+/// surface as `WouldBlock`/`TimedOut` for [`fill_frame`] to pace.
+fn serve_connection(
+    stream: TcpStream,
+    client: &ServeClient,
+    handshake: &Handshake,
+    policy: &StreamPolicy,
+) -> Result<()> {
+    if policy.is_active() {
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    }
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    serve_stream(&mut reader, &mut writer, client, handshake)
+    serve_stream(&mut reader, &mut writer, client, handshake, policy)
 }
 
 /// Accepts connections on `listener` and serves each on its own thread,
@@ -322,8 +434,12 @@ fn serve_connection(stream: TcpStream, client: &ServeClient, handshake: &Handsha
 ///
 /// With `max_conns = Some(n)` the loop returns after accepting (and fully
 /// serving) `n` connections — the shape the tests and the CI smoke run
-/// use; `None` serves forever. Per-connection protocol errors are
-/// reported on that connection and do not take the server down.
+/// use; `None` serves forever. When `policy.drain` is set, the listener
+/// runs non-blocking and the loop exits as soon as the flag flips —
+/// already-accepted connections are joined (each finishing its in-flight
+/// requests) before the function returns. Per-connection protocol errors
+/// are reported on that connection and do not take the server down; idle
+/// disconnects get their own log line.
 ///
 /// # Errors
 ///
@@ -334,19 +450,54 @@ pub fn serve_connections(
     client: &ServeClient,
     handshake: &Handshake,
     max_conns: Option<usize>,
+    policy: &StreamPolicy,
 ) -> Result<()> {
     let mut handles = Vec::new();
-    for (served, conn) in listener.incoming().enumerate() {
-        let stream = conn?;
+    let mut spawn = |stream: TcpStream| {
         let client = client.clone();
         let handshake = handshake.clone();
+        let policy = policy.clone();
         handles.push(std::thread::spawn(move || {
-            if let Err(e) = serve_connection(stream, &client, &handshake) {
-                eprintln!("serve: connection error: {e}");
+            match serve_connection(stream, &client, &handshake, &policy) {
+                Ok(()) => {}
+                Err(ServeError::IdleTimeout(limit)) => {
+                    eprintln!("serve: disconnected idle client (no bytes for {limit:?})")
+                }
+                Err(e) => eprintln!("serve: connection error: {e}"),
             }
         }));
-        if max_conns.is_some_and(|n| served + 1 >= n) {
-            break;
+    };
+
+    if let Some(drain) = policy.drain.clone() {
+        // Drainable accept loop: non-blocking accepts polled against the
+        // drain flag, so SIGTERM stops admission within one poll tick.
+        listener.set_nonblocking(true)?;
+        let mut served = 0usize;
+        while !drain.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets may inherit non-blocking mode;
+                    // hand the handler a blocking stream.
+                    stream.set_nonblocking(false)?;
+                    spawn(stream);
+                    served += 1;
+                    if max_conns.is_some_and(|n| served >= n) {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    } else {
+        for (served, conn) in listener.incoming().enumerate() {
+            spawn(conn?);
+            if max_conns.is_some_and(|n| served + 1 >= n) {
+                break;
+            }
         }
     }
     for handle in handles {

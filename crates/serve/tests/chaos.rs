@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use blurnet::fault::{self, sites, FaultKind, FaultSpec, MARKER};
 use blurnet_defenses::DefenseKind;
-use blurnet_serve::protocol::{serve_stream, Handshake};
+use blurnet_serve::protocol::{serve_stream, Handshake, StreamPolicy};
 use blurnet_serve::{
     classify_single, Classification, ClassifyService, ServeConfig, ServeError, ServiceHealth,
 };
@@ -299,7 +299,14 @@ fn a_tcp_frame_fault_errors_one_request_and_keeps_the_connection() {
     let client = svc.client();
     let mut reader: &[u8] = &request;
     let mut response = Vec::new();
-    serve_stream(&mut reader, &mut response, &client, &handshake).expect("stream serves");
+    serve_stream(
+        &mut reader,
+        &mut response,
+        &client,
+        &handshake,
+        &StreamPolicy::default(),
+    )
+    .expect("stream serves");
     assert_eq!(fault::fires(sites::SERVE_TCP_FRAME), 1);
     fault::disarm_all();
     svc.shutdown().expect("clean shutdown");

@@ -1,0 +1,112 @@
+//! Graceful-drain pin over the real TCP path: SIGTERM a running `serve`
+//! process while a request is in flight and demand (a) the request is
+//! still answered, (b) the process exits 0.
+//!
+//! The request is held in flight by a large `--window-us` flush window
+//! with `--batch-max` far above one, so the batcher is deliberately
+//! sitting on the admitted request when the signal lands — the exact
+//! moment a deploy's SIGTERM would historically have dropped it.
+
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use blurnet_serve::protocol::RemoteClient;
+
+/// Scratch directory under `target/` (shared model cache lives here, so
+/// repeated test runs skip the startup training).
+fn work_root() -> PathBuf {
+    let exe = PathBuf::from(env!("CARGO_BIN_EXE_serve"));
+    exe.parent()
+        .and_then(std::path::Path::parent)
+        .expect("binary lives under target/<profile>/")
+        .join("drain-test")
+}
+
+/// Waits for the `--ready-file` to appear and returns the bound address.
+fn wait_ready(path: &PathBuf, child: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(path) {
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("serve exited before becoming ready: {status}");
+        }
+        assert!(Instant::now() < deadline, "serve never became ready");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigterm_drains_in_flight_requests_and_exits_zero() {
+    let root = work_root();
+    std::fs::create_dir_all(&root).expect("work root");
+    let ready = root.join("ready-addr");
+    let _ = std::fs::remove_file(&ready);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--defense")
+        .arg("baseline")
+        .arg("--cache-dir")
+        .arg(root.join("cache"))
+        .arg("--ready-file")
+        .arg(&ready)
+        // Hold admitted requests in the batcher for up to 300 ms so the
+        // signal reliably lands while one is in flight.
+        .arg("--batch-max")
+        .arg("32")
+        .arg("--window-us")
+        .arg("300000")
+        .arg("--drain-timeout-ms")
+        .arg("10000")
+        .env("BLURNET_SCALE", "smoke")
+        .spawn()
+        .expect("spawn serve");
+
+    let addr = wait_ready(&ready, &mut child);
+    let mut client = RemoteClient::connect(addr.trim()).expect("connect");
+    let elements = client.handshake().elements();
+
+    // Fire the request from a helper thread; it will block until the
+    // batcher's window flushes — which happens well after the SIGTERM.
+    let handle = std::thread::spawn(move || {
+        let image = vec![0.5f32; elements];
+        client.classify(&image)
+    });
+
+    // Give the request time to be admitted, then signal.
+    std::thread::sleep(Duration::from_millis(100));
+    let kill = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success(), "kill -TERM failed");
+
+    // The admitted in-flight request must still be answered.
+    let response = handle.join().expect("client thread");
+    assert!(
+        response.is_ok(),
+        "in-flight request dropped during drain: {:?}",
+        response.err()
+    );
+
+    // And the drained process must exit 0, within the drain timeout.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "serve did not exit after drain");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        status.success(),
+        "a graceful drain must exit 0, got: {status}"
+    );
+}

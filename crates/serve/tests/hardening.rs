@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use blurnet_defenses::DefenseKind;
-use blurnet_serve::protocol::{serve_stream, Handshake, MAX_FRAME_ELEMENTS};
+use blurnet_serve::protocol::{serve_stream, Handshake, StreamPolicy, MAX_FRAME_ELEMENTS};
 use blurnet_serve::{ClassifyService, ServeConfig, ServeError};
 use blurnet_tensor::Tensor;
 use blurnet_test_support::{tiny_defended_model, uniform_images, TINY_IMAGE_SIZE};
@@ -36,12 +36,101 @@ fn drive(svc: &ClassifyService, request: &[u8]) -> Vec<u8> {
     let client = svc.client();
     let mut reader: &[u8] = request;
     let mut response = Vec::new();
-    serve_stream(&mut reader, &mut response, &client, &handshake).expect("stream serves");
+    serve_stream(
+        &mut reader,
+        &mut response,
+        &client,
+        &handshake,
+        &StreamPolicy::default(),
+    )
+    .expect("stream serves");
     let mut body: &[u8] = &response;
     let mut line = String::new();
     body.read_line(&mut line).expect("handshake line");
     assert!(Handshake::from_json(line.trim_end()).is_ok());
     body.to_vec()
+}
+
+/// A reader that yields its prefix then stalls forever with `WouldBlock`
+/// — a slowloris client holding the connection open after a partial
+/// frame. (Real TCP sockets surface the same kind once the per-stream
+/// read timeout `serve_connections` installs expires.)
+struct StalledReader {
+    prefix: std::io::Cursor<Vec<u8>>,
+}
+
+impl std::io::Read for StalledReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = std::io::Read::read(&mut self.prefix, buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "client stalled",
+            ));
+        }
+        Ok(n)
+    }
+}
+
+#[test]
+fn a_slowloris_client_is_disconnected_by_the_idle_deadline() {
+    let svc = service(ServeConfig::default());
+    let handshake = Handshake::new(svc.info(), 4, Duration::from_millis(1));
+    let client = svc.client();
+
+    // Two bytes of a length prefix, then silence forever.
+    let mut reader = std::io::BufReader::new(StalledReader {
+        prefix: std::io::Cursor::new(vec![0x10, 0x00]),
+    });
+    let mut response = Vec::new();
+    let policy = StreamPolicy {
+        idle_timeout: Some(Duration::from_millis(50)),
+        drain: None,
+    };
+    let err = serve_stream(&mut reader, &mut response, &client, &handshake, &policy)
+        .expect_err("a stalled client must not hold the stream forever");
+    assert!(
+        matches!(err, ServeError::IdleTimeout(_)),
+        "expected the typed idle-timeout error, got: {err}"
+    );
+    svc.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn without_a_deadline_a_drain_flag_ends_the_stream_at_the_boundary() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let svc = service(ServeConfig::default());
+    let elements = svc.info().input_dims.iter().product::<usize>();
+    let handshake = Handshake::new(svc.info(), 4, Duration::from_millis(1));
+    let client = svc.client();
+
+    // A full well-formed request is waiting, but the drain flag is
+    // already up: the server must not admit it.
+    let mut request = frame(&vec![0.5; elements]);
+    request.extend_from_slice(&0u32.to_le_bytes());
+    let mut reader: &[u8] = &request;
+    let mut response = Vec::new();
+    let drain = std::sync::Arc::new(AtomicBool::new(true));
+    let policy = StreamPolicy {
+        idle_timeout: None,
+        drain: Some(std::sync::Arc::clone(&drain)),
+    };
+    serve_stream(&mut reader, &mut response, &client, &handshake, &policy)
+        .expect("drain is a clean goodbye");
+
+    // Response holds the handshake line and nothing else — the queued
+    // request was never admitted.
+    let mut body: &[u8] = &response;
+    let mut line = String::new();
+    body.read_line(&mut line).expect("handshake line");
+    assert!(Handshake::from_json(line.trim_end()).is_ok());
+    assert!(
+        body.is_empty(),
+        "no request may be admitted after the drain flag flips"
+    );
+    drain.store(false, Ordering::Relaxed);
+    svc.shutdown().expect("clean shutdown");
 }
 
 #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use blurnet_defenses::DefenseKind;
-use blurnet_serve::protocol::{serve_connections, Handshake, RemoteClient, SCHEMA};
+use blurnet_serve::protocol::{serve_connections, Handshake, RemoteClient, StreamPolicy, SCHEMA};
 use blurnet_serve::{classify_single, ClassifyService, ServeConfig};
 use blurnet_test_support::{tiny_defended_model, uniform_images, TINY_IMAGE_SIZE};
 
@@ -22,7 +22,14 @@ fn spawn_server(
     let client = service.client();
     let handshake = Handshake::new(service.info(), config.max_batch, config.flush_window);
     let server = std::thread::spawn(move || {
-        serve_connections(&listener, &client, &handshake, Some(max_conns)).expect("serve loop");
+        serve_connections(
+            &listener,
+            &client,
+            &handshake,
+            Some(max_conns),
+            &StreamPolicy::default(),
+        )
+        .expect("serve loop");
     });
     (addr, server)
 }

@@ -441,23 +441,132 @@ pub fn unframe(bytes: &[u8]) -> Result<&[u8]> {
     Ok(payload)
 }
 
+/// Wraps one append-only log record: `magic · version · kind · len ·
+/// payload · checksum`, the per-record analogue of [`frame`] for files
+/// that grow by appending instead of being rewritten whole. The checksum
+/// is FNV-1a over everything before it, so each record is independently
+/// verifiable — a torn or bit-rotted tail invalidates only itself.
+pub fn frame_record(magic: [u8; 4], version: u16, kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + 23);
+    buf.extend_from_slice(&magic);
+    buf.extend_from_slice(&version.to_le_bytes());
+    buf.push(kind);
+    put_u64(&mut buf, payload.len() as u64);
+    buf.extend_from_slice(payload);
+    let checksum = fnv1a(&buf);
+    put_u64(&mut buf, checksum);
+    buf
+}
+
+/// Reads one [`frame_record`] record off the front of `bytes`, returning
+/// `(kind, payload, consumed byte count)` so a reader can walk a log by
+/// advancing `consumed` bytes per record.
+///
+/// # Errors
+///
+/// Returns [`TensorError::WrongMagic`], [`TensorError::UnsupportedVersion`],
+/// [`TensorError::Truncated`] or [`TensorError::ChecksumMismatch`] for
+/// every way the record can be malformed — a torn-tail-tolerant caller
+/// treats any of these at the tail as end-of-log.
+pub fn read_record(bytes: &[u8], magic: [u8; 4], supported: u16) -> Result<(u8, &[u8], usize)> {
+    let mut reader = ByteReader::new(bytes);
+    reader.expect_magic(magic)?;
+    reader.expect_version(supported)?;
+    let kind = reader.u8()?;
+    let len = reader.usize_le()?;
+    let payload = reader.take(len)?;
+    let stored = reader.u64_le()?;
+    let body_end = 4 + 2 + 1 + 8 + len;
+    let computed = fnv1a(&bytes[..body_end]);
+    if stored != computed {
+        return Err(TensorError::ChecksumMismatch { stored, computed });
+    }
+    Ok((kind, payload, body_end + 8))
+}
+
+/// The infix every temporary sibling of an atomic write carries:
+/// `<file name>.tmp.<pid>`. Appended to the full file name (never via
+/// `with_extension`, which would replace the real extension and collide
+/// two targets sharing a stem).
+const TMP_INFIX: &str = ".tmp.";
+
+/// Removes temporary siblings a crashed earlier write of `path` left
+/// behind (`<name>.tmp.<any pid>`). Best-effort: cleanup never fails the
+/// write that triggered it.
+fn remove_stale_tmp(path: &Path) {
+    let (Some(dir), Some(name)) = (path.parent(), path.file_name()) else {
+        return;
+    };
+    let prefix = format!("{}{TMP_INFIX}", name.to_string_lossy());
+    let Ok(entries) = std::fs::read_dir(if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    }) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let candidate = entry.file_name();
+        if candidate.to_string_lossy().starts_with(&prefix) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Flushes the directory entry for `path` to disk, so the rename that
+/// just placed it is durable — without this, a power loss after the
+/// rename can resurrect the old file (or no file). Best-effort on
+/// filesystems whose directories refuse `sync_all`.
+fn sync_parent_dir(path: &Path) {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    if let Ok(handle) = std::fs::File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
 /// Writes `payload` to `path` inside the checksummed container,
-/// atomically: the bytes land in a temporary sibling first and are
-/// `rename`d into place, so a concurrent reader sees either the old file
-/// or the complete new one — never a torn write.
+/// atomically **and durably**: the bytes land in a temporary sibling
+/// first, are fsynced, and only then `rename`d into place, followed by an
+/// fsync of the parent directory — so a concurrent reader sees either the
+/// old file or the complete new one (never a torn write), and a
+/// power-loss-style crash cannot lose the rename itself. Temporary
+/// siblings a crashed earlier write left behind are cleaned up before
+/// writing.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::Io`] for filesystem failures.
 pub fn write_file_atomic(path: &Path, payload: &[u8]) -> Result<()> {
+    use std::io::Write;
+
     let framed = frame(payload);
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, &framed)
-        .map_err(|e| TensorError::Io(format!("writing {}: {e}", tmp.display())))?;
+    remove_stale_tmp(path);
+    let mut name = path
+        .file_name()
+        .ok_or_else(|| TensorError::Io(format!("{} has no file name", path.display())))?
+        .to_os_string();
+    name.push(format!("{TMP_INFIX}{}", std::process::id()));
+    let tmp = path.with_file_name(name);
+    let write_synced = |bytes: &[u8]| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // The crash-durability half of the contract: the payload must be
+        // on disk before the rename publishes it.
+        file.sync_all()
+    };
+    write_synced(&framed).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        TensorError::Io(format!("writing {}: {e}", tmp.display()))
+    })?;
     std::fs::rename(&tmp, path).map_err(|e| {
         let _ = std::fs::remove_file(&tmp);
         TensorError::Io(format!("renaming into {}: {e}", path.display()))
-    })
+    })?;
+    sync_parent_dir(path);
+    Ok(())
 }
 
 /// Reads `path` and validates the file container, returning the payload.
@@ -609,6 +718,84 @@ mod tests {
             unframe(&framed),
             Err(TensorError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn record_framing_roundtrips_and_rejects_corruption() {
+        let magic = *b"BNJL";
+        let a = frame_record(magic, 1, 0, b"header payload");
+        let b = frame_record(magic, 1, 1, b"cell payload");
+        let mut log = a.clone();
+        log.extend_from_slice(&b);
+
+        let (kind, payload, consumed) = read_record(&log, magic, 1).unwrap();
+        assert_eq!((kind, payload), (0, b"header payload".as_slice()));
+        assert_eq!(consumed, a.len());
+        let (kind, payload, consumed) = read_record(&log[a.len()..], magic, 1).unwrap();
+        assert_eq!((kind, payload), (1, b"cell payload".as_slice()));
+        assert_eq!(a.len() + consumed, log.len());
+
+        // A flipped payload byte invalidates only its own record.
+        let mut rotten = log.clone();
+        rotten[a.len() + 16] ^= 0x01;
+        assert!(read_record(&rotten, magic, 1).is_ok());
+        assert!(matches!(
+            read_record(&rotten[a.len()..], magic, 1),
+            Err(TensorError::ChecksumMismatch { .. })
+        ));
+        // Truncation mid-record is typed, never a panic.
+        assert!(matches!(
+            read_record(&a[..a.len() - 3], magic, 1),
+            Err(TensorError::Truncated { .. })
+        ));
+        // Wrong magic and future versions are typed.
+        assert!(matches!(
+            read_record(&a, *b"XXXX", 1),
+            Err(TensorError::WrongMagic { .. })
+        ));
+        assert!(matches!(
+            read_record(&a, magic, 0),
+            Err(TensorError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn a_leftover_tmp_file_is_cleaned_up_on_the_next_write() {
+        let dir = std::env::temp_dir().join(format!("blurnet-tmpclean-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bndm");
+        // A crashed earlier write (different pid) left its temporary
+        // sibling behind; the naming appends to the FULL file name.
+        let stale = dir.join("model.bndm.tmp.99999");
+        std::fs::write(&stale, b"torn garbage from a dead process").unwrap();
+
+        let payload = tensor_to_bytes(&tensor(&[2, 2]));
+        write_file_atomic(&path, &payload).unwrap();
+        assert_eq!(read_file_verified(&path).unwrap(), payload);
+        assert!(!stale.exists(), "stale tmp file must be swept");
+        // And the write's own tmp file is gone too.
+        let residue: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(residue.is_empty(), "tmp residue: {residue:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sibling_targets_sharing_a_stem_do_not_collide() {
+        // `with_extension` would have mapped both `a.bnxs` and `a.bnrp`
+        // onto the same `a.tmp.<pid>`; the full-name infix must not.
+        let dir = std::env::temp_dir().join(format!("blurnet-stem-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let one = tensor_to_bytes(&tensor(&[2, 2]));
+        let two = tensor_to_bytes(&tensor(&[3, 3]));
+        write_file_atomic(&dir.join("a.bnxs"), &one).unwrap();
+        write_file_atomic(&dir.join("a.bnrp"), &two).unwrap();
+        assert_eq!(read_file_verified(&dir.join("a.bnxs")).unwrap(), one);
+        assert_eq!(read_file_verified(&dir.join("a.bnrp")).unwrap(), two);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -391,9 +391,48 @@ fn on_disk_cache_corruption_downgrades_to_regeneration() {
 }
 
 #[test]
+fn a_failed_journal_append_retires_the_journal_but_not_the_run() {
+    let _guard = serialized();
+    fault::disarm_all();
+    let grid = ExperimentGrid::micro();
+    let clean = scheduler().run(&grid).expect("clean run");
+    assert!(clean.report.all_ok());
+
+    // `core.journal.append`: the write-ahead journal is a recovery
+    // accelerator, never a gate — an append failure must retire the
+    // journal (delete it, so a later resume can't trust a lying one) and
+    // leave the run itself byte-identical.
+    let dir = TempDir::new("journal-retire");
+    let journal = dir.path().join("run.journal");
+    fault::arm(
+        sites::JOURNAL_APPEND,
+        FaultSpec::on_hit(FaultKind::Error, 2),
+    );
+    let journaled = scheduler()
+        .journal_path(&journal)
+        .run(&grid)
+        .expect("run survives the retired journal");
+    assert_eq!(fault::fires(sites::JOURNAL_APPEND), 1);
+    fault::disarm_all();
+
+    assert!(journaled.report.all_ok(), "no cell may fail on journal IO");
+    assert_eq!(
+        report_bytes(&journaled),
+        report_bytes(&clean),
+        "a retired journal must not change results"
+    );
+    assert!(
+        !journal.exists(),
+        "a journal that missed an append must be deleted, not left lying"
+    );
+}
+
+#[test]
 fn every_core_fault_site_has_a_chaos_scenario() {
     // The sites this suite exercises; `crates/serve/tests/chaos.rs` owns
-    // the `serve.*` half of the registry.
+    // the `serve.*` half of the registry, and the process-level
+    // kill-anywhere coverage for the journal sites (abort + torn-append
+    // kinds) lives in `crates/bench/tests/crash_chaos.rs`.
     let covered = [
         sites::QUEUE_PUSH,
         sites::QUEUE_POP,
@@ -402,6 +441,8 @@ fn every_core_fault_site_has_a_chaos_scenario() {
         sites::SCHED_ARTIFACT,
         sites::SCHED_CELL,
         sites::CACHE_LOAD,
+        sites::JOURNAL_APPEND,
+        sites::JOURNAL_TORN,
     ];
     for site in fault::all_sites() {
         if site.starts_with("core.") {
