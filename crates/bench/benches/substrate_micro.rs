@@ -5,9 +5,12 @@
 //!
 //! Besides the human-readable criterion output, the run writes
 //! `BENCH_substrate.json` at the repository root: a machine-readable record
-//! (schema `blurnet-substrate-bench/v1`) of median ns/iter for every probe
+//! (schema `blurnet-substrate-bench/v3`) of median ns/iter for every probe
 //! and the fast-vs-seed speedups, so future PRs can track the perf
-//! trajectory. Single-thread numbers are measured through a 1-thread rayon
+//! trajectory. The `simd_tier` entry records which kernel tier the backend
+//! dispatched to (`avx2_fma` or `scalar`), so numbers from different hosts
+//! or `BLURNET_FORCE_SCALAR=1` runs are never compared apples-to-oranges.
+//! Single-thread numbers are measured through a 1-thread rayon
 //! pool; `_mt` entries use the ambient `RAYON_NUM_THREADS`; the
 //! `median_ns_per_iter_by_threads` section sweeps the shared
 //! [`blurnet_bench::BENCH_THREAD_COUNTS`] on representative probes, with
@@ -22,7 +25,7 @@ use blurnet_signal::{
     blur_batch, blur_batch_2d, box_kernel, dct2d, depthwise_weights, fft2d_magnitude,
     total_variation_batch, OperatorPenalty,
 };
-use blurnet_tensor::{conv2d, depthwise_conv2d, matmul, reference, ConvSpec, Tensor};
+use blurnet_tensor::{default_backend, reference, ConvSpec, Scratch, SimdTier, Tensor};
 use criterion::{criterion_group, criterion_main, measure_median_ns, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -99,9 +102,13 @@ impl Record {
         );
         let mut root = vec![(
             "schema".to_string(),
-            Value::Str("blurnet-substrate-bench/v2".to_string()),
+            Value::Str("blurnet-substrate-bench/v3".to_string()),
         )];
         root.extend(host_entries("substrate_micro"));
+        root.push((
+            "simd_tier".to_string(),
+            Value::Str(SimdTier::detect().as_str().to_string()),
+        ));
         root.push((
             "rayon_threads".to_string(),
             Value::Int(rayon::current_num_threads() as i64),
@@ -119,6 +126,7 @@ impl Record {
 fn write_bench_json() {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut record = Record::new();
+    let backend = default_backend();
 
     // GEMM: the acceptance-criteria sizes, single-thread fast vs seed, plus
     // the default-thread-count number for multicore machines.
@@ -126,8 +134,8 @@ fn write_bench_json() {
         let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
         let seed_ns = single_thread_ns(|| reference::matmul_naive(&a, &b).unwrap());
-        let fast_st = single_thread_ns(|| matmul(&a, &b).unwrap());
-        let fast_mt = median_ns(|| matmul(&a, &b).unwrap());
+        let fast_st = single_thread_ns(|| backend.matmul(&a, &b).unwrap());
+        let fast_mt = median_ns(|| backend.matmul(&a, &b).unwrap());
         record.push(&format!("gemm_{n}x{n}_seed"), seed_ns);
         record.push(&format!("gemm_{n}x{n}_fast_st"), fast_st);
         record.push(&format!("gemm_{n}x{n}_fast_mt"), fast_mt);
@@ -143,9 +151,16 @@ fn write_bench_json() {
         let seed_ns = single_thread_ns(|| {
             reference::depthwise_conv2d_naive(&feature_maps, &weight, None, spec).unwrap()
         });
-        let fast_st =
-            single_thread_ns(|| depthwise_conv2d(&feature_maps, &weight, None, spec).unwrap());
-        let fast_mt = median_ns(|| depthwise_conv2d(&feature_maps, &weight, None, spec).unwrap());
+        let fast_st = single_thread_ns(|| {
+            backend
+                .depthwise_conv2d(&feature_maps, &weight, None, spec)
+                .unwrap()
+        });
+        let fast_mt = median_ns(|| {
+            backend
+                .depthwise_conv2d(&feature_maps, &weight, None, spec)
+                .unwrap()
+        });
         record.push(&format!("depthwise_{k}x{k}_8x16x32x32_seed"), seed_ns);
         record.push(&format!("depthwise_{k}x{k}_8x16x32x32_fast_st"), fast_st);
         record.push(&format!("depthwise_{k}x{k}_8x16x32x32_fast_mt"), fast_mt);
@@ -179,9 +194,14 @@ fn write_bench_json() {
     let input = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut rng);
     let weight = Tensor::rand_uniform(&[8, 3, 5, 5], -0.5, 0.5, &mut rng);
     let conv_spec = ConvSpec::new(2, 2).expect("valid spec");
+    let mut conv_scratch = Scratch::new();
     record.push(
         "conv2d_32x32_8f",
-        median_ns(|| conv2d(&input, &weight, None, conv_spec).unwrap()),
+        median_ns(|| {
+            backend
+                .conv2d(&input, &weight, None, conv_spec, &mut conv_scratch)
+                .unwrap()
+        }),
     );
     let mut net = LisaCnn::new(18).build(&mut rng).expect("default LisaCnn");
     let batch = Tensor::rand_uniform(&[4, 3, 32, 32], 0.0, 1.0, &mut rng);
@@ -207,7 +227,9 @@ fn write_bench_json() {
         record.push_threads(
             "gemm_256x256",
             threads,
-            blurnet_bench::with_threads(threads, || median_ns(|| matmul(&ga, &gb).unwrap())),
+            blurnet_bench::with_threads(threads, || {
+                median_ns(|| backend.matmul(&ga, &gb).unwrap())
+            }),
         );
         record.push_threads(
             "blur3x3_8x16x32x32_separable",
@@ -235,6 +257,7 @@ fn write_bench_json() {
 
 fn bench_substrates(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let backend = default_backend();
     let mut group = c.benchmark_group("substrate");
     group.sample_size(20);
 
@@ -242,7 +265,7 @@ fn bench_substrates(c: &mut Criterion) {
         let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
         group.bench_function(format!("matmul_{n}x{n}"), |bench| {
-            bench.iter(|| matmul(&a, &b).unwrap());
+            bench.iter(|| backend.matmul(&a, &b).unwrap());
         });
         group.bench_function(format!("matmul_{n}x{n}_seed"), |bench| {
             bench.iter(|| reference::matmul_naive(&a, &b).unwrap());
@@ -251,15 +274,30 @@ fn bench_substrates(c: &mut Criterion) {
 
     let input = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut rng);
     let weight = Tensor::rand_uniform(&[8, 3, 5, 5], -0.5, 0.5, &mut rng);
+    let mut conv_scratch = Scratch::new();
     group.bench_function("conv2d_32x32_8f", |bench| {
-        bench.iter(|| conv2d(&input, &weight, None, ConvSpec::new(2, 2).unwrap()).unwrap());
+        bench.iter(|| {
+            backend
+                .conv2d(
+                    &input,
+                    &weight,
+                    None,
+                    ConvSpec::new(2, 2).unwrap(),
+                    &mut conv_scratch,
+                )
+                .unwrap()
+        });
     });
 
     let feature_maps_big = Tensor::rand_uniform(&[8, 16, 32, 32], 0.0, 1.0, &mut rng);
     let dw_weight = Tensor::rand_uniform(&[16, 5, 5], -0.5, 0.5, &mut rng);
     let dw_spec = ConvSpec::same(5).unwrap();
     group.bench_function("depthwise5x5_8x16x32x32", |bench| {
-        bench.iter(|| depthwise_conv2d(&feature_maps_big, &dw_weight, None, dw_spec).unwrap());
+        bench.iter(|| {
+            backend
+                .depthwise_conv2d(&feature_maps_big, &dw_weight, None, dw_spec)
+                .unwrap()
+        });
     });
     group.bench_function("depthwise5x5_8x16x32x32_seed", |bench| {
         bench.iter(|| {

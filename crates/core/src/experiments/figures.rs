@@ -17,7 +17,7 @@
 
 use blurnet_attacks::{AdaptiveObjective, Rp2Attack, Rp2Result};
 use blurnet_defenses::{DefendedModel, DefenseKind};
-use blurnet_signal::{blur_image, box_kernel, high_frequency_ratio, log_magnitude_spectrum};
+use blurnet_signal::{box_kernel, high_frequency_ratio, log_magnitude_spectrum};
 use blurnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -248,7 +248,8 @@ pub fn figure2_from_parts(
     let clean_features = layer_activation(baseline, image, feature_index)?;
     let adv_features = layer_activation(baseline, adversarial, feature_index)?;
     let kernel = box_kernel(5);
-    let blurred_diff = blur_image(&adv_features.sub(&clean_features)?, &kernel)?;
+    let blurred_diff = blurnet_tensor::default_backend()
+        .blur_image(&adv_features.sub(&clean_features)?, &kernel)?;
 
     let channels = clean_features.dims()[0].min(max_channels.max(1));
     let mut rows = Vec::with_capacity(channels);

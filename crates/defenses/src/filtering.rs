@@ -1,12 +1,12 @@
 //! Input-space low-pass filtering (the defense BlurNet argues *against* in
 //! Table I, kept as the comparison baseline).
 //!
-//! Box kernels are separable, so both entry points ride
-//! `blurnet_signal::blur_batch`'s two-pass O(k)-per-pixel fast path with
-//! rayon-parallel planes.
+//! Box kernels are separable, so both entry points ride the backend
+//! blur's two-pass O(k)-per-pixel fast path with rayon-parallel planes,
+//! dispatched through [`blurnet_tensor::Backend`].
 
-use blurnet_signal::{blur_batch, blur_image, box_kernel};
-use blurnet_tensor::Tensor;
+use blurnet_signal::box_kernel;
+use blurnet_tensor::{default_backend, Tensor};
 
 use crate::{DefenseError, Result};
 
@@ -27,7 +27,7 @@ fn check_kernel(kernel: usize) -> Result<()> {
 /// Returns an error for even kernels or malformed images.
 pub fn filter_image(image: &Tensor, kernel: usize) -> Result<Tensor> {
     check_kernel(kernel)?;
-    Ok(blur_image(image, &box_kernel(kernel))?)
+    Ok(default_backend().blur_image(image, &box_kernel(kernel))?)
 }
 
 /// Blurs every image of an `[N, C, H, W]` batch.
@@ -37,7 +37,7 @@ pub fn filter_image(image: &Tensor, kernel: usize) -> Result<Tensor> {
 /// Returns an error for even kernels or malformed batches.
 pub fn filter_images(batch: &Tensor, kernel: usize) -> Result<Tensor> {
     check_kernel(kernel)?;
-    Ok(blur_batch(batch, &box_kernel(kernel))?)
+    Ok(default_backend().blur_batch(batch, &box_kernel(kernel))?)
 }
 
 #[cfg(test)]

@@ -1,9 +1,6 @@
 //! Standard 2-D convolution layer.
 
-use blurnet_tensor::{
-    conv2d_backward_with_scratch, conv2d_input_grad_with_scratch, conv2d_with_scratch, ConvSpec,
-    Initializer, PackedConvWeights, Scratch, Tensor,
-};
+use blurnet_tensor::{ConvSpec, Initializer, PackedConvWeights, Scratch, Tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -137,7 +134,8 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
-        let out = conv2d_with_scratch(
+        let backend = self.scratch.backend();
+        let out = backend.conv2d(
             input,
             &self.weight,
             Some(&self.bias),
@@ -149,13 +147,9 @@ impl Layer for Conv2d {
     }
 
     fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
-        Ok(conv2d_with_scratch(
-            input,
-            &self.weight,
-            Some(&self.bias),
-            self.spec,
-            scratch,
-        )?)
+        Ok(scratch
+            .backend()
+            .conv2d(input, &self.weight, Some(&self.bias), self.spec, scratch)?)
     }
 
     fn infer_recording(
@@ -180,7 +174,7 @@ impl Layer for Conv2d {
         let TapeSlot::InputDims(dims) = tape else {
             return Err(TapeSlot::mismatch(self.name()));
         };
-        Ok(conv2d_input_grad_with_scratch(
+        Ok(scratch.backend().conv2d_input_grad(
             &self.weight,
             grad_output,
             dims,
@@ -194,7 +188,8 @@ impl Layer for Conv2d {
             .cached_input
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
-        let grads = conv2d_backward_with_scratch(
+        let backend = self.scratch.backend();
+        let grads = backend.conv2d_backward(
             input,
             &self.weight,
             grad_output,

@@ -1,9 +1,6 @@
 //! Fully-connected (dense) layer.
 
-use blurnet_tensor::{
-    matmul, matmul_transpose_a, matmul_transpose_b, matmul_transpose_b_with_scratch, Initializer,
-    Scratch, Tensor,
-};
+use blurnet_tensor::{Initializer, Scratch, Tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -90,7 +87,7 @@ impl Dense {
     }
 
     /// The weight matrix pre-transposed to `[in, out]`, so inference is a
-    /// plain stride-1 [`matmul`]. The batch engine transposes once per
+    /// plain stride-1 matmul. The batch engine transposes once per
     /// forward pass and shares the result across batch shards.
     pub fn weight_transposed(&self) -> Tensor {
         let (out_f, in_f) = (self.weight.dims()[0], self.weight.dims()[1]);
@@ -134,8 +131,10 @@ impl Layer for Dense {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         self.check_input(input)?;
-        // [N, in] · [out, in]ᵀ = [N, out]
-        let mut out = matmul_transpose_b(input, &self.weight)?;
+        // [N, in] · [out, in]ᵀ = [N, out], through this thread's shared
+        // scratch (and therefore the process-wide default backend).
+        let mut out =
+            Scratch::with_thread_local(|s| s.backend().matmul_transpose_b(input, &self.weight, s))?;
         self.add_bias(&mut out);
         self.cached_input = Some(input.clone());
         Ok(out)
@@ -143,7 +142,9 @@ impl Layer for Dense {
 
     fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         self.check_input(input)?;
-        let mut out = matmul_transpose_b_with_scratch(input, &self.weight, scratch)?;
+        let mut out = scratch
+            .backend()
+            .matmul_transpose_b(input, &self.weight, scratch)?;
         self.add_bias(&mut out);
         Ok(out)
     }
@@ -163,10 +164,10 @@ impl Layer for Dense {
         &self,
         _tape: &TapeSlot,
         grad_output: &Tensor,
-        _scratch: &mut Scratch,
+        scratch: &mut Scratch,
     ) -> Result<Tensor> {
         // dx = g · W : [N, in]
-        Ok(matmul(grad_output, &self.weight)?)
+        Ok(scratch.backend().matmul(grad_output, &self.weight)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -174,8 +175,9 @@ impl Layer for Dense {
             .cached_input
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
+        let backend = blurnet_tensor::default_backend();
         // dW = gᵀ · x : [out, in]
-        let d_w = matmul_transpose_a(grad_output, input)?;
+        let d_w = backend.matmul_transpose_a(grad_output, input)?;
         self.d_weight.add_scaled(&d_w, 1.0)?;
         // db = column sums of g.
         let (n, o) = (grad_output.dims()[0], grad_output.dims()[1]);
@@ -187,7 +189,7 @@ impl Layer for Dense {
             }
         }
         // dx = g · W : [N, in]
-        Ok(matmul(grad_output, &self.weight)?)
+        Ok(backend.matmul(grad_output, &self.weight)?)
     }
 
     fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {

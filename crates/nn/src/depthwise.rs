@@ -4,9 +4,7 @@
 //! channel. It can be *fixed* (a standard blur kernel, Section III of the
 //! paper) or *trainable* (learned under an L∞ penalty, Eq. 2).
 
-use blurnet_tensor::{
-    depthwise_conv2d, depthwise_conv2d_backward, depthwise_input_grad, ConvSpec, Scratch, Tensor,
-};
+use blurnet_tensor::{default_backend, ConvSpec, Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{Layer, NnError, Result, TapeSlot};
@@ -209,18 +207,16 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
-        let out = depthwise_conv2d(input, &self.weight, Some(&self.bias), self.spec)?;
+        let out =
+            default_backend().depthwise_conv2d(input, &self.weight, Some(&self.bias), self.spec)?;
         self.cached_input = Some(input.clone());
         Ok(out)
     }
 
-    fn infer(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor> {
-        Ok(depthwise_conv2d(
-            input,
-            &self.weight,
-            Some(&self.bias),
-            self.spec,
-        )?)
+    fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
+        Ok(scratch
+            .backend()
+            .depthwise_conv2d(input, &self.weight, Some(&self.bias), self.spec)?)
     }
 
     fn infer_recording(
@@ -238,17 +234,14 @@ impl Layer for DepthwiseConv2d {
         &self,
         tape: &TapeSlot,
         grad_output: &Tensor,
-        _scratch: &mut Scratch,
+        scratch: &mut Scratch,
     ) -> Result<Tensor> {
         let TapeSlot::InputDims(dims) = tape else {
             return Err(TapeSlot::mismatch(self.name()));
         };
-        Ok(depthwise_input_grad(
-            &self.weight,
-            grad_output,
-            dims,
-            self.spec,
-        )?)
+        Ok(scratch
+            .backend()
+            .depthwise_input_grad(&self.weight, grad_output, dims, self.spec)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -256,7 +249,12 @@ impl Layer for DepthwiseConv2d {
             .cached_input
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
-        let grads = depthwise_conv2d_backward(input, &self.weight, grad_output, self.spec)?;
+        let grads = default_backend().depthwise_conv2d_backward(
+            input,
+            &self.weight,
+            grad_output,
+            self.spec,
+        )?;
         if self.trainable {
             self.d_weight.add_scaled(&grads.d_weight, 1.0)?;
             self.d_bias.add_scaled(&grads.d_bias, 1.0)?;

@@ -55,9 +55,9 @@
 //! from whatever worker it lands on. Anything mutable (smoothing RNGs,
 //! training caches) lives outside the engine in per-cell clones.
 
-use blurnet_tensor::{
-    conv2d_input_grad_prepacked, conv2d_prepacked, matmul, PackedConvWeights, Scratch, Tensor,
-};
+use std::sync::Arc;
+
+use blurnet_tensor::{default_backend, Backend, PackedConvWeights, Scratch, Tensor};
 use rayon::prelude::*;
 
 use crate::{loss, Conv2d, Dense, Layer, LayerKind, NnError, Result, Sequential, TapeSlot};
@@ -136,6 +136,10 @@ pub struct GradBatch {
 pub struct BatchEngine<'n> {
     layers: Vec<EngineLayer<'n>>,
     shard_size: usize,
+    /// Compute backend every kernel call routes through; per-worker
+    /// [`Scratch`] pools are bound to it, so one engine dispatches at one
+    /// tier for its whole lifetime.
+    backend: Arc<dyn Backend>,
 }
 
 /// Default images per shard: one. The finest sharding maximizes batch-level
@@ -181,7 +185,21 @@ impl<'n> BatchEngine<'n> {
         Ok(BatchEngine {
             layers,
             shard_size: DEFAULT_SHARD_IMAGES,
+            backend: default_backend(),
         })
+    }
+
+    /// Overrides the compute backend (default: the process-wide
+    /// [`default_backend`]). Cross-dispatch tests pin engines to explicit
+    /// tiers with this; results must be identical across supported tiers.
+    pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The compute backend this engine dispatches through.
+    pub fn backend(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.backend)
     }
 
     /// Overrides the number of images per shard (clamped to at least 1).
@@ -210,12 +228,16 @@ impl<'n> BatchEngine<'n> {
         for engine_layer in &self.layers {
             let input = x.as_ref().unwrap_or(shard);
             let out = match engine_layer {
-                EngineLayer::Conv { layer, packed } => {
-                    conv2d_prepacked(input, packed, Some(layer.bias()), layer.spec(), scratch)?
-                }
+                EngineLayer::Conv { layer, packed } => self.backend.conv2d_prepacked(
+                    input,
+                    packed,
+                    Some(layer.bias()),
+                    layer.spec(),
+                    scratch,
+                )?,
                 EngineLayer::Dense { layer, weight_t } => {
                     layer.check_input(input)?;
-                    let mut out = matmul(input, weight_t)?;
+                    let mut out = self.backend.matmul(input, weight_t)?;
                     layer.add_bias(&mut out);
                     out
                 }
@@ -244,15 +266,20 @@ impl<'n> BatchEngine<'n> {
             let input = x.as_ref().unwrap_or(shard);
             let out = match engine_layer {
                 EngineLayer::Conv { layer, packed } => {
-                    let out =
-                        conv2d_prepacked(input, packed, Some(layer.bias()), layer.spec(), scratch)?;
+                    let out = self.backend.conv2d_prepacked(
+                        input,
+                        packed,
+                        Some(layer.bias()),
+                        layer.spec(),
+                        scratch,
+                    )?;
                     // Conv input gradients only need the recorded shape.
                     tapes[i] = TapeSlot::InputDims(input.dims().to_vec());
                     out
                 }
                 EngineLayer::Dense { layer, weight_t } => {
                     layer.check_input(input)?;
-                    let mut out = matmul(input, weight_t)?;
+                    let mut out = self.backend.matmul(input, weight_t)?;
                     layer.add_bias(&mut out);
                     out
                 }
@@ -293,7 +320,13 @@ impl<'n> BatchEngine<'n> {
                     let TapeSlot::InputDims(dims) = &tapes[i] else {
                         return Err(NnError::MissingForwardCache("conv2d".to_string()));
                     };
-                    conv2d_input_grad_prepacked(packed, &grad, dims, layer.spec(), scratch)?
+                    self.backend.conv2d_input_grad_prepacked(
+                        packed,
+                        &grad,
+                        dims,
+                        layer.spec(),
+                        scratch,
+                    )?
                 }
                 EngineLayer::Dense { layer, .. } => layer.input_grad(&tapes[i], &grad, scratch)?,
                 EngineLayer::Plain(kind) => kind.input_grad(&tapes[i], &grad, scratch)?,
@@ -377,7 +410,7 @@ impl<'n> BatchEngine<'n> {
         }
         let results = self.run_sharded(
             input,
-            || (Scratch::new(), Vec::new()),
+            || (Scratch::with_backend(self.backend()), Vec::new()),
             |state, start, shard| {
                 let (scratch, tapes) = state;
                 self.run_shard_backward(shard, start, feature_layer, &grad_fn, tapes, scratch)
@@ -543,11 +576,13 @@ impl<'n> BatchEngine<'n> {
         }
         // Single-shard fast path: no slicing or concatenation to pay.
         if input.dims()[0].div_ceil(self.shard_size) == 1 {
-            return self.infer_shard(input, &mut Scratch::new());
+            return self.infer_shard(input, &mut Scratch::with_backend(self.backend()));
         }
-        let parts = self.run_sharded(input, Scratch::new, |scratch, _start, shard| {
-            self.infer_shard(shard, scratch)
-        })?;
+        let parts = self.run_sharded(
+            input,
+            || Scratch::with_backend(self.backend()),
+            |scratch, _start, shard| self.infer_shard(shard, scratch),
+        )?;
         Ok(Tensor::concat_batch(&parts)?)
     }
 

@@ -1,6 +1,6 @@
 //! 2-D max-pooling layer.
 
-use blurnet_tensor::{max_pool2d, max_pool2d_backward, PoolSpec, Scratch, Tensor};
+use blurnet_tensor::{default_backend, PoolSpec, Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{Layer, NnError, Result, TapeSlot};
@@ -37,24 +37,24 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
-        let pooled = max_pool2d(input, self.spec)?;
+        let pooled = default_backend().max_pool2d(input, self.spec)?;
         // Move the argmax table into the cache instead of cloning it.
         self.cache = Some((pooled.argmax, input.dims().to_vec()));
         Ok(pooled.output)
     }
 
-    fn infer(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor> {
+    fn infer(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         // The argmax table exists only for backward; inference drops it.
-        Ok(max_pool2d(input, self.spec)?.output)
+        Ok(scratch.backend().max_pool2d(input, self.spec)?.output)
     }
 
     fn infer_recording(
         &self,
         input: &Tensor,
         tape: &mut TapeSlot,
-        _scratch: &mut Scratch,
+        scratch: &mut Scratch,
     ) -> Result<Tensor> {
-        let pooled = max_pool2d(input, self.spec)?;
+        let pooled = scratch.backend().max_pool2d(input, self.spec)?;
         *tape = TapeSlot::PoolArgmax {
             argmax: pooled.argmax,
             input_dims: input.dims().to_vec(),
@@ -66,12 +66,14 @@ impl Layer for MaxPool2d {
         &self,
         tape: &TapeSlot,
         grad_output: &Tensor,
-        _scratch: &mut Scratch,
+        scratch: &mut Scratch,
     ) -> Result<Tensor> {
         let TapeSlot::PoolArgmax { argmax, input_dims } = tape else {
             return Err(TapeSlot::mismatch(self.name()));
         };
-        Ok(max_pool2d_backward(grad_output, argmax, input_dims)?)
+        Ok(scratch
+            .backend()
+            .max_pool2d_backward(grad_output, argmax, input_dims)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -79,7 +81,7 @@ impl Layer for MaxPool2d {
             .cache
             .as_ref()
             .ok_or_else(|| NnError::MissingForwardCache(self.name().to_string()))?;
-        Ok(max_pool2d_backward(grad_output, argmax, dims)?)
+        Ok(default_backend().max_pool2d_backward(grad_output, argmax, dims)?)
     }
 
     fn param_grad_pairs(&mut self) -> Vec<(&mut Tensor, &Tensor)> {

@@ -260,11 +260,12 @@ fn main() {
     let scale = Scale::from_env();
     let model = resolve_model(&args, scale);
     eprintln!(
-        "# blurnet serve — scale: {scale}, defense: {}, flush at batch {} or {:?}, {} worker(s)",
+        "# blurnet serve — scale: {scale}, defense: {}, flush at batch {} or {:?}, {} worker(s), kernels: {}",
         model.defense().label(),
         args.config.max_batch.max(1),
         args.config.flush_window,
         args.config.workers.max(1),
+        blurnet_tensor::default_backend().simd_tier(),
     );
 
     let max_batch = args.config.max_batch.max(1);

@@ -1,7 +1,9 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::backend::SimdTier;
 use crate::matmul::{gemm_into, gemm_into_src, transpose_into, ARows};
+use crate::shape::checked_volume;
 use crate::{Result, Scratch, Tensor, TensorError};
 
 /// Work (in multiply-adds) below which spatial loops stay sequential;
@@ -63,9 +65,17 @@ impl ConvSpec {
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidSpec`] if the kernel does not fit the
-    /// padded input.
+    /// padded input, or [`TensorError::SizeOverflow`] when the padded
+    /// extent itself overflows `usize` (possible with untrusted recorded
+    /// `input_dims`).
     pub fn output_extent(&self, input: usize, kernel: usize) -> Result<usize> {
-        let padded = input + 2 * self.padding;
+        let padded = self
+            .padding
+            .checked_mul(2)
+            .and_then(|p| input.checked_add(p))
+            .ok_or(TensorError::SizeOverflow {
+                dims: vec![input, self.padding],
+            })?;
         if kernel == 0 || kernel > padded {
             return Err(TensorError::InvalidSpec(format!(
                 "kernel {kernel} does not fit padded input {padded}"
@@ -348,15 +358,15 @@ pub fn col2im(
     let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
     let oh = spec.output_extent(h, kh)?;
     let ow = spec.output_extent(w, kw)?;
-    let cols_rows = n * oh * ow;
-    let cols_cols = c * kh * kw;
+    let cols_rows = checked_volume(&[n, oh, ow])?;
+    let cols_cols = checked_volume(&[c, kh, kw])?;
     if cols.dims() != [cols_rows, cols_cols] {
         return Err(TensorError::ShapeMismatch {
             left: cols.dims().to_vec(),
             right: vec![cols_rows, cols_cols],
         });
     }
-    let mut out = vec![0.0f32; n * c * h * w];
+    let mut out = vec![0.0f32; checked_volume(input_dims)?];
     let data = cols.data();
     let pad = spec.padding as isize;
 
@@ -513,8 +523,8 @@ impl PackedConvWeights {
     /// Returns an error if `weight` is not rank 4.
     pub fn pack(weight: &Tensor) -> Result<Self> {
         let (f, c, kh, kw) = dims4(weight)?;
-        let kdim = c * kh * kw;
-        let mut wt = vec![0.0f32; kdim * f];
+        let kdim = checked_volume(&[c, kh, kw])?;
+        let mut wt = vec![0.0f32; checked_volume(&[kdim, f])?];
         transpose_into(&mut wt, weight.data(), f, kdim);
         let flipped = if kh == kw && kh > 0 {
             Some(Tensor::from_vec(
@@ -644,8 +654,11 @@ fn direct_s1_applies(spec: ConvSpec, kh: usize, kw: usize, ow: usize) -> bool {
 /// Runs the direct stride-1 convolution over a batch: pads each image's
 /// planes into a scratch buffer (zero borders written once), then runs the
 /// register-blocked kernel per image at the matching compile-time width.
+/// Dispatch follows the caller's pre-resolved `tier` — no per-image CPU
+/// feature queries.
 #[allow(clippy::too_many_arguments)]
 fn conv2d_direct_s1(
+    tier: SimdTier,
     out: &mut [f32],
     input: &[f32],
     weight: &[f32],
@@ -675,9 +688,6 @@ fn conv2d_direct_s1(
             row[pad + w..].fill(0.0);
         }
     }
-    #[cfg(target_arch = "x86_64")]
-    let use_avx2 =
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma");
     for ni in 0..n {
         for ci in 0..ci_n {
             for y in 0..h {
@@ -687,30 +697,35 @@ fn conv2d_direct_s1(
             }
         }
         let out_img = &mut out[ni * co_n * oh * ow..(ni + 1) * co_n * oh * ow];
-        #[cfg(target_arch = "x86_64")]
-        if use_avx2 {
-            // SAFETY: feature support verified above.
-            unsafe {
-                match ow {
-                    8 => direct_s1_image_avx2::<8, 8>(
-                        out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
-                    ),
-                    _ => direct_s1_image_avx2::<16, 4>(
-                        out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
-                    ),
-                }
-            };
-            continue;
-        }
-        // Baseline keeps 4-row blocks: 8 rows of 8 floats would need every
-        // SSE2 register for accumulators alone.
-        match ow {
-            8 => direct_s1_image::<8, 4, false>(
-                out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
-            ),
-            _ => direct_s1_image::<16, 4, false>(
-                out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
-            ),
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2Fma => {
+                // SAFETY: an Avx2Fma tier is only ever constructed after
+                // runtime verification that the CPU supports AVX2+FMA
+                // (SimdTier::detect / CpuBackend::with_tier clamping).
+                unsafe {
+                    match ow {
+                        8 => direct_s1_image_avx2::<8, 8>(
+                            out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
+                        ),
+                        _ => direct_s1_image_avx2::<16, 4>(
+                            out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
+                        ),
+                    }
+                };
+            }
+            // Scalar tier (and the only arm on non-x86 targets) keeps 4-row
+            // blocks: 8 rows of 8 floats would need every SSE2 register for
+            // accumulators alone. FMA=true keeps it bit-identical to the
+            // AVX2 tier (CB only blocks independent outputs).
+            _ => match ow {
+                8 => direct_s1_image::<8, 4, true>(
+                    out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
+                ),
+                _ => direct_s1_image::<16, 4, true>(
+                    out_img, &padded, weight, bias, ci_n, co_n, k, oh, pw,
+                ),
+            },
         }
     }
     scratch.put(padded);
@@ -726,6 +741,7 @@ fn conv2d_direct_s1(
 /// dispatch identically, so prepacked and plain calls stay bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn conv2d_core(
+    tier: SimdTier,
     input: &Tensor,
     w_orig: &[f32],
     wt: Option<&[f32]>,
@@ -745,6 +761,7 @@ fn conv2d_core(
     if direct_s1_applies(spec, kh, kw, ow) {
         let mut out = vec![0.0f32; n * f * oh * ow];
         conv2d_direct_s1(
+            tier,
             &mut out,
             input.data(),
             w_orig,
@@ -778,13 +795,13 @@ fn conv2d_core(
     };
     let mut prod = scratch.take_dirty(rows * f);
     match wt {
-        Some(wt) => gemm_into_src(&mut prod, &patches, wt, rows, kdim, f),
+        Some(wt) => gemm_into_src(tier, &mut prod, &patches, wt, rows, kdim, f),
         None => {
             // Pack Wᵀ once per call: [F, C·KH·KW] -> [C·KH·KW, F] so the
             // GEMM streams both operands stride-1.
             let mut wt = scratch.take_dirty(kdim * f);
             transpose_into(&mut wt, w_orig, f, kdim);
-            gemm_into_src(&mut prod, &patches, &wt, rows, kdim, f);
+            gemm_into_src(tier, &mut prod, &patches, &wt, rows, kdim, f);
             scratch.put(wt);
         }
     }
@@ -844,6 +861,19 @@ pub fn conv2d_with_scratch(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Result<Tensor> {
+    conv2d_with_scratch_t(scratch.tier(), input, weight, bias, spec, scratch)
+}
+
+/// [`conv2d_with_scratch`] dispatched through an explicit kernel tier
+/// (backend entry) — the scratch supplies buffers only.
+pub(crate) fn conv2d_with_scratch_t(
+    tier: SimdTier,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
     let (_, c, _, _) = dims4(input)?;
     let (f, wc, kh, kw) = dims4(weight)?;
     if wc != c {
@@ -853,7 +883,18 @@ pub fn conv2d_with_scratch(
         });
     }
     check_conv_bias(bias, f)?;
-    conv2d_core(input, weight.data(), None, f, kh, kw, bias, spec, scratch)
+    conv2d_core(
+        tier,
+        input,
+        weight.data(),
+        None,
+        f,
+        kh,
+        kw,
+        bias,
+        spec,
+        scratch,
+    )
 }
 
 /// [`conv2d`] against weights packed once with [`PackedConvWeights::pack`],
@@ -871,6 +912,19 @@ pub fn conv2d_prepacked(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Result<Tensor> {
+    conv2d_prepacked_t(scratch.tier(), input, weights, bias, spec, scratch)
+}
+
+/// [`conv2d_prepacked`] dispatched through an explicit kernel tier
+/// (backend entry) — the scratch supplies buffers only.
+pub(crate) fn conv2d_prepacked_t(
+    tier: SimdTier,
+    input: &Tensor,
+    weights: &PackedConvWeights,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
     let (_, c, _, _) = dims4(input)?;
     if c != weights.c {
         return Err(TensorError::ShapeMismatch {
@@ -880,6 +934,7 @@ pub fn conv2d_prepacked(
     }
     check_conv_bias(bias, weights.f)?;
     conv2d_core(
+        tier,
         input,
         weights.w.data(),
         Some(weights.wt.data()),
@@ -922,6 +977,19 @@ pub fn conv2d_backward_with_scratch(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Result<Conv2dGrads> {
+    conv2d_backward_with_scratch_t(scratch.tier(), input, weight, grad_output, spec, scratch)
+}
+
+/// [`conv2d_backward_with_scratch`] dispatched through an explicit kernel
+/// tier (backend entry) — the scratch supplies buffers only.
+pub(crate) fn conv2d_backward_with_scratch_t(
+    tier: SimdTier,
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Conv2dGrads> {
     let (n, c, h, w) = dims4(input)?;
     let (f, _, kh, kw) = dims4(weight)?;
     let (gn, gf, oh, ow) = dims4(grad_output)?;
@@ -936,6 +1004,9 @@ pub fn conv2d_backward_with_scratch(
     let rows = n * oh * ow;
     let kdim = c * kh * kw;
     let hw = oh * ow;
+    // `rows` and `kdim` each fit (they index real tensors), but their
+    // product sizes the im2col workspace and can overflow on its own.
+    let cols_len = checked_volume(&[rows, kdim])?;
 
     // Bias gradients: plane sums of grad_output, in (image, filter) order.
     let g = grad_output.data();
@@ -947,7 +1018,7 @@ pub fn conv2d_backward_with_scratch(
         }
     }
 
-    let mut cols = scratch.take(rows * kdim);
+    let mut cols = scratch.take(cols_len);
     im2col_into(input, kh, kw, spec, oh, ow, &mut cols);
 
     // dW = gmatᵀ (F×M) · cols (M×K). The transpose is assembled from
@@ -961,7 +1032,7 @@ pub fn conv2d_backward_with_scratch(
         }
     }
     let mut d_weight = vec![0.0f32; f * kdim];
-    gemm_into(&mut d_weight, &gt, &cols, f, rows, kdim);
+    gemm_into(tier, &mut d_weight, &gt, &cols, f, rows, kdim);
     scratch.put(gt);
     scratch.put(cols);
 
@@ -969,7 +1040,7 @@ pub fn conv2d_backward_with_scratch(
     // dispatch (direct transposed kernel or GEMM + col2im) the batched
     // gradient engine uses, so the two backwards stay bit-identical.
     let d_input =
-        conv2d_input_grad_with_scratch(weight, grad_output, &[n, c, h, w], spec, scratch)?;
+        conv2d_input_grad_with_scratch_t(tier, weight, grad_output, &[n, c, h, w], spec, scratch)?;
 
     Ok(Conv2dGrads {
         d_input,
@@ -1016,6 +1087,26 @@ pub fn conv2d_input_grad_with_scratch(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Result<Tensor> {
+    conv2d_input_grad_with_scratch_t(
+        scratch.tier(),
+        weight,
+        grad_output,
+        input_dims,
+        spec,
+        scratch,
+    )
+}
+
+/// [`conv2d_input_grad_with_scratch`] dispatched through an explicit kernel
+/// tier (backend entry) — the scratch supplies buffers only.
+pub(crate) fn conv2d_input_grad_with_scratch_t(
+    tier: SimdTier,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
     if input_dims.len() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -1040,7 +1131,8 @@ pub fn conv2d_input_grad_with_scratch(
     // kernel executes without materializing anything.
     if direct_s1_applies(spec, kh, kw, w) {
         let flipped = flip_weights(weight.data(), f, c, kh, kw);
-        return Ok(input_grad_direct(
+        return input_grad_direct(
+            tier,
             &flipped,
             grad_output,
             input_dims,
@@ -1049,9 +1141,10 @@ pub fn conv2d_input_grad_with_scratch(
             kh,
             spec,
             scratch,
-        ));
+        );
     }
     input_grad_gemm(
+        tier,
         weight.data(),
         grad_output,
         input_dims,
@@ -1081,6 +1174,26 @@ pub fn conv2d_input_grad_prepacked(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Result<Tensor> {
+    conv2d_input_grad_prepacked_t(
+        scratch.tier(),
+        weights,
+        grad_output,
+        input_dims,
+        spec,
+        scratch,
+    )
+}
+
+/// [`conv2d_input_grad_prepacked`] dispatched through an explicit kernel
+/// tier (backend entry) — the scratch supplies buffers only.
+pub(crate) fn conv2d_input_grad_prepacked_t(
+    tier: SimdTier,
+    weights: &PackedConvWeights,
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
     if input_dims.len() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -1100,7 +1213,8 @@ pub fn conv2d_input_grad_prepacked(
     }
     if direct_s1_applies(spec, kh, kw, w) {
         if let Some(flipped) = &weights.flipped {
-            return Ok(input_grad_direct(
+            return input_grad_direct(
+                tier,
                 flipped.data(),
                 grad_output,
                 input_dims,
@@ -1109,10 +1223,11 @@ pub fn conv2d_input_grad_prepacked(
                 kh,
                 spec,
                 scratch,
-            ));
+            );
         }
     }
     input_grad_gemm(
+        tier,
         weights.w.data(),
         grad_output,
         input_dims,
@@ -1124,9 +1239,12 @@ pub fn conv2d_input_grad_prepacked(
     )
 }
 
-/// Direct-transposed-convolution input gradient (validated dims only).
+/// Direct-transposed-convolution input gradient (validated dims only;
+/// the caller-supplied `input_dims` volume is overflow-checked before any
+/// allocation since it originates outside the tensor crate).
 #[allow(clippy::too_many_arguments)]
 fn input_grad_direct(
+    tier: SimdTier,
     flipped: &[f32],
     grad_output: &Tensor,
     input_dims: &[usize],
@@ -1135,12 +1253,13 @@ fn input_grad_direct(
     k: usize,
     spec: ConvSpec,
     scratch: &mut Scratch,
-) -> Tensor {
+) -> Result<Tensor> {
     let (n, h, w) = (input_dims[0], input_dims[2], input_dims[3]);
     let (oh, ow) = (grad_output.dims()[2], grad_output.dims()[3]);
     let flip_pad = k - 1 - spec.padding;
-    let mut d_input = vec![0.0f32; n * c * h * w];
+    let mut d_input = vec![0.0f32; checked_volume(input_dims)?];
     conv2d_direct_s1(
+        tier,
         &mut d_input,
         grad_output.data(),
         flipped,
@@ -1156,12 +1275,14 @@ fn input_grad_direct(
         w,
         scratch,
     );
-    Tensor::from_vec(d_input, input_dims).expect("validated input dims")
+    Tensor::from_vec(d_input, input_dims)
 }
 
-/// GEMM + col2im input gradient (validated dims only).
+/// GEMM + col2im input gradient (validated dims only; workspace sizes are
+/// overflow-checked because `input_dims` comes from outside the crate).
 #[allow(clippy::too_many_arguments)]
 fn input_grad_gemm(
+    tier: SimdTier,
     weight: &[f32],
     grad_output: &Tensor,
     input_dims: &[usize],
@@ -1174,13 +1295,13 @@ fn input_grad_gemm(
     let (n, c) = (input_dims[0], input_dims[1]);
     let (oh, ow) = (grad_output.dims()[2], grad_output.dims()[3]);
     let rows = n * oh * ow;
-    let kdim = c * kh * kw;
-    let mut gmat = scratch.take_dirty(rows * f);
+    let kdim = checked_volume(&[c, kh, kw])?;
+    let mut gmat = scratch.take_dirty(checked_volume(&[rows, f])?);
     grad_to_gmat(&mut gmat, grad_output.data(), n, f, oh * ow);
 
     // dCols = gmat (M×F) · wmat (F×K), then fold back to the input shape.
-    let mut d_cols = scratch.take_dirty(rows * kdim);
-    gemm_into(&mut d_cols, &gmat, weight, rows, f, kdim);
+    let mut d_cols = scratch.take_dirty(checked_volume(&[rows, kdim])?);
+    gemm_into(tier, &mut d_cols, &gmat, weight, rows, f, kdim);
     scratch.put(gmat);
     let d_cols_t = Tensor::from_vec(std::mem::take(&mut d_cols), &[rows, kdim])?;
     let d_input = col2im(&d_cols_t, input_dims, kh, kw, spec)?;
@@ -1398,8 +1519,10 @@ pub fn depthwise_input_grad(
     let pad = spec.padding as isize;
     let parallel = n * c * oh * ow * kh * kw >= PAR_WORK && rayon::current_num_threads() > 1;
 
-    // Every (image, channel) plane scatters only into itself.
-    let mut d_input = vec![0.0f32; n * c * h * w];
+    // Every (image, channel) plane scatters only into itself. The caller
+    // supplies `input_dims`, so its volume is overflow-checked before the
+    // allocation.
+    let mut d_input = vec![0.0f32; checked_volume(input_dims)?];
     let input_plane = |pi: usize, d_in: &mut [f32]| {
         let ci = pi % c;
         let kernel = &wd[ci * kh * kw..(ci + 1) * kh * kw];

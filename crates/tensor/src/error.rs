@@ -86,6 +86,14 @@ pub enum TensorError {
     /// An I/O operation on a persisted file failed (message retains the
     /// `std::io::Error` text; the error itself is kept `Clone + Eq`).
     Io(String),
+    /// A shape's element count (or a derived workspace size) overflows
+    /// `usize`. Raised by size arithmetic on caller-supplied dimensions —
+    /// e.g. the `input_dims` handed to an input-gradient entry point —
+    /// before any allocation is attempted.
+    SizeOverflow {
+        /// The dimension extents whose product overflowed.
+        dims: Vec<usize>,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -136,6 +144,9 @@ impl fmt::Display for TensorError {
                 "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
             TensorError::Io(msg) => write!(f, "persistence I/O error: {msg}"),
+            TensorError::SizeOverflow { dims } => {
+                write!(f, "element count of {dims:?} overflows usize")
+            }
         }
     }
 }

@@ -3,7 +3,10 @@
 //! The crate provides exactly the numeric substrate the rest of the
 //! workspace needs: a dense row-major [`Tensor`], blocked matrix
 //! multiplication, im2col-based 2-D convolution (regular and depthwise)
-//! with full gradients, max-pooling, and seeded weight initializers.
+//! with full gradients, max-pooling, separable blur, and seeded weight
+//! initializers — all reachable through the [`Backend`] trait, whose
+//! [`CpuBackend`] implementation fixes its SIMD dispatch tier once at
+//! construction (see [`SimdTier`]).
 //!
 //! # Example
 //!
@@ -19,6 +22,7 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
 mod conv;
 mod error;
 mod init;
@@ -29,6 +33,7 @@ mod scratch;
 mod shape;
 mod tensor;
 
+pub use backend::{default_backend, separable_factors, Backend, CpuBackend, SimdTier};
 pub use conv::{
     col2im, conv2d, conv2d_backward, conv2d_backward_with_scratch, conv2d_input_grad_prepacked,
     conv2d_input_grad_with_scratch, conv2d_prepacked, conv2d_with_scratch, depthwise_conv2d,

@@ -21,6 +21,7 @@
 
 use rayon::prelude::*;
 
+use crate::backend::SimdTier;
 use crate::{Result, Scratch, Tensor, TensorError};
 
 /// k-panel size: the active `KC × NR` slice of `b` plus `MR × KC` of `a`
@@ -42,9 +43,15 @@ fn dims2(t: &Tensor) -> Result<(usize, usize)> {
 }
 
 /// Fused or separate multiply-add, chosen at compile time per kernel
-/// instantiation: `mul_add` maps to a hardware FMA only when the enclosing
-/// function enables the `fma` target feature — without it the scalar call
-/// would hit libm, so the baseline kernel uses plain `a * b + acc`.
+/// instantiation. Every kernel tier instantiates with `FMA = true`:
+/// `mul_add` is a single correctly-rounded operation on every lowering —
+/// `vfmadd` under the AVX2+FMA target feature, `fmla` on AArch64, libm's
+/// `fmaf` on baseline x86-64 — so the scalar and vectorised tiers produce
+/// **bit-identical** results (the per-element accumulation order is already
+/// tile-shape independent). The libm fallback makes the forced-scalar tier
+/// slower on baseline x86-64, which is the accepted price for cross-tier
+/// byte-identity of every artifact. `FMA = false` is kept for reference
+/// kernels that must reproduce unfused seed arithmetic.
 #[inline(always)]
 pub(crate) fn madd<const FMA: bool>(acc: f32, a: f32, b: f32) -> f32 {
     if FMA {
@@ -250,12 +257,19 @@ unsafe fn gemm_rows_avx2_narrow<S: ARows>(
     gemm_rows_tiled::<8, 8, true, S>(out, a_src, i0, b, b_pack, m, k, n);
 }
 
-/// Dispatches one row block to the widest kernel this CPU supports.
+/// Dispatches one row block through the caller's pre-resolved kernel tier.
+///
+/// CPU-feature detection is *not* performed here: `tier` was fixed once at
+/// backend construction ([`SimdTier::detect`] / `CpuBackend::with_tier`),
+/// so the hot path carries no per-call feature queries. Both tiers are
+/// bit-identical — see [`madd`].
 ///
 /// (An AVX-512 32-wide variant was measured and rejected: LLVM's
 /// autovectoriser keeps 256-bit preferred vector width, so the wider tile
 /// spills instead of using zmm registers.)
+#[allow(clippy::too_many_arguments)]
 fn gemm_rows<S: ARows>(
+    tier: SimdTier,
     out: &mut [f32],
     a_src: &S,
     i0: usize,
@@ -279,36 +293,49 @@ fn gemm_rows<S: ARows>(
         if pack.len() < needed {
             pack.resize(needed, 0.0);
         }
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-        {
-            // SAFETY: feature support was just verified at runtime.
-            if n <= 8 {
-                unsafe { gemm_rows_avx2_narrow(out, a_src, i0, b, &mut pack, m, k, n) };
-            } else {
-                unsafe { gemm_rows_avx2(out, a_src, i0, b, &mut pack, m, k, n) };
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2Fma => {
+                // SAFETY: an Avx2Fma tier is only ever constructed after
+                // runtime verification that the CPU supports AVX2+FMA
+                // (SimdTier::detect / CpuBackend::with_tier clamping).
+                if n <= 8 {
+                    unsafe { gemm_rows_avx2_narrow(out, a_src, i0, b, &mut pack, m, k, n) };
+                } else {
+                    unsafe { gemm_rows_avx2(out, a_src, i0, b, &mut pack, m, k, n) };
+                }
             }
-            return;
+            // Portable scalar tier (and the only arm on non-x86 targets):
+            // a 4×8 tile keeps the accumulators within the 16 SSE2
+            // registers; FMA=true keeps it bit-identical to the AVX2 tier.
+            _ => gemm_rows_tiled::<4, 8, true, S>(out, a_src, i0, b, &mut pack, m, k, n),
         }
-        // Baseline: 4×8 tile keeps the accumulators within the 16 SSE2
-        // registers.
-        gemm_rows_tiled::<4, 8, false, S>(out, a_src, i0, b, &mut pack, m, k, n);
     });
 }
 
-/// Dense GEMM into a caller-provided buffer: `out = a (m×k) · b (k×n)`.
+/// Dense GEMM into a caller-provided buffer: `out = a (m×k) · b (k×n)`,
+/// dispatched through the pre-resolved `tier`.
 ///
 /// `out` is overwritten (it does not need to be zeroed). Row blocks run in
 /// parallel once the problem is large enough to amortise the fan-out.
-pub(crate) fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+pub(crate) fn gemm_into(
+    tier: SimdTier,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
-    gemm_into_src(out, &SliceRows { a, k }, b, m, k, n);
+    gemm_into_src(tier, out, &SliceRows { a, k }, b, m, k, n);
 }
 
 /// [`gemm_into`] over a virtual `A` operand: `out = A (m×k) · b (k×n)` with
 /// `A` rows produced on demand by `a_src` (either a plain slice or a fused
 /// im2col generator).
 pub(crate) fn gemm_into_src<S: ARows>(
+    tier: SimdTier,
     out: &mut [f32],
     a_src: &S,
     b: &[f32],
@@ -324,7 +351,7 @@ pub(crate) fn gemm_into_src<S: ARows>(
     }
     let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
     if flops < PAR_FLOPS || rayon::current_num_threads() <= 1 || m <= MC {
-        gemm_rows(out, a_src, 0, b, m, k, n);
+        gemm_rows(tier, out, a_src, 0, b, m, k, n);
         return;
     }
     out.par_chunks_mut(MC * n)
@@ -332,7 +359,7 @@ pub(crate) fn gemm_into_src<S: ARows>(
         .for_each(|(blk, out_block)| {
             let i0 = blk * MC;
             let rows = out_block.len() / n;
-            gemm_rows(out_block, a_src, i0, b, rows, k, n);
+            gemm_rows(tier, out_block, a_src, i0, b, rows, k, n);
         });
 }
 
@@ -369,6 +396,11 @@ pub(crate) fn transpose_into(dst: &mut [f32], src: &[f32], rows: usize, cols: us
 /// Returns an error if either argument is not rank 2 or the inner
 /// dimensions disagree.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_t(SimdTier::detect(), a, b)
+}
+
+/// [`matmul`] dispatched through an explicit kernel tier (backend entry).
+pub(crate) fn matmul_t(tier: SimdTier, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = dims2(a)?;
     let (k2, n) = dims2(b)?;
     if k != k2 {
@@ -378,7 +410,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    gemm_into(&mut out, a.data(), b.data(), m, k, n);
+    gemm_into(tier, &mut out, a.data(), b.data(), m, k, n);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -391,6 +423,14 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns an error if either argument is not rank 2 or the shared leading
 /// dimension disagrees.
 pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_transpose_a_t(SimdTier::detect(), a, b)
+}
+
+/// [`matmul_transpose_a`] dispatched through an explicit kernel tier
+/// (backend entry). The transpose workspace comes from the thread-local
+/// scratch pool; only buffer memory is drawn from it — dispatch follows
+/// `tier`.
+pub(crate) fn matmul_transpose_a_t(tier: SimdTier, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (k, m) = dims2(a)?;
     let (k2, n) = dims2(b)?;
     if k != k2 {
@@ -403,7 +443,7 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Scratch::with_thread_local(|scratch| {
         let mut at = scratch.take_dirty(m * k);
         transpose_into(&mut at, a.data(), k, m);
-        gemm_into(&mut out, &at, b.data(), m, k, n);
+        gemm_into(tier, &mut out, &at, b.data(), m, k, n);
         scratch.put(at);
     });
     Tensor::from_vec(out, &[m, n])
@@ -433,6 +473,17 @@ pub fn matmul_transpose_b_with_scratch(
     b: &Tensor,
     scratch: &mut Scratch,
 ) -> Result<Tensor> {
+    matmul_transpose_b_with_scratch_t(scratch.tier(), a, b, scratch)
+}
+
+/// [`matmul_transpose_b_with_scratch`] dispatched through an explicit
+/// kernel tier (backend entry) — the scratch supplies buffers only.
+pub(crate) fn matmul_transpose_b_with_scratch_t(
+    tier: SimdTier,
+    a: &Tensor,
+    b: &Tensor,
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
     let (m, k) = dims2(a)?;
     let (n, k2) = dims2(b)?;
     if k != k2 {
@@ -444,7 +495,7 @@ pub fn matmul_transpose_b_with_scratch(
     let mut out = vec![0.0f32; m * n];
     let mut bt = scratch.take_dirty(k * n);
     transpose_into(&mut bt, b.data(), n, k);
-    gemm_into(&mut out, a.data(), &bt, m, k, n);
+    gemm_into(tier, &mut out, a.data(), &bt, m, k, n);
     scratch.put(bt);
     Tensor::from_vec(out, &[m, n])
 }

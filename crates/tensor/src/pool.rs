@@ -125,7 +125,9 @@ pub fn max_pool2d(input: &Tensor, spec: PoolSpec) -> Result<MaxPoolOutput> {
 /// # Errors
 ///
 /// Returns an error if `grad_output` does not match the recorded pooling
-/// output shape.
+/// output shape, or [`TensorError::IndexOutOfBounds`] if a recorded argmax
+/// index falls outside `input_dims` (a stale or corrupted argmax recording
+/// — e.g. one captured against different input dimensions).
 pub fn max_pool2d_backward(
     grad_output: &Tensor,
     argmax: &[usize],
@@ -140,8 +142,10 @@ pub fn max_pool2d_backward(
     let mut d_input = Tensor::zeros(input_dims);
     let g = grad_output.data();
     let d = d_input.data_mut();
+    let len = d.len();
     for (i, &src) in argmax.iter().enumerate() {
-        d[src] += g[i];
+        *d.get_mut(src)
+            .ok_or(TensorError::IndexOutOfBounds { index: src, len })? += g[i];
     }
     Ok(d_input)
 }
@@ -198,6 +202,15 @@ mod tests {
         assert_eq!(d_input.get(&[0, 0, 3, 1]).unwrap(), 3.0);
         assert_eq!(d_input.get(&[0, 0, 3, 3]).unwrap(), 4.0);
         assert_eq!(d_input.sum(), 10.0);
+    }
+
+    #[test]
+    fn max_pool_backward_rejects_out_of_bounds_argmax() {
+        // An argmax recorded against a larger input must not scatter past
+        // the end of the gradient buffer.
+        let grad = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]).unwrap();
+        let err = max_pool2d_backward(&grad, &[16], &[1, 1, 2, 2]).unwrap_err();
+        assert_eq!(err, TensorError::IndexOutOfBounds { index: 16, len: 4 });
     }
 
     #[test]

@@ -8,25 +8,57 @@
 //! [`Scratch::with_thread_local`].
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
-/// A pool of reusable `f32` buffers.
+use crate::backend::{default_backend, Backend, SimdTier};
+
+/// A pool of reusable `f32` buffers, bound to a compute [`Backend`].
 ///
 /// `take` hands out a zeroed buffer of the requested length (reusing the
 /// best-fitting pooled allocation), `put` returns it. Buffers are plain
 /// `Vec<f32>`, so leaking one (forgetting `put`) is safe — it just allocates
 /// again next time.
-#[derive(Debug, Default)]
+///
+/// The backend handle is how layers and free functions discover which
+/// kernels to dispatch to: [`Scratch::new`] binds the process-wide
+/// [`default_backend`], [`Scratch::with_backend`] binds an explicit one
+/// (e.g. a forced-scalar [`crate::CpuBackend`] in cross-dispatch tests).
+#[derive(Debug)]
 pub struct Scratch {
     pool: Vec<Vec<f32>>,
+    backend: Arc<dyn Backend>,
 }
 
 /// How many returned buffers the pool keeps before dropping the smallest.
 const MAX_POOLED: usize = 8;
 
 impl Scratch {
-    /// Creates an empty pool.
+    /// Creates an empty pool bound to the process-wide [`default_backend`].
     pub fn new() -> Self {
-        Scratch::default()
+        Scratch {
+            pool: Vec::new(),
+            backend: default_backend(),
+        }
+    }
+
+    /// Creates an empty pool bound to an explicit backend.
+    pub fn with_backend(backend: Arc<dyn Backend>) -> Self {
+        Scratch {
+            pool: Vec::new(),
+            backend,
+        }
+    }
+
+    /// The backend this pool is bound to, as an owned handle (cloning the
+    /// `Arc` keeps the pool borrowable mutably while kernels run).
+    pub fn backend(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.backend)
+    }
+
+    /// The bound backend's dispatch tier — the tier free-function entry
+    /// points use when handed this scratch.
+    pub(crate) fn tier(&self) -> SimdTier {
+        self.backend.simd_tier()
     }
 
     /// Pops the pooled allocation with the smallest sufficient capacity for
@@ -129,11 +161,17 @@ impl Scratch {
     }
 }
 
+impl Default for Scratch {
+    fn default() -> Self {
+        Scratch::new()
+    }
+}
+
 impl Clone for Scratch {
     /// Cloning a layer must not duplicate cached workspace memory; clones
-    /// start with an empty pool.
+    /// keep the backend binding but start with an empty pool.
     fn clone(&self) -> Self {
-        Scratch::new()
+        Scratch::with_backend(Arc::clone(&self.backend))
     }
 }
 

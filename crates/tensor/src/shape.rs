@@ -2,6 +2,20 @@ use serde::{Deserialize, Serialize};
 
 use crate::TensorError;
 
+/// Computes the product of `dims` with overflow checking.
+///
+/// Size arithmetic on caller-supplied dimensions (workspace lengths,
+/// `input_dims` handed to gradient entry points) goes through here so a
+/// hostile or corrupted shape surfaces as
+/// [`TensorError::SizeOverflow`] instead of a wrapped allocation size.
+pub(crate) fn checked_volume(dims: &[usize]) -> Result<usize, TensorError> {
+    dims.iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| TensorError::SizeOverflow {
+            dims: dims.to_vec(),
+        })
+}
+
 /// A tensor shape: the extent of every dimension, outermost first.
 ///
 /// Shapes are stored row-major; for image batches the convention across the
